@@ -1,0 +1,126 @@
+//! The FlexGen baseline (Sheng et al., ICML'23) as the paper uses it:
+//! zig-zag block scheduling plus a policy search that — crucially for the
+//! paper's argument — does *not* model quantization overheads or the
+//! performance impact of asynchronous execution, and therefore searches
+//! only the fp16 policy space.
+
+use crate::search::{grid_search, SearchSpace};
+use lm_hardware::Platform;
+use lm_models::{ModelConfig, Workload};
+use lm_sim::{fits, BaseCostModel, Policy};
+use serde::{Deserialize, Serialize};
+
+/// Candidate GPU batch sizes FlexGen's search sweeps.
+pub const BATCH_CANDIDATES: [u64; 8] = [4, 8, 16, 32, 64, 128, 192, 256];
+
+/// Candidate zig-zag batch counts.
+pub const NUM_BATCH_CANDIDATES: [u64; 5] = [1, 2, 4, 8, 10];
+
+/// A framework's complete deployment decision: policy + block shape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Deployment {
+    pub policy: Policy,
+    pub workload: Workload,
+    /// The framework's own predicted throughput for this deployment
+    /// (tokens/s) — its *belief*, not the simulated ground truth.
+    pub predicted_throughput: f64,
+}
+
+/// FlexGen's internal evaluator: the base cost model with no quantization
+/// terms and the default (untuned) thread-setting factors.
+pub fn flexgen_evaluator(
+    platform: &Platform,
+    model: &ModelConfig,
+    workload: &Workload,
+    policy: &Policy,
+) -> Option<f64> {
+    if !fits(model, workload, platform, policy) {
+        return None;
+    }
+    let cost = BaseCostModel::new(platform, model, workload, *policy);
+    Some(cost.throughput())
+}
+
+/// Run FlexGen's policy search for a model on a platform at a given
+/// prompt/generation length: an exhaustive sweep over its fp16 policy
+/// space and block shapes, maximising its (quantization-blind) predicted
+/// throughput.
+pub fn flexgen_search(
+    platform: &Platform,
+    model: &ModelConfig,
+    prompt_len: u64,
+    gen_len: u64,
+) -> Option<Deployment> {
+    let space = SearchSpace::flexgen();
+    let mut best: Option<Deployment> = None;
+    for &bsz in &BATCH_CANDIDATES {
+        for &nb in &NUM_BATCH_CANDIDATES {
+            let w = Workload::new(prompt_len, gen_len, bsz, nb);
+            if let Some((policy, tput)) =
+                grid_search(&space, |p| flexgen_evaluator(platform, model, &w, p))
+            {
+                let better = best
+                    .map(|b| tput > b.predicted_throughput)
+                    .unwrap_or(true);
+                if better {
+                    best = Some(Deployment {
+                        policy,
+                        workload: w,
+                        predicted_throughput: tput,
+                    });
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lm_hardware::presets;
+    use lm_models::presets as models;
+    use lm_models::DType;
+    use lm_sim::AttentionPlacement;
+
+    #[test]
+    fn search_finds_a_feasible_fp16_deployment_for_opt30b() {
+        let platform = presets::single_gpu_a100();
+        let d = flexgen_search(&platform, &models::opt_30b(), 64, 8).expect("feasible");
+        assert_eq!(d.policy.weights_dtype, DType::F16);
+        assert_eq!(d.policy.kv_dtype, DType::F16);
+        assert!(fits(&models::opt_30b(), &d.workload, &platform, &d.policy));
+        assert!(d.predicted_throughput > 0.0);
+    }
+
+    #[test]
+    fn opt30b_prefers_cpu_attention_for_long_generation() {
+        // With n=128 the KV stream at fp16 is enormous; FlexGen's own
+        // model should pick attention offloading (its §3.1 default).
+        let platform = presets::single_gpu_a100();
+        let d = flexgen_search(&platform, &models::opt_30b(), 64, 128).unwrap();
+        assert_eq!(d.policy.attention, AttentionPlacement::Cpu);
+    }
+
+    #[test]
+    fn bigger_model_cannot_hold_more_weights_on_gpu() {
+        let platform = presets::single_gpu_a100();
+        let d30 = flexgen_search(&platform, &models::opt_30b(), 64, 32).unwrap();
+        let d66 = flexgen_search(&platform, &models::opt_66b(), 64, 32).unwrap();
+        assert!(
+            d66.policy.wg <= d30.policy.wg + 1e-9,
+            "66B wg {} vs 30B wg {}",
+            d66.policy.wg,
+            d30.policy.wg
+        );
+    }
+
+    #[test]
+    fn search_respects_memory_feasibility_everywhere() {
+        let platform = presets::single_gpu_a100();
+        for gen in [8, 64] {
+            let d = flexgen_search(&platform, &models::llama_30b(), 64, gen).unwrap();
+            assert!(fits(&models::llama_30b(), &d.workload, &platform, &d.policy));
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Generic policy grid search.
+//!
+//! FlexGen formulates offloading as an optimisation problem solved with a
+//! small linear program over the placement percentages; with only a
+//! handful of variables an exhaustive grid at 5% granularity is exact
+//! enough and deterministic (DESIGN.md §5). The *evaluator* closure is
+//! where frameworks differ: FlexGen scores policies with the base cost
+//! model (no quantization terms), LM-Offload with the full Eq. 3-7 model.
+
+use lm_models::DType;
+use lm_sim::{AttentionPlacement, Policy};
+
+/// The policy dimensions a framework's search explores.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// Granularity of the `wg` sweep (number of steps from 0 to 1).
+    pub wg_steps: usize,
+    /// Candidate GPU KV-cache fractions (only meaningful with GPU
+    /// attention).
+    pub cg_options: Vec<f64>,
+    /// Candidate activation placements.
+    pub hg_options: Vec<f64>,
+    /// Candidate attention placements.
+    pub attention_options: Vec<AttentionPlacement>,
+    /// Candidate weight precisions.
+    pub weight_dtypes: Vec<DType>,
+    /// Candidate KV-cache precisions.
+    pub kv_dtypes: Vec<DType>,
+}
+
+impl SearchSpace {
+    /// FlexGen's space: fp16 tensors only (its LP does not model
+    /// quantization costs, so its search runs at the default precision),
+    /// both attention placements, full `wg` sweep.
+    pub fn flexgen() -> Self {
+        SearchSpace {
+            wg_steps: 20,
+            cg_options: vec![0.0],
+            hg_options: vec![0.0, 1.0],
+            attention_options: vec![AttentionPlacement::Cpu, AttentionPlacement::Gpu],
+            weight_dtypes: vec![DType::F16],
+            kv_dtypes: vec![DType::F16],
+        }
+    }
+
+    /// LM-Offload's space: additionally explores 4-bit weights and KV
+    /// cache — the options its performance models can price correctly.
+    pub fn lm_offload() -> Self {
+        SearchSpace {
+            wg_steps: 20,
+            cg_options: vec![0.0],
+            hg_options: vec![0.0, 1.0],
+            attention_options: vec![AttentionPlacement::Cpu, AttentionPlacement::Gpu],
+            weight_dtypes: vec![DType::F16, DType::Int4],
+            kv_dtypes: vec![DType::F16, DType::Int4],
+        }
+    }
+
+    /// Extended space with the intermediate 8-bit precision and partial
+    /// GPU KV residency — dimensions the paper leaves to future work; the
+    /// performance models price them for free, so the search can simply
+    /// sweep them.
+    pub fn lm_offload_extended() -> Self {
+        SearchSpace {
+            wg_steps: 20,
+            cg_options: vec![0.0, 0.5, 1.0],
+            hg_options: vec![0.0, 1.0],
+            attention_options: vec![AttentionPlacement::Cpu, AttentionPlacement::Gpu],
+            weight_dtypes: vec![DType::F16, DType::Int8, DType::Int4],
+            kv_dtypes: vec![DType::F16, DType::Int8, DType::Int4],
+        }
+    }
+
+    /// Enumerate every candidate policy in the space.
+    pub fn candidates(&self) -> Vec<Policy> {
+        let mut out = Vec::new();
+        for &attention in &self.attention_options {
+            let cgs: &[f64] = match attention {
+                AttentionPlacement::Cpu => &[0.0],
+                AttentionPlacement::Gpu => &self.cg_options,
+            };
+            for &wd in &self.weight_dtypes {
+                for &kd in &self.kv_dtypes {
+                    // Quantizing the KV cache is moot with CPU attention
+                    // (it never crosses the link) — skip the redundant
+                    // candidates rather than scoring duplicates.
+                    if attention == AttentionPlacement::Cpu && kd != self.kv_dtypes[0] {
+                        continue;
+                    }
+                    for &cg in cgs {
+                        for &hg in &self.hg_options {
+                            for step in 0..=self.wg_steps {
+                                let wg = step as f64 / self.wg_steps as f64;
+                                let p = Policy {
+                                    wg,
+                                    cg,
+                                    hg,
+                                    weights_dtype: wd,
+                                    kv_dtype: kd,
+                                    attention,
+                                };
+                                if p.validate().is_ok() {
+                                    out.push(p);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Exhaustively score the space with `eval` (returning `None` for
+/// infeasible policies) and return the best policy with its score.
+pub fn grid_search<F>(space: &SearchSpace, eval: F) -> Option<(Policy, f64)>
+where
+    F: Fn(&Policy) -> Option<f64>,
+{
+    let mut best: Option<(Policy, f64)> = None;
+    for p in space.candidates() {
+        if let Some(score) = eval(&p) {
+            debug_assert!(score.is_finite(), "evaluator returned {score}");
+            let better = best.map(|(_, b)| score > b).unwrap_or(true);
+            if better {
+                best = Some((p, score));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flexgen_space_is_fp16_only() {
+        for p in SearchSpace::flexgen().candidates() {
+            assert_eq!(p.weights_dtype, DType::F16);
+            assert_eq!(p.kv_dtype, DType::F16);
+        }
+    }
+
+    #[test]
+    fn lm_offload_space_strictly_contains_flexgen_space() {
+        let fg: Vec<_> = SearchSpace::flexgen().candidates();
+        let lo: Vec<_> = SearchSpace::lm_offload().candidates();
+        assert!(lo.len() > fg.len());
+        for p in &fg {
+            assert!(lo.iter().any(|q| q == p), "missing {p:?}");
+        }
+    }
+
+    #[test]
+    fn extended_space_contains_lm_offload_space_and_int8() {
+        let lo: Vec<_> = SearchSpace::lm_offload().candidates();
+        let ext: Vec<_> = SearchSpace::lm_offload_extended().candidates();
+        assert!(ext.len() > lo.len());
+        for p in &lo {
+            assert!(ext.iter().any(|q| q == p), "missing {p:?}");
+        }
+        assert!(ext.iter().any(|p| p.weights_dtype == DType::Int8));
+        assert!(ext
+            .iter()
+            .any(|p| p.cg > 0.0 && p.attention == AttentionPlacement::Gpu));
+    }
+
+    #[test]
+    fn candidates_are_all_valid() {
+        for p in SearchSpace::lm_offload().candidates() {
+            assert!(p.validate().is_ok(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn grid_search_finds_argmax() {
+        // Score = wg, maximised at wg = 1.0 among feasible (wg <= 0.8).
+        let best = grid_search(&SearchSpace::flexgen(), |p| {
+            (p.wg <= 0.8).then_some(p.wg)
+        })
+        .unwrap();
+        assert!((best.1 - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_search_empty_when_all_infeasible() {
+        assert!(grid_search(&SearchSpace::flexgen(), |_| None).is_none());
+    }
+
+    #[test]
+    fn grid_search_dominates_every_candidate() {
+        // Property: the returned score is >= every feasible candidate's.
+        let space = SearchSpace::lm_offload();
+        let eval = |p: &Policy| {
+            let x = p.wg - 0.3;
+            Some(1.0 - x * x + if p.weights_dtype == DType::Int4 { 0.1 } else { 0.0 })
+        };
+        let (best_p, best_s) = grid_search(&space, eval).unwrap();
+        for p in space.candidates() {
+            if let Some(s) = eval(&p) {
+                assert!(best_s >= s, "{p:?} beats {best_p:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! The ZeRO-Inference baseline (DeepSpeed-Inference, Aminabadi et al.,
+//! SC'22) as the paper configures it (§5.1): no *partial* tensor
+//! offloading — a tensor class is either fully on GPU or fully on CPU —
+//! so for the 30B+ models the KV cache is offloaded to CPU while the
+//! weights stay on GPU under its default 4-bit weight quantization.
+//! Attention runs on the GPU, streaming the cache, and there is no
+//! zig-zag block schedule, which caps the usable batch size.
+
+use crate::flexgen::Deployment;
+use lm_hardware::Platform;
+use lm_models::{DType, ModelConfig, Workload};
+use lm_sim::{fits, AttentionPlacement, BaseCostModel, Policy};
+
+/// ZeRO-Inference's fixed policy for large models: whole weights on GPU
+/// at 4-bit, whole KV cache on CPU, activations on GPU.
+pub fn zero_policy() -> Policy {
+    Policy {
+        wg: 1.0,
+        cg: 0.0,
+        hg: 1.0,
+        weights_dtype: DType::Int4,
+        kv_dtype: DType::F16,
+        attention: AttentionPlacement::Gpu,
+    }
+}
+
+/// Batch sizes ZeRO-Inference can sustain without a block schedule
+/// (powers of two, as in Table 3's ZeRO rows: 4..64).
+pub const ZERO_BATCHES: [u64; 5] = [4, 8, 16, 32, 64];
+
+/// GPU workspace multiplier of ZeRO-Inference's kernel-injection path:
+/// per sequence position it keeps roughly this many hidden-state-sized
+/// fp16 buffers live (fused-kernel temporaries, streamed-KV staging,
+/// logits) — without FlexGen's fine-grained buffer reuse. Fit to the
+/// Table 3 batch caps (64 for OPT-30B, 8-32 for OPT-66B, shrinking with
+/// generation length).
+pub const WORKSPACE_FACTOR: u64 = 48;
+
+/// GPU bytes ZeRO's injected kernels need beyond resident tensors.
+pub fn workspace_bytes(model: &ModelConfig, w: &Workload) -> u64 {
+    WORKSPACE_FACTOR * w.gpu_batch * w.final_seq_len() * model.hidden * 2
+}
+
+/// Whether a ZeRO workload fits, including the kernel workspace.
+pub fn zero_fits(platform: &Platform, model: &ModelConfig, w: &Workload) -> bool {
+    let policy = zero_policy();
+    if !fits(model, w, platform, &policy) {
+        return false;
+    }
+    let plan = lm_sim::memory_plan(model, w, platform, &policy);
+    let cap = (platform.gpu.mem_capacity as f64 * 0.9) as u64;
+    plan.gpu_bytes + workspace_bytes(model, w) <= cap
+}
+
+/// Pick ZeRO-Inference's deployment: the largest feasible power-of-two
+/// batch under its all-or-nothing placement, single-batch blocks.
+pub fn zero_search(
+    platform: &Platform,
+    model: &ModelConfig,
+    prompt_len: u64,
+    gen_len: u64,
+) -> Option<Deployment> {
+    let policy = zero_policy();
+    let mut best = None;
+    for &bsz in &ZERO_BATCHES {
+        let w = Workload::new(prompt_len, gen_len, bsz, 1);
+        if zero_fits(platform, model, &w) {
+            let cost = BaseCostModel::new(platform, model, &w, policy);
+            best = Some(Deployment {
+                policy,
+                workload: w,
+                predicted_throughput: cost.throughput(),
+            });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lm_hardware::presets;
+    use lm_models::presets as models;
+
+    #[test]
+    fn policy_is_all_or_nothing() {
+        let p = zero_policy();
+        assert_eq!(p.wg, 1.0);
+        assert_eq!(p.cg, 0.0);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn opt30b_fits_at_batch_64() {
+        // Table 3: ZeRO runs OPT-30B at bsz 64 on the 40 GB A100 (4-bit
+        // weights ≈ 14 GiB).
+        let platform = presets::single_gpu_a100();
+        let d = zero_search(&platform, &models::opt_30b(), 64, 8).expect("feasible");
+        assert_eq!(d.workload.gpu_batch, 64);
+        assert_eq!(d.workload.num_batches, 1);
+    }
+
+    #[test]
+    fn opt66b_batch_collapses_with_workspace_pressure() {
+        // Table 3: OPT-66B drops to bsz 4-32 (4-bit 66B weights ≈ 30 GiB
+        // leave little room for the kernel workspace).
+        let platform = presets::single_gpu_a100();
+        let d = zero_search(&platform, &models::opt_66b(), 64, 64).expect("feasible");
+        assert!(d.workload.gpu_batch <= 32, "got {}", d.workload.gpu_batch);
+        // And it shrinks (or holds) as generation length grows.
+        let long = zero_search(&platform, &models::opt_66b(), 64, 128).unwrap();
+        assert!(long.workload.gpu_batch <= d.workload.gpu_batch);
+    }
+
+    #[test]
+    fn batches_capped_well_below_block_scheduling() {
+        // The shape claim behind §5.2's "24x larger batch sizes": with no
+        // zig-zag block schedule ZeRO is capped at small single batches
+        // while FlexGen/LM-Offload run blocks of hundreds to thousands.
+        let platform = presets::single_gpu_a100();
+        let d = zero_search(&platform, &models::opt_66b(), 64, 64).expect("feasible");
+        assert!(d.workload.block_size() <= 64);
+        let fg = crate::flexgen::flexgen_search(&platform, &models::opt_66b(), 64, 64).unwrap();
+        assert!(
+            fg.workload.block_size() >= 4 * d.workload.block_size(),
+            "FlexGen block {} vs ZeRO {}",
+            fg.workload.block_size(),
+            d.workload.block_size()
+        );
+    }
+
+    #[test]
+    fn batch_size_shrinks_with_generation_length() {
+        // Longer generations grow the KV cache and activations; ZeRO's
+        // feasible batch is monotone non-increasing in gen_len.
+        let platform = presets::single_gpu_a100();
+        let short = zero_search(&platform, &models::opt_66b(), 64, 8).unwrap();
+        let long = zero_search(&platform, &models::opt_66b(), 64, 128).unwrap();
+        assert!(long.workload.gpu_batch <= short.workload.gpu_batch);
+    }
+}

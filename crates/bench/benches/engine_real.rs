@@ -1,0 +1,73 @@
+//! Benchmarks of the *real* offloading engine: decode steps with and
+//! without the asynchronous weight prefetcher (the bundling-adjacent
+//! ablation: does overlapping load_weight with compute pay off on real
+//! hardware?), and the operator-bundling ablation on the real executor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lm_engine::{Engine, EngineOptions};
+use lm_models::presets;
+use lm_parallelism::{attention_graph, bundle_small_ops, burn, Executor};
+use lm_tensor::QuantConfig;
+
+fn bench_engine_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_decode");
+    g.sample_size(10);
+    let cfg = presets::tiny_test();
+    let prompts = vec![vec![1u32, 2, 3, 4]; 4];
+    for (name, prefetch) in [("prefetch", true), ("serial_fetch", false)] {
+        let engine = Engine::new(
+            &cfg,
+            42,
+            EngineOptions {
+                prefetch,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| engine.generate(&prompts, 4).unwrap())
+        });
+    }
+    // Quantized at rest: dequant-on-fetch cost vs smaller host footprint.
+    let engine = Engine::new(
+        &cfg,
+        42,
+        EngineOptions {
+            quantize_at_rest: Some(QuantConfig::int4()),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    g.bench_function("int4_at_rest", |b| {
+        b.iter(|| engine.generate(&prompts, 4).unwrap())
+    });
+    g.finish();
+}
+
+/// DESIGN.md §5 ablation: operator bundling. Execute the attention graph
+/// on the real executor with per-op launch overhead dominated by many
+/// tiny ops, bundled vs unbundled.
+fn bench_bundling_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bundling_ablation");
+    g.sample_size(10);
+    let graph = attention_graph(16, 64, 256, 7);
+    let bundled = bundle_small_ops(&graph, 1e8).graph;
+    eprintln!(
+        "[ablation] bundling: {} ops -> {} ops",
+        graph.len(),
+        bundled.len()
+    );
+    for (name, gref) in [("unbundled", &graph), ("bundled", &bundled)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), gref, |b, gr| {
+            b.iter(|| {
+                Executor::new(4, 1).run(gr, |u, threads| {
+                    burn(gr.nodes[u].flops * 1e-4, threads);
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_decode, bench_bundling_ablation);
+criterion_main!(benches);

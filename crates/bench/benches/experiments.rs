@@ -1,0 +1,37 @@
+//! One Criterion benchmark per table/figure regeneration — the "harness
+//! that regenerates the paper's rows/series" timed end to end. Table 3
+//! and Figs. 7/9 run single representative cells here (the full sweeps
+//! run in the `repro` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lm_bench::experiments::*;
+use lm_models::presets as models;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table1", |b| b.iter(table1::run));
+    g.bench_function("table3_cell_opt30b_len8", |b| {
+        b.iter(|| table3::run_cell(&models::opt_30b(), 8))
+    });
+    g.bench_function("table4", |b| b.iter(table4::run));
+    g.bench_function("table5", |b| b.iter(table5::run));
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig3", |b| b.iter(fig3::run));
+    g.bench_function("fig4_breakdown", |b| b.iter(fig3::run_breakdown));
+    g.bench_function("fig5", |b| b.iter(fig5::run));
+    g.bench_function("fig7_cell_opt30b", |b| {
+        b.iter(|| fig7::run_cell(&models::opt_30b(), 8))
+    });
+    g.bench_function("fig8", |b| b.iter(fig8::run));
+    g.bench_function("fig9", |b| b.iter(fig9::run));
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Microbenchmarks of the numeric substrate: group-wise quantization
+//! (Algorithm 2), matmul, and attention — the kernels whose costs the §3
+//! performance models price.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lm_tensor::ops::matmul::{matmul, matmul_transb};
+use lm_tensor::{dequantize, mha_decode, quantize, KvCache, QuantConfig, Tensor};
+
+fn bench_quantize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantize");
+    g.sample_size(20);
+    for &n in &[1usize << 14, 1 << 18, 1 << 20] {
+        let t = Tensor::randn([n], 1.0, 42);
+        g.throughput(Throughput::Bytes((n * 4) as u64));
+        for cfg in [QuantConfig::int4(), QuantConfig::int8()] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("int{}", cfg.bits), n),
+                &t,
+                |b, t| b.iter(|| quantize(t, cfg)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_dequantize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dequantize");
+    g.sample_size(20);
+    for &n in &[1usize << 14, 1 << 18, 1 << 20] {
+        let t = Tensor::randn([n], 1.0, 43);
+        let q = quantize(&t, QuantConfig::int4());
+        g.throughput(Throughput::Bytes((n * 4) as u64));
+        g.bench_with_input(BenchmarkId::new("int4", n), &q, |b, q| {
+            b.iter(|| dequantize(q))
+        });
+    }
+    g.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    g.sample_size(15);
+    for &n in &[64usize, 128, 256] {
+        let a = Tensor::randn([n, n], 1.0, 1);
+        let b_ = Tensor::randn([n, n], 1.0, 2);
+        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("square", n), &(a.clone(), b_.clone()), |b, (x, y)| {
+            b.iter(|| matmul(x, y))
+        });
+        g.bench_with_input(BenchmarkId::new("transb", n), &(a, b_), |b, (x, y)| {
+            b.iter(|| matmul_transb(x, y))
+        });
+    }
+    g.finish();
+}
+
+fn bench_attention_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mha_decode");
+    g.sample_size(15);
+    let (batch, hidden, heads) = (8usize, 256usize, 8usize);
+    for &seq in &[64usize, 256, 1024] {
+        let mut cache = KvCache::new(batch, hidden, seq);
+        for i in 0..seq {
+            let k = Tensor::randn([batch, hidden], 1.0, i as u64);
+            cache.append(&k, &k);
+        }
+        let q = Tensor::randn([batch, hidden], 1.0, 99);
+        // 4·seq·hidden FLOPs per batch row — the paper's attention count.
+        g.throughput(Throughput::Elements((4 * seq * hidden * batch) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(seq), &(q, cache), |b, (q, cache)| {
+            b.iter(|| mha_decode(q, cache, heads))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_quantize,
+    bench_dequantize,
+    bench_matmul,
+    bench_attention_decode
+);
+criterion_main!(benches);

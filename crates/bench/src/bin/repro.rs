@@ -1,0 +1,372 @@
+//! `repro` — regenerate every table and figure of the LM-Offload paper.
+//!
+//! Usage:
+//!   repro <experiment> [--fast]
+//!   repro all [--fast]
+//!
+//! Experiments: table1 table3 table4 table5 fig3 fig4 fig5 fig7 fig8 fig9
+//! summary. `--fast` restricts Table-3-derived sweeps to two generation
+//! lengths. JSON results are written to `results/<experiment>.json`.
+
+use lm_bench::experiments::*;
+use lm_bench::table::{f, render};
+use lm_offload::{whatif_sweep, Axis};
+use serde::Serialize;
+use std::fs;
+use std::path::Path;
+
+fn save<T: Serialize>(name: &str, value: &T) {
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        match serde_json::to_string_pretty(value) {
+            Ok(json) => {
+                if let Err(e) = fs::write(&path, json) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: could not serialise {name}: {e}"),
+        }
+    }
+}
+
+fn run_table1() {
+    println!("\n== Table 1: I/O traffic per generated token (OPT-30B, s=64, n=128, bls=640) ==");
+    let rows = table1::run();
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                r.direction.clone(),
+                r.tensor.clone(),
+                f(r.ours_gib, 2),
+                r.paper_gib.map(|p| f(p, 2)).unwrap_or_default(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["scenario", "direction", "tensor", "ours (GiB)", "paper (GiB)"],
+            &rendered
+        )
+    );
+    save("table1", &rows);
+}
+
+fn run_fig3() {
+    println!("\n== Figure 3: offloading x quantization strategies (OPT-30B motivation) ==");
+    let rows = fig3::run();
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.name.clone(), format!("{}%", r.wg), f(r.tput, 1)])
+        .collect();
+    println!("{}", render(&["strategy", "wg", "tokens/s"], &rendered));
+    save("fig3", &rows);
+}
+
+fn run_fig4() {
+    println!("\n== Figure 4: per-token time breakdown (quant / dequant / other) ==");
+    let rows = fig3::run_breakdown();
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                f(r.quant, 3),
+                f(r.dequant, 3),
+                f(r.other, 3),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["strategy", "quant (s)", "dequant (s)", "other (s)"], &rendered)
+    );
+    save("fig4", &rows);
+}
+
+fn run_fig5() {
+    println!("\n== Figure 5: thread-level parallelism sweeps (OPT-30B, n=8) ==");
+    let fig = fig5::run();
+    for (name, series) in [("intra-op", &fig.intra_sweep), ("inter-op", &fig.inter_sweep)] {
+        let rendered: Vec<Vec<String>> = series
+            .iter()
+            .map(|p| {
+                vec![
+                    p.threads.to_string(),
+                    f(p.step_time * 1e3, 2),
+                    f(p.relative_tput, 3),
+                ]
+            })
+            .collect();
+        println!("-- {name} sweep --");
+        println!(
+            "{}",
+            render(&["threads", "step (ms)", "rel tput"], &rendered)
+        );
+    }
+    save("fig5", &fig);
+}
+
+fn run_table3(lens: &[u64]) {
+    println!("\n== Table 3: FlexGen / ZeRO-Inference / LM-Offload ==");
+    let rows = table3::run(lens);
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.gen_len.to_string(),
+                r.framework.clone(),
+                r.bsz.to_string(),
+                r.wg.to_string(),
+                r.cg.to_string(),
+                r.hg.to_string(),
+                format!("{}b/{}b", r.weight_bits, r.kv_bits),
+                f(r.mem_gib, 0),
+                f(r.tput, 1),
+                f(r.norm_tput, 2),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["model", "len", "framework", "bsz", "wg", "cg", "hg", "w/kv bits", "mem", "tput", "norm"],
+            &rendered
+        )
+    );
+    save("table3", &rows);
+
+    let s = summary::summarise(&rows);
+    print_summary(&s);
+    save("summary", &s);
+}
+
+fn print_summary(s: &summary::Summary) {
+    println!("\n== §5.2 headline speedups (paper: vs FlexGen up to 2.95x / avg 2.34x; vs ZeRO up to 2.88x / avg 1.57x) ==");
+    if let Some(fg) = s.vs_flexgen {
+        println!("vs FlexGen:        up to {:.2}x ({:.2}x on average)", fg.max, fg.mean);
+    }
+    if let Some(z) = s.vs_zero {
+        println!("vs ZeRO-Inference: up to {:.2}x ({:.2}x on average)", z.max, z.mean);
+    }
+    if s.baseline_wins.is_empty() {
+        println!("baseline wins: none");
+    } else {
+        println!("baseline wins: {}", s.baseline_wins.join(", "));
+    }
+}
+
+fn run_table4() {
+    println!("\n== Table 4: evaluation platforms ==");
+    let rows = table4::run();
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.platform.clone(),
+                format!("{} ({} cores, {:.0} GiB)", r.cpu, r.cores, r.host_mem_gib),
+                format!("{}x {} ({:.0} GiB)", r.num_gpus, r.gpu, r.gpu_mem_gib),
+                format!("{} ({:.0} GB/s bidir)", r.interconnect, r.bidir_bw_gbps),
+            ]
+        })
+        .collect();
+    println!("{}", render(&["platform", "cpu", "gpu", "interconnect"], &rendered));
+    save("table4", &rows);
+}
+
+fn run_table5() {
+    println!("\n== Table 5: LLC misses under default vs controlled threading ==");
+    let t = table5::run();
+    let rendered: Vec<Vec<String>> = t
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.setting.clone(),
+                r.load_misses_sim.to_string(),
+                r.store_misses_sim.to_string(),
+                format!("{:.1}B", r.load_misses_scaled as f64 / 1e9),
+                format!("{:.1}B", r.store_misses_scaled as f64 / 1e9),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["setting", "load miss (sim)", "store miss (sim)", "load (scaled)", "store (scaled)"],
+            &rendered
+        )
+    );
+    println!(
+        "reduction: loads {:.0}% stores {:.0}% (paper: ~38-40%, 10B->6B / 19B->12B)",
+        t.load_reduction_pct, t.store_reduction_pct
+    );
+    save("table5", &t);
+}
+
+fn run_fig7(lens: &[u64]) {
+    println!("\n== Figure 7: effective quantization (parallelism control disabled) ==");
+    let rows = fig7::run(lens);
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.gen_len.to_string(),
+                f(r.flexgen_tput, 1),
+                f(r.lm_offload_noctl_tput, 1),
+                format!("{:+.0}%", r.gain_pct),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["model", "len", "FlexGen", "LM-Offload (no ctl)", "gain"],
+            &rendered
+        )
+    );
+    save("fig7", &rows);
+}
+
+fn run_fig8() {
+    println!("\n== Figure 8: thread-level parallelism control (OPT-30B, n=8) ==");
+    let fig = fig8::run();
+    let rendered: Vec<Vec<String>> = fig
+        .tasks
+        .iter()
+        .map(|t| {
+            vec![
+                t.task.clone(),
+                f(t.default_secs, 2),
+                f(t.controlled_secs, 2),
+                format!("-{:.0}%", t.reduction_pct),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["task", "default (s)", "controlled (s)", "reduction"], &rendered)
+    );
+    println!(
+        "end-to-end: {:.2}s -> {:.2}s (-{:.0}%; paper: -38%)",
+        fig.default_end_to_end, fig.controlled_end_to_end, fig.end_to_end_reduction_pct
+    );
+    println!(
+        "plan: inter-op {} (compute {} + 5 transfers), intra-op {} (paper: 12 / 16)",
+        fig.plan.inter_op_total, fig.plan.inter_op_compute, fig.plan.intra_op_compute
+    );
+    println!("\n-- decode timeline (first step, first layers; controlled threading) --");
+    println!("{}", fig8::gantt_first_step(80));
+    save("fig8", &fig);
+}
+
+fn run_fig9() {
+    println!("\n== Figure 9: multi-GPU weak scaling (pipeline parallelism) ==");
+    let rows = fig9::run();
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.num_gpus.to_string(),
+                f(r.flexgen_tput, 1),
+                f(r.lm_offload_tput, 1),
+                format!("{:.2}x", r.speedup),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["model", "GPUs", "FlexGen", "LM-Offload", "speedup"], &rendered)
+    );
+    save("fig9", &rows);
+}
+
+fn run_whatif() {
+    println!("\n== What-if sensitivity (OPT-66B, s=64, n=16; policy re-searched per point) ==");
+    let platform = lm_hardware::presets::single_gpu_a100();
+    let model = lm_models::presets::opt_66b();
+    let factors = [0.5, 1.0, 2.0, 4.0];
+    let mut curves = Vec::new();
+    for axis in Axis::ALL {
+        let c = whatif_sweep(axis, &platform, &model, 64, 16, &factors);
+        let rendered: Vec<Vec<String>> = c
+            .points
+            .iter()
+            .map(|pt| {
+                vec![
+                    format!("{:.1}x", pt.factor),
+                    f(pt.throughput, 1),
+                    format!("{}%", pt.wg_pct),
+                    format!("{}b/{}b", pt.weight_bits, pt.kv_bits),
+                    if pt.attention_on_cpu { "CPU" } else { "GPU" }.into(),
+                    pt.block_size.to_string(),
+                ]
+            })
+            .collect();
+        println!("-- {} --", c.axis);
+        println!(
+            "{}",
+            render(&["scale", "tok/s", "wg", "w/kv", "attn", "block"], &rendered)
+        );
+        curves.push(c);
+    }
+    save("whatif", &curves);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+    let lens: &[u64] = if fast {
+        &[8, 64]
+    } else {
+        &table3::GEN_LENGTHS
+    };
+
+    match which {
+        "table1" => run_table1(),
+        "table3" => run_table3(lens),
+        "table4" => run_table4(),
+        "table5" => run_table5(),
+        "fig3" => run_fig3(),
+        "fig4" => run_fig4(),
+        "fig5" => run_fig5(),
+        "fig7" => run_fig7(lens),
+        "fig8" => run_fig8(),
+        "fig9" => run_fig9(),
+        "whatif" => run_whatif(),
+        "summary" => {
+            let s = summary::run(lens);
+            print_summary(&s);
+            save("summary", &s);
+        }
+        "all" => {
+            run_table4();
+            run_whatif();
+            run_table1();
+            run_fig3();
+            run_fig4();
+            run_fig5();
+            run_table3(lens);
+            run_fig7(lens);
+            run_fig8();
+            run_table5();
+            run_fig9();
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!("choose from: table1 table3 table4 table5 fig3 fig4 fig5 fig7 fig8 fig9 whatif summary all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Figure 9 — multi-GPU weak scaling with pipeline parallelism:
+//! OPT-13B and LLaMA-13B, s=256, n=64, batch doubling with GPU count,
+//! LM-Offload versus FlexGen on the V100/POWER9 platform.
+
+use lm_hardware::presets;
+use lm_models::presets as models;
+use lm_offload::{run_pipeline, EngineConfig, Framework};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9Row {
+    pub model: String,
+    pub num_gpus: u32,
+    pub flexgen_tput: f64,
+    pub lm_offload_tput: f64,
+    pub speedup: f64,
+}
+
+/// Run the weak-scaling sweep for both models over 1-4 GPUs.
+pub fn run() -> Vec<Fig9Row> {
+    let mut out = Vec::new();
+    for model in [models::opt_13b(), models::llama_13b()] {
+        for g in 1..=4u32 {
+            let platform = presets::multi_gpu_v100(g);
+            let cfg = EngineConfig::new(&platform, &model, 256, 64);
+            let lm = run_pipeline(Framework::LmOffload, &cfg, g);
+            let fg = run_pipeline(Framework::FlexGen, &cfg, g);
+            if let (Some(lm), Some(fg)) = (lm, fg) {
+                out.push(Fig9Row {
+                    model: model.name.clone(),
+                    num_gpus: g,
+                    flexgen_tput: fg.throughput,
+                    lm_offload_tput: lm.throughput,
+                    speedup: lm.throughput / fg.throughput,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lm_offload_wins_all_cases() {
+        // "LM-Offload outperforms FlexGen in all cases."
+        for r in run() {
+            assert!(r.speedup > 1.0, "{} g={}: {}", r.model, r.num_gpus, r.speedup);
+        }
+    }
+
+    #[test]
+    fn gap_grows_with_gpu_count() {
+        // "the performance gap ... increases as the number of GPUs
+        // increases from 1 to 4."
+        let rows = run();
+        for model in ["OPT-13B", "LLaMA-13B"] {
+            let series: Vec<&Fig9Row> = rows.iter().filter(|r| r.model == model).collect();
+            assert_eq!(series.len(), 4);
+            assert!(
+                series[3].speedup > series[0].speedup,
+                "{model}: {} -> {}",
+                series[0].speedup,
+                series[3].speedup
+            );
+        }
+    }
+
+    #[test]
+    fn weak_scaling_throughput_grows_for_lm_offload() {
+        let rows = run();
+        let series: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.model == "OPT-13B")
+            .map(|r| r.lm_offload_tput)
+            .collect();
+        for w in series.windows(2) {
+            assert!(w[1] > w[0], "throughput must grow under weak scaling");
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! One module per table/figure of the paper's evaluation — the
+//! per-experiment index of DESIGN.md §4.
+
+pub mod fig3;
+pub mod fig5;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod summary;
+pub mod table1;
+pub mod table3;
+pub mod table4;
+pub mod table5;

@@ -1,0 +1,121 @@
+//! Table 1 — I/O traffic for all layers per generated token, with and
+//! without attention offloading (OPT-30B, motivation workload), alongside
+//! the paper's reported figures.
+
+use lm_hardware::GIB;
+use lm_models::{presets as models, Workload};
+use lm_offload::per_token_traffic;
+use lm_sim::{AttentionPlacement, Policy};
+use serde::{Deserialize, Serialize};
+
+/// One traffic cell: ours vs the paper's.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficRow {
+    pub scenario: String,
+    pub direction: String,
+    pub tensor: String,
+    pub ours_gib: f64,
+    /// The paper's reported value in its "GB" (GiB), where given.
+    pub paper_gib: Option<f64>,
+}
+
+fn gib(b: u64) -> f64 {
+    b as f64 / GIB as f64
+}
+
+/// Run the experiment. The weight-residency shares follow the policies
+/// the paper's measurements imply (~70% resident with attention
+/// offloading, ~30% without — see `lm_offload::traffic` tests).
+pub fn run() -> Vec<TrafficRow> {
+    let model = models::opt_30b();
+    let w = Workload::motivation();
+
+    let with_offload = Policy {
+        wg: 0.70,
+        ..Policy::flexgen_default()
+    };
+    let without_offload = Policy {
+        wg: 0.30,
+        attention: AttentionPlacement::Gpu,
+        ..Policy::flexgen_default()
+    };
+
+    let mut rows = Vec::new();
+    for (scenario, policy, paper) in [
+        (
+            "with attention offloading",
+            with_offload,
+            // Paper Table 1: weights 16.32, kv 0, act 0.38 up; kv 0, act 0.38 down.
+            [Some(16.32), Some(0.0), Some(0.38), Some(0.0), Some(0.38)],
+        ),
+        (
+            "without attention offloading",
+            without_offload,
+            // Paper: weights 38.88, kv(old) 78.72, act 0.38 up; kv(new) 0.8, act 0.38 down.
+            [Some(38.88), Some(78.72), Some(0.38), Some(0.80), Some(0.38)],
+        ),
+    ] {
+        let t = per_token_traffic(&model, &w, &policy);
+        let cells = [
+            ("CPU->GPU", "weights", t.h2d_weights),
+            ("CPU->GPU", "kv_cache", t.h2d_kv_cache),
+            ("CPU->GPU", "activation", t.h2d_activation),
+            ("GPU->CPU", "kv_cache", t.d2h_kv_cache),
+            ("GPU->CPU", "activation", t.d2h_activation),
+        ];
+        for ((direction, tensor, bytes), paper_gib) in cells.into_iter().zip(paper) {
+            rows.push(TrafficRow {
+                scenario: scenario.to_string(),
+                direction: direction.to_string(),
+                tensor: tensor.to_string(),
+                ours_gib: gib(bytes),
+                paper_gib,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_and_activation_match_paper_closely() {
+        for r in run() {
+            if let Some(paper) = r.paper_gib {
+                if r.tensor == "weights" || r.tensor == "activation" {
+                    let tol = (paper * 0.15).max(0.1);
+                    assert!(
+                        (r.ours_gib - paper).abs() <= tol,
+                        "{} {} {}: ours {:.2} vs paper {paper}",
+                        r.scenario,
+                        r.direction,
+                        r.tensor,
+                        r.ours_gib
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kv_traffic_shape() {
+        let rows = run();
+        let find = |scen: &str, dir: &str, tensor: &str| {
+            rows.iter()
+                .find(|r| r.scenario.contains(scen) && r.direction == dir && r.tensor == tensor)
+                .unwrap()
+                .ours_gib
+        };
+        // With offloading KV traffic is exactly zero.
+        assert_eq!(find("with attention", "CPU->GPU", "kv_cache"), 0.0);
+        // Without offloading the old-KV stream is tens of GiB up and the
+        // new KV under a GiB down (the 78.72 vs 0.8 structure).
+        let up = find("without", "CPU->GPU", "kv_cache");
+        let down = find("without", "GPU->CPU", "kv_cache");
+        assert!(up > 60.0, "{up}");
+        assert!(down < 1.2 && down > 0.4, "{down}");
+        assert!(up / down > 80.0);
+    }
+}

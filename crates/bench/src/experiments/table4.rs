@@ -1,0 +1,54 @@
+//! Table 4 — the evaluation platforms (configuration data, printed for
+//! completeness of the per-experiment index).
+
+use lm_hardware::{presets, to_gib, Platform};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlatformRow {
+    pub platform: String,
+    pub cpu: String,
+    pub cores: u32,
+    pub host_mem_gib: f64,
+    pub gpu: String,
+    pub num_gpus: u32,
+    pub gpu_mem_gib: f64,
+    pub interconnect: String,
+    pub bidir_bw_gbps: f64,
+}
+
+fn row(p: &Platform) -> PlatformRow {
+    PlatformRow {
+        platform: p.name.clone(),
+        cpu: p.cpu.name.clone(),
+        cores: p.cpu.total_cores(),
+        host_mem_gib: to_gib(p.cpu.mem_capacity),
+        gpu: p.gpu.name.clone(),
+        num_gpus: p.num_gpus,
+        gpu_mem_gib: to_gib(p.gpu.mem_capacity),
+        interconnect: p.link.name.clone(),
+        bidir_bw_gbps: (p.link.h2d_bw + p.link.d2h_bw) / 1e9,
+    }
+}
+
+/// Both Table 4 platforms.
+pub fn run() -> Vec<PlatformRow> {
+    vec![row(&presets::single_gpu_a100()), row(&presets::multi_gpu_v100(4))]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table4() {
+        let rows = run();
+        assert_eq!(rows[0].cores, 56);
+        assert_eq!(rows[0].host_mem_gib, 240.0);
+        assert_eq!(rows[0].gpu_mem_gib, 40.0);
+        assert_eq!(rows[0].bidir_bw_gbps, 64.0);
+        assert_eq!(rows[1].cores, 44);
+        assert_eq!(rows[1].num_gpus, 4);
+        assert_eq!(rows[1].bidir_bw_gbps, 300.0);
+    }
+}

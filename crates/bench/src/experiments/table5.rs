@@ -1,0 +1,123 @@
+//! Table 5 — last-level cache misses during decode under default
+//! threading versus LM-Offload's parallelism control, on the trace-driven
+//! LLC model (the hardware-counter substitution of DESIGN.md §2).
+
+use lm_cachesim::{run_contention, scale_misses, ContentionConfig, ThreadSetting};
+use lm_models::{footprint, presets as models, DType, Workload};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table5Row {
+    pub setting: String,
+    pub load_misses_sim: u64,
+    pub store_misses_sim: u64,
+    /// Scaled to the full OPT-30B decode working set (the paper counts
+    /// misses over the whole run: 10/19 billion default, 6/12 tuned).
+    pub load_misses_scaled: u64,
+    pub store_misses_scaled: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table5 {
+    pub rows: Vec<Table5Row>,
+    pub load_reduction_pct: f64,
+    pub store_reduction_pct: f64,
+}
+
+/// Run the experiment with the scaled-down LLC geometry (capacity ratios
+/// preserved; see `lm_cachesim::ContentionConfig::scaled_default`).
+pub fn run() -> Table5 {
+    let cfg = ContentionConfig::scaled_default();
+    let model = models::opt_30b();
+    let w = Workload::parallelism_study();
+    // Bytes the full decode touches on the host: KV cache sweeps per
+    // token per layer (the dominant CPU-side working set under attention
+    // offloading).
+    let full_bytes: u64 = (0..w.gen_len)
+        .map(|i| DType::F16.bytes_for(footprint::old_kv_cache_elems_at(&model, &w, i)))
+        .sum::<u64>()
+        * model.num_layers as u64;
+
+    let mut rows = Vec::new();
+    for (name, setting) in [
+        ("default (56 intra / 112 inter)", ThreadSetting::pytorch_default()),
+        ("LM-Offload (16 intra / 12 inter)", ThreadSetting::lm_offload()),
+    ] {
+        let r = run_contention(&cfg, setting);
+        let sim_bytes =
+            (cfg.op_read_bytes + cfg.op_write_bytes) * r.streams as u64 * cfg.sweeps as u64;
+        rows.push(Table5Row {
+            setting: name.to_string(),
+            load_misses_sim: r.stats.load_misses,
+            store_misses_sim: r.stats.store_misses,
+            load_misses_scaled: scale_misses(r.stats.load_misses, sim_bytes, full_bytes),
+            store_misses_scaled: scale_misses(r.stats.store_misses, sim_bytes, full_bytes),
+        });
+    }
+    // Reductions compare the per-byte-normalised (scaled) counts: the two
+    // settings simulate different stream counts, so raw counts are not
+    // directly comparable — the scaled values are misses over the *same*
+    // full decode workload.
+    let (dl, ds) = (rows[0].load_misses_scaled, rows[0].store_misses_scaled);
+    let (tl, ts) = (rows[1].load_misses_scaled, rows[1].store_misses_scaled);
+    Table5 {
+        rows,
+        load_reduction_pct: (1.0 - tl as f64 / dl as f64) * 100.0,
+        store_reduction_pct: (1.0 - ts as f64 / ds as f64) * 100.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_control_reduces_misses() {
+        // Paper: ~38-40% reduction in both load and store misses.
+        let t = run();
+        assert!(
+            t.load_reduction_pct > 15.0,
+            "load reduction {:.0}%",
+            t.load_reduction_pct
+        );
+        assert!(
+            t.store_reduction_pct > 15.0,
+            "store reduction {:.0}%",
+            t.store_reduction_pct
+        );
+    }
+
+    #[test]
+    fn scaled_misses_are_billions_scale() {
+        // Table 5's magnitudes are billions; the scaled estimates should
+        // land within a couple of orders of magnitude.
+        let t = run();
+        for r in &t.rows {
+            assert!(
+                r.load_misses_scaled > 100_000_000,
+                "{}: {}",
+                r.setting,
+                r.load_misses_scaled
+            );
+        }
+    }
+
+    #[test]
+    fn default_row_has_more_misses() {
+        let t = run();
+        assert!(t.rows[0].load_misses_scaled > t.rows[1].load_misses_scaled);
+        assert!(t.rows[0].store_misses_scaled > t.rows[1].store_misses_scaled);
+    }
+
+    #[test]
+    fn reduction_band_near_paper() {
+        // Paper: 38-40%. Accept a 25-75% band on the per-byte-normalised
+        // reduction (the trace model is scaled geometry, not the Xeon).
+        let t = run();
+        assert!(
+            (25.0..=75.0).contains(&t.load_reduction_pct),
+            "load reduction {:.0}%",
+            t.load_reduction_pct
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! # lm-bench
+//!
+//! The experiment harness: one runner per table and figure of the
+//! LM-Offload paper (see [`experiments`]), an ASCII [`table`] renderer,
+//! and the `repro` binary that regenerates everything and writes JSON
+//! results to `results/`.
+//!
+//! Criterion microbenchmarks of the underlying kernels and searches live
+//! in `benches/`.
+
+pub mod experiments;
+pub mod table;

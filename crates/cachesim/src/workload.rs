@@ -1,0 +1,229 @@
+//! LLC contention model of the decode-phase workload (Table 5).
+//!
+//! The six decode tasks spawn operators whose threads share the LLC. The
+//! experiment maps a thread-level parallelism setting to a set of
+//! co-running operator streams and a scheduling quantum, then measures
+//! load/store misses on the simulated LLC:
+//!
+//! - the number of co-running streams follows the *inter-op* parallelism
+//!   (each concurrently scheduled operator sweeps its own working set);
+//! - oversubscription (`inter·intra` beyond the hardware thread count)
+//!   shrinks the scheduling quantum, modelling the extra context switching
+//!   the paper attributes the default setting's cache thrashing to (§4.1).
+
+use crate::cache::{CacheStats, SetAssocCache};
+use crate::trace::{interleave, OpStream};
+
+/// A thread-level parallelism setting, as in §4.1/§5.4 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadSetting {
+    /// Operators allowed to co-run (`torch.set_num_interop_threads`).
+    pub inter_op: u32,
+    /// Threads per operator (`torch.set_num_threads`).
+    pub intra_op: u32,
+}
+
+impl ThreadSetting {
+    /// PyTorch defaults on the paper's machine: all 112 hyperthreads for
+    /// inter-op, all 56 physical threads for intra-op.
+    pub fn pytorch_default() -> Self {
+        ThreadSetting {
+            inter_op: 112,
+            intra_op: 56,
+        }
+    }
+
+    /// LM-Offload's chosen configuration on the same machine (§5.4):
+    /// 12 inter-op, 16 intra-op.
+    pub fn lm_offload() -> Self {
+        ThreadSetting {
+            inter_op: 12,
+            intra_op: 16,
+        }
+    }
+
+    /// Total software threads this setting wants.
+    pub fn total_threads(&self) -> u32 {
+        self.inter_op * self.intra_op
+    }
+}
+
+/// Configuration of the contention experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ContentionConfig {
+    /// LLC capacity in bytes (both sockets).
+    pub llc_bytes: u64,
+    pub llc_ways: u32,
+    pub line_size: u32,
+    /// Hardware threads available.
+    pub hw_threads: u32,
+    /// Read working set per operator stream, bytes.
+    pub op_read_bytes: u64,
+    /// Write working set per operator stream, bytes.
+    pub op_write_bytes: u64,
+    /// Sweeps per operator (temporal reuse available to a well-behaved
+    /// schedule).
+    pub sweeps: u32,
+    /// Scheduling quantum (accesses per turn) when not oversubscribed.
+    pub base_quantum: usize,
+}
+
+impl ContentionConfig {
+    /// A scaled-down default that keeps simulation time in milliseconds
+    /// while preserving the capacity ratios of the Xeon 6330 experiment:
+    /// per-op working set ≈ LLC/13, so LM-Offload's 12 co-running
+    /// operators fit the LLC and the default's 112 thrash it.
+    /// 6 MiB at 12 ways × 64 B lines gives exactly 8192 sets.
+    pub fn scaled_default() -> Self {
+        ContentionConfig {
+            llc_bytes: 6 << 20,
+            llc_ways: 12,
+            line_size: 64,
+            hw_threads: 112,
+            op_read_bytes: 320 << 10,
+            op_write_bytes: 128 << 10,
+            sweeps: 2,
+            base_quantum: 4096,
+        }
+    }
+}
+
+/// Result of one contention run.
+#[derive(Debug, Clone, Copy)]
+pub struct ContentionResult {
+    pub setting: ThreadSetting,
+    pub streams: u32,
+    pub quantum: usize,
+    pub stats: CacheStats,
+}
+
+/// Run the contention experiment for one thread setting.
+pub fn run_contention(cfg: &ContentionConfig, setting: ThreadSetting) -> ContentionResult {
+    assert!(setting.inter_op > 0 && setting.intra_op > 0, "degenerate setting");
+    // Streams that actually co-run are bounded by available hw threads
+    // (an operator needs at least one thread to make progress).
+    let streams = setting.inter_op.min(cfg.hw_threads).max(1);
+    // Oversubscription shrinks the scheduling quantum proportionally.
+    let oversub = (setting.total_threads() as f64 / cfg.hw_threads as f64).max(1.0);
+    let quantum = ((cfg.base_quantum as f64 / oversub).round() as usize).max(1);
+
+    let traces: Vec<Vec<_>> = (0..streams as u64)
+        .map(|i| {
+            OpStream {
+                // Disjoint 1 GiB-aligned regions per stream.
+                base: i << 30,
+                read_bytes: cfg.op_read_bytes,
+                write_bytes: cfg.op_write_bytes,
+                sweeps: cfg.sweeps,
+                line: cfg.line_size as u64,
+            }
+            .trace()
+        })
+        .collect();
+    let merged = interleave(&traces, quantum);
+
+    let mut cache = SetAssocCache::from_llc(cfg.llc_bytes, cfg.llc_ways, cfg.line_size);
+    let stats = cache.run(merged);
+    ContentionResult {
+        setting,
+        streams,
+        quantum,
+        stats,
+    }
+}
+
+/// Scale simulated miss counts up to full-workload magnitudes: Table 5
+/// counts misses over the entire OPT-30B decode, which touches
+/// `full_bytes`; the simulation touched `sim_bytes`.
+pub fn scale_misses(sim_misses: u64, sim_bytes: u64, full_bytes: u64) -> u64 {
+    ((sim_misses as f64) * (full_bytes as f64 / sim_bytes as f64)).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lm_offload_setting_beats_default() {
+        let cfg = ContentionConfig::scaled_default();
+        let default = run_contention(&cfg, ThreadSetting::pytorch_default());
+        let tuned = run_contention(&cfg, ThreadSetting::lm_offload());
+        assert!(
+            tuned.stats.load_misses < default.stats.load_misses,
+            "tuned {} vs default {}",
+            tuned.stats.load_misses,
+            default.stats.load_misses
+        );
+        assert!(tuned.stats.store_misses < default.stats.store_misses);
+        // Table 5 reports ~38-40% reduction; accept a generous band.
+        let red = 1.0 - tuned.stats.misses() as f64 / default.stats.misses() as f64;
+        assert!(red > 0.15, "only {:.0}% reduction", red * 100.0);
+    }
+
+    #[test]
+    fn misses_monotone_in_co_running_streams() {
+        let cfg = ContentionConfig::scaled_default();
+        let mut last = 0;
+        for inter in [2u32, 6, 24, 96] {
+            let r = run_contention(
+                &cfg,
+                ThreadSetting {
+                    inter_op: inter,
+                    intra_op: 1,
+                },
+            );
+            // Normalise per access: more streams -> higher miss *rate*.
+            let rate = (r.stats.miss_rate() * 1e6) as u64;
+            assert!(
+                rate >= last,
+                "miss rate decreased from {last} to {rate} at inter={inter}"
+            );
+            last = rate;
+        }
+    }
+
+    #[test]
+    fn few_fitting_streams_mostly_hit() {
+        let cfg = ContentionConfig::scaled_default();
+        // 2 streams x 448 KiB working set fit in 6 MiB LLC: after the
+        // cold first sweep the second sweep hits (rate ≈ 1/sweeps).
+        let r = run_contention(
+            &cfg,
+            ThreadSetting {
+                inter_op: 2,
+                intra_op: 8,
+            },
+        );
+        assert!(
+            r.stats.miss_rate() < 0.6,
+            "fitting streams should hit after the cold sweep, rate {}",
+            r.stats.miss_rate()
+        );
+    }
+
+    #[test]
+    fn oversubscription_shrinks_quantum() {
+        let cfg = ContentionConfig::scaled_default();
+        let a = run_contention(
+            &cfg,
+            ThreadSetting {
+                inter_op: 4,
+                intra_op: 4,
+            },
+        );
+        let b = run_contention(
+            &cfg,
+            ThreadSetting {
+                inter_op: 4,
+                intra_op: 112,
+            },
+        );
+        assert!(b.quantum < a.quantum);
+    }
+
+    #[test]
+    fn scaling_is_linear() {
+        assert_eq!(scale_misses(100, 10, 1000), 10_000);
+        assert_eq!(scale_misses(7, 7, 7), 7);
+    }
+}

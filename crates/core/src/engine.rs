@@ -1,0 +1,261 @@
+//! The end-to-end engine: pick a framework, search its deployment, then
+//! execute it on the ground-truth simulator. This is what the benchmark
+//! harness calls for every Table 3 cell and every figure series.
+
+use crate::controller::{derive_plan, ControllerOutput};
+use crate::policy_search::lm_offload_search;
+use crate::provider::{quant_aware_provider, ThreadFactors};
+use crate::quant_model::QuantCostParams;
+use lm_baselines::flexgen::{flexgen_search, Deployment};
+use lm_baselines::zero::zero_search;
+use lm_hardware::Platform;
+use lm_models::ModelConfig;
+use lm_sim::{
+    memory_plan, simulate, simulate_pipeline, MemoryPlan, PipelineReport, SimReport,
+};
+use serde::{Deserialize, Serialize};
+
+/// The three frameworks of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Framework {
+    FlexGen,
+    ZeroInference,
+    LmOffload,
+}
+
+impl Framework {
+    pub const ALL: [Framework; 3] = [
+        Framework::FlexGen,
+        Framework::ZeroInference,
+        Framework::LmOffload,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Framework::FlexGen => "FlexGen",
+            Framework::ZeroInference => "ZeRO-Inference",
+            Framework::LmOffload => "LM-Offload",
+        }
+    }
+
+    /// The kernel quality of the runtime that executes this framework's
+    /// policies (see `QuantCostParams`).
+    pub fn kernels(self) -> QuantCostParams {
+        match self {
+            Framework::LmOffload => QuantCostParams::lm_offload_kernels(),
+            _ => QuantCostParams::flexgen_kernels(),
+        }
+    }
+}
+
+/// One benchmark cell configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    pub platform: Platform,
+    pub model: ModelConfig,
+    pub prompt_len: u64,
+    pub gen_len: u64,
+    /// Disable LM-Offload's thread-level parallelism control (the Fig. 7
+    /// ablation isolating the performance-modeling benefit).
+    pub parallelism_control: bool,
+}
+
+impl EngineConfig {
+    pub fn new(platform: &Platform, model: &ModelConfig, prompt_len: u64, gen_len: u64) -> Self {
+        EngineConfig {
+            platform: platform.clone(),
+            model: model.clone(),
+            prompt_len,
+            gen_len,
+            parallelism_control: true,
+        }
+    }
+}
+
+/// A framework's simulated run of one cell.
+#[derive(Debug, Clone)]
+pub struct FrameworkRun {
+    pub framework: Framework,
+    pub deployment: Deployment,
+    pub mem: MemoryPlan,
+    pub sim: SimReport,
+    /// The parallelism plan, when the controller ran.
+    pub controller: Option<ControllerOutput>,
+}
+
+impl FrameworkRun {
+    /// Ground-truth throughput (tokens/s) from the simulator.
+    pub fn throughput(&self) -> f64 {
+        self.sim.throughput
+    }
+}
+
+fn search_deployment(framework: Framework, cfg: &EngineConfig) -> Option<Deployment> {
+    match framework {
+        Framework::FlexGen => {
+            flexgen_search(&cfg.platform, &cfg.model, cfg.prompt_len, cfg.gen_len)
+        }
+        Framework::ZeroInference => {
+            zero_search(&cfg.platform, &cfg.model, cfg.prompt_len, cfg.gen_len)
+        }
+        Framework::LmOffload => lm_offload_search(
+            &cfg.platform,
+            &cfg.model,
+            cfg.prompt_len,
+            cfg.gen_len,
+            QuantCostParams::lm_offload_kernels(),
+            if cfg.parallelism_control {
+                ThreadFactors::Controlled
+            } else {
+                ThreadFactors::Default
+            },
+        ),
+    }
+}
+
+fn thread_factors(framework: Framework, cfg: &EngineConfig) -> ThreadFactors {
+    match framework {
+        Framework::LmOffload if cfg.parallelism_control => ThreadFactors::Controlled,
+        _ => ThreadFactors::Default,
+    }
+}
+
+/// Search and simulate one framework on one cell. Returns `None` when no
+/// feasible deployment exists.
+pub fn run_framework(framework: Framework, cfg: &EngineConfig) -> Option<FrameworkRun> {
+    let deployment = search_deployment(framework, cfg)?;
+    let threads = thread_factors(framework, cfg);
+    let provider = quant_aware_provider(
+        &cfg.platform,
+        &cfg.model,
+        &deployment.workload,
+        deployment.policy,
+        framework.kernels(),
+        threads,
+    );
+    let sim = simulate(&provider, &deployment.workload, cfg.model.num_layers);
+    let mem = memory_plan(&cfg.model, &deployment.workload, &cfg.platform, &deployment.policy);
+    let controller = (framework == Framework::LmOffload && cfg.parallelism_control).then(|| {
+        derive_plan(
+            &cfg.platform,
+            &cfg.model,
+            &deployment.workload,
+            &deployment.policy,
+        )
+    });
+    Some(FrameworkRun {
+        framework,
+        deployment,
+        mem,
+        sim,
+        controller,
+    })
+}
+
+/// Pipeline-parallel multi-GPU run of one framework (Fig. 9): weak
+/// scaling, batch doubling with the GPU count.
+pub fn run_pipeline(
+    framework: Framework,
+    cfg: &EngineConfig,
+    num_gpus: u32,
+) -> Option<PipelineReport> {
+    let deployment = search_deployment(framework, cfg)?;
+    // Weak scaling: double the per-GPU batch count with the GPUs.
+    let mut w = deployment.workload;
+    w = lm_models::Workload::new(
+        w.prompt_len,
+        w.gen_len,
+        w.gpu_batch,
+        w.num_batches * num_gpus as u64,
+    );
+    let provider = quant_aware_provider(
+        &cfg.platform,
+        &cfg.model,
+        &w,
+        deployment.policy,
+        framework.kernels(),
+        thread_factors(framework, cfg),
+    );
+    Some(simulate_pipeline(
+        &provider,
+        &w,
+        cfg.model.num_layers,
+        num_gpus,
+        framework == Framework::LmOffload && cfg.parallelism_control,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lm_hardware::presets;
+    use lm_models::presets as models;
+
+    fn cell(gen: u64) -> EngineConfig {
+        EngineConfig::new(
+            &presets::single_gpu_a100(),
+            &models::opt_30b(),
+            64,
+            gen,
+        )
+    }
+
+    #[test]
+    fn lm_offload_beats_flexgen_on_opt30b() {
+        // The §5.2 headline, one cell: LM-Offload > FlexGen.
+        let cfg = cell(32);
+        let lm = run_framework(Framework::LmOffload, &cfg).unwrap();
+        let fg = run_framework(Framework::FlexGen, &cfg).unwrap();
+        assert!(
+            lm.throughput() > fg.throughput(),
+            "LM {} vs FG {}",
+            lm.throughput(),
+            fg.throughput()
+        );
+    }
+
+    #[test]
+    fn lm_offload_beats_zero_on_short_generation() {
+        let cfg = cell(8);
+        let lm = run_framework(Framework::LmOffload, &cfg).unwrap();
+        let zero = run_framework(Framework::ZeroInference, &cfg).unwrap();
+        assert!(lm.throughput() > zero.throughput());
+        // §5.2: LM-Offload's block sizes dwarf ZeRO's batches.
+        assert!(
+            lm.deployment.workload.block_size() >= 4 * zero.deployment.workload.block_size()
+        );
+    }
+
+    #[test]
+    fn parallelism_control_ablation_still_wins_but_less() {
+        // Fig. 7: even without parallelism control LM-Offload beats
+        // FlexGen; with control it does better still.
+        let mut cfg = cell(32);
+        let fg = run_framework(Framework::FlexGen, &cfg).unwrap();
+        cfg.parallelism_control = false;
+        let lm_noctl = run_framework(Framework::LmOffload, &cfg).unwrap();
+        cfg.parallelism_control = true;
+        let lm_full = run_framework(Framework::LmOffload, &cfg).unwrap();
+        assert!(lm_noctl.throughput() > fg.throughput());
+        assert!(lm_full.throughput() >= lm_noctl.throughput());
+        assert!(lm_noctl.controller.is_none());
+        assert!(lm_full.controller.is_some());
+    }
+
+    #[test]
+    fn pipeline_gap_grows_with_gpus() {
+        // Fig. 9's shape: LM-Offload / FlexGen ratio grows from 1 to 4
+        // GPUs.
+        let mut last_ratio = 0.0;
+        for g in [1u32, 2, 4] {
+            let platform = presets::multi_gpu_v100(g);
+            let cfg = EngineConfig::new(&platform, &models::opt_13b(), 256, 64);
+            let lm = run_pipeline(Framework::LmOffload, &cfg, g).unwrap();
+            let fg = run_pipeline(Framework::FlexGen, &cfg, g).unwrap();
+            let ratio = lm.throughput / fg.throughput;
+            assert!(ratio >= 1.0, "g={g}: {ratio}");
+            assert!(ratio >= last_ratio, "gap must not shrink: g={g}");
+            last_ratio = ratio;
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! The paper's quantization performance models (§3.2, Eq. 12-24).
+//!
+//! Each (de)quantization is decomposed into the three dominant phases the
+//! paper profiles (95% of quantization time): **find min/max**,
+//! **normalization** (Eq. 10/11) and **post-processing** (packing memcpy).
+//! The phases are charged at different rates, exactly as in the paper:
+//!
+//! - min/max is charged against *frequency* (`cpu_freq`/`gpu_freq`,
+//!   Eq. 13/21) — a scalar-reduction rate, scaled by an effective
+//!   parallelism factor of the kernel implementation;
+//! - normalization against *FLOP/s* with 3 floating-point operations per
+//!   element (Eq. 14/22) — except weight **de**quantization, whose
+//!   normalization the paper rates against `gpu_freq` ("replacing
+//!   cpu_freq with gpu_freq" below Eq. 16), making it the expensive term
+//!   that explains Fig. 3/4's weight-quantization slowdowns;
+//! - post-processing against memory bandwidth (Eq. 15/23).
+//!
+//! Dequantization has no min/max phase: those statistics were stored at
+//! quantization time (Eq. 16/24).
+
+use lm_hardware::Platform;
+use lm_models::{DType, ModelConfig, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Implementation quality of the (de)quantization kernels.
+///
+/// The frequency-rated phases run at `freq × scalar_parallelism` elements
+/// per second; flops/bandwidth-rated phases at `peak × kernel_efficiency`.
+/// Two presets capture the two runtimes the paper measures:
+/// FlexGen's torch-level group-wise kernels (slow — the large quant bars
+/// of Fig. 4) and LM-Offload's optimised kernels ("effective
+/// quantization", §5.2), calibrated in EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantCostParams {
+    pub gpu_scalar_parallelism: f64,
+    pub cpu_scalar_parallelism: f64,
+    pub kernel_efficiency: f64,
+}
+
+impl QuantCostParams {
+    /// FlexGen's kernels, as profiled in the §3.1 motivation study.
+    pub fn flexgen_kernels() -> Self {
+        QuantCostParams {
+            gpu_scalar_parallelism: 8.0,
+            cpu_scalar_parallelism: 4.0,
+            kernel_efficiency: 0.5,
+        }
+    }
+
+    /// LM-Offload's optimised kernels.
+    pub fn lm_offload_kernels() -> Self {
+        QuantCostParams {
+            gpu_scalar_parallelism: 64.0,
+            cpu_scalar_parallelism: 16.0,
+            kernel_efficiency: 0.8,
+        }
+    }
+}
+
+/// The quantization cost model for one (platform, model, workload).
+#[derive(Debug, Clone)]
+pub struct QuantModel {
+    pub platform: Platform,
+    pub model: ModelConfig,
+    pub workload: Workload,
+    pub params: QuantCostParams,
+}
+
+impl QuantModel {
+    pub fn new(
+        platform: &Platform,
+        model: &ModelConfig,
+        workload: &Workload,
+        params: QuantCostParams,
+    ) -> Self {
+        QuantModel {
+            platform: platform.clone(),
+            model: model.clone(),
+            workload: *workload,
+            params,
+        }
+    }
+
+    fn gpu_minmax_rate(&self) -> f64 {
+        self.platform.gpu.freq_hz * self.params.gpu_scalar_parallelism
+    }
+
+    fn cpu_minmax_rate(&self) -> f64 {
+        self.platform.cpu.freq_hz * self.params.cpu_scalar_parallelism
+    }
+
+    fn gpu_elem_flops(&self) -> f64 {
+        self.platform.gpu.elementwise_flops * self.params.kernel_efficiency
+    }
+
+    fn cpu_flops(&self) -> f64 {
+        self.platform.cpu.flops * self.params.kernel_efficiency
+    }
+
+    fn gpu_membw(&self) -> f64 {
+        self.platform.gpu.mem_bw * self.params.kernel_efficiency
+    }
+
+    fn cpu_membw(&self) -> f64 {
+        self.platform.cpu.mem_bw * self.params.kernel_efficiency
+    }
+
+    // ---- Weights (Eq. 12-16) ------------------------------------------
+
+    /// Eq. 12-15 — one-time weight quantization on the CPU for the whole
+    /// model, `wc` being the fraction of weights on CPU.
+    pub fn quan_pf_wgt_total(&self, wc: f64) -> f64 {
+        let num = (self.model.layer_params() as f64) * wc;
+        let minmax = num / self.cpu_minmax_rate(); // Eq. 13
+        let norm = num * 3.0 / self.cpu_flops(); // Eq. 14
+        let postprocess = DType::F16.bytes_for(num as u64) as f64 / self.cpu_membw(); // Eq. 15
+        minmax + norm + postprocess
+    }
+
+    /// Eq. 16 — weight dequantization per layer load on the GPU. The
+    /// normalization is rated against `gpu_freq` (see module docs) and the
+    /// post-processing against GPU memory bandwidth.
+    pub fn dequan_wgt_per_layer(&self, wc: f64) -> f64 {
+        let num = (self.model.weights_per_layer() as f64) * wc;
+        let de_norm = num * 3.0 / (self.platform.gpu.freq_hz * self.params.gpu_scalar_parallelism);
+        let de_postprocess = DType::F16.bytes_for(num as u64) as f64 / self.gpu_membw();
+        de_norm + de_postprocess
+    }
+
+    // ---- KV cache (Eq. 17-24) -----------------------------------------
+
+    /// Per-element KV quantization cost on the GPU (Eq. 20-23 reduced to
+    /// a rate): min/max at frequency, 3 FLOPs of normalization, one fp16
+    /// element of packing traffic.
+    pub fn kv_quant_per_elem(&self) -> f64 {
+        1.0 / self.gpu_minmax_rate()
+            + 3.0 / self.gpu_elem_flops()
+            + 2.0 / self.gpu_membw()
+    }
+
+    /// Per-element KV dequantization cost on the GPU (Eq. 24): no min/max
+    /// phase.
+    pub fn kv_dequant_per_elem(&self) -> f64 {
+        3.0 / self.gpu_elem_flops() + 2.0 / self.gpu_membw()
+    }
+
+    /// Per-element KV quantization cost on the *CPU* — paid inside the
+    /// offloaded attention when the cache is stored compressed in host
+    /// memory (FlexGen's `compress_cache` with CPU attention).
+    pub fn kv_quant_per_elem_cpu(&self) -> f64 {
+        1.0 / self.cpu_minmax_rate() + 3.0 / self.cpu_flops() + 2.0 / self.cpu_membw()
+    }
+
+    /// Per-element KV dequantization cost on the CPU (same path).
+    pub fn kv_dequant_per_elem_cpu(&self) -> f64 {
+        3.0 / self.cpu_flops() + 2.0 / self.cpu_membw()
+    }
+
+    /// Eq. 20 — prefill KV quantization for one layer (whole block),
+    /// using the Eq. 17 size.
+    pub fn quan_pf_cache_per_layer(&self) -> f64 {
+        let elems = lm_models::footprint::pf_kv_cache_elems(&self.model, &self.workload) as f64;
+        elems * self.kv_quant_per_elem()
+    }
+
+    /// Eq. 7's addition — quantizing one decode step's new KV for one
+    /// layer and one GPU batch.
+    pub fn quan_new_cache_per_batch(&self) -> f64 {
+        let elems = 2.0 * self.model.hidden as f64 * self.workload.gpu_batch as f64;
+        elems * self.kv_quant_per_elem()
+    }
+
+    /// Eq. 6's addition — dequantizing the old KV cache for one layer and
+    /// one GPU batch at decode step `i`.
+    pub fn dequan_old_cache_per_batch(&self, token: u64) -> f64 {
+        let elems = 2.0
+            * (self.workload.prompt_len + token + 1) as f64
+            * self.model.hidden as f64
+            * self.workload.gpu_batch as f64;
+        elems * self.kv_dequant_per_elem()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lm_hardware::presets;
+    use lm_models::presets as models;
+
+    fn motivation(params: QuantCostParams) -> QuantModel {
+        QuantModel::new(
+            &presets::single_gpu_a100(),
+            &models::opt_30b(),
+            &Workload::motivation(),
+            params,
+        )
+    }
+
+    #[test]
+    fn weight_quantization_is_one_time_and_large() {
+        // §3.1 Observation 2: weight compression happens once at init.
+        let m = motivation(QuantCostParams::flexgen_kernels());
+        let t = m.quan_pf_wgt_total(1.0);
+        assert!(t > 1.0, "whole-model weight quantization is seconds-scale: {t}");
+        // Scales linearly with the CPU share.
+        assert!((m.quan_pf_wgt_total(0.5) / t - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weight_dequant_dominated_by_freq_rated_norm() {
+        // The asymmetry driving Fig. 3: per-layer weight dequant on
+        // FlexGen kernels is tens of milliseconds — comparable to the
+        // transfer it accompanies.
+        let m = motivation(QuantCostParams::flexgen_kernels());
+        let t = m.dequan_wgt_per_layer(0.45);
+        assert!(t > 0.02 && t < 0.2, "per-layer dequant {t}s");
+    }
+
+    #[test]
+    fn kv_dequant_cheaper_than_kv_quant_per_elem() {
+        // Dequantization skips the min/max phase (Eq. 24 vs Eq. 20).
+        let m = motivation(QuantCostParams::flexgen_kernels());
+        assert!(m.kv_dequant_per_elem() < m.kv_quant_per_elem());
+    }
+
+    #[test]
+    fn lm_offload_kernels_strictly_faster() {
+        let slow = motivation(QuantCostParams::flexgen_kernels());
+        let fast = motivation(QuantCostParams::lm_offload_kernels());
+        assert!(fast.dequan_wgt_per_layer(0.5) < slow.dequan_wgt_per_layer(0.5));
+        assert!(fast.kv_quant_per_elem() < slow.kv_quant_per_elem());
+        assert!(fast.quan_pf_wgt_total(1.0) < slow.quan_pf_wgt_total(1.0));
+    }
+
+    #[test]
+    fn old_cache_dequant_grows_with_token_index() {
+        // §3.1: "such (de)compression overhead continuously increases" as
+        // tokens are generated.
+        let m = motivation(QuantCostParams::flexgen_kernels());
+        assert!(m.dequan_old_cache_per_batch(100) > m.dequan_old_cache_per_batch(0));
+        let slope = m.dequan_old_cache_per_batch(1) - m.dequan_old_cache_per_batch(0);
+        let elems_per_pos = 2.0 * 7168.0 * 64.0;
+        assert!((slope - elems_per_pos * m.kv_dequant_per_elem()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kv_overheads_small_relative_to_fp16_transfer_savings() {
+        // The economics that make KV quantization the winner in Fig. 3:
+        // per-batch dequant cost is far below the transfer time saved by
+        // moving Int4 instead of F16.
+        let m = motivation(QuantCostParams::flexgen_kernels());
+        let platform = presets::single_gpu_a100();
+        let elems = 2u64 * 128 * 7168 * 64;
+        let f16 = platform.h2d_time(DType::F16.bytes_for(elems));
+        let i4 = platform.h2d_time(DType::Int4.bytes_for(elems));
+        let saving = f16 - i4;
+        let overhead =
+            m.dequan_old_cache_per_batch(63) + m.quan_new_cache_per_batch();
+        assert!(
+            overhead < saving * 0.5,
+            "overhead {overhead} vs saving {saving}"
+        );
+    }
+}

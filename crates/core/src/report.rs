@@ -1,0 +1,161 @@
+//! Reporting types: the rows of Table 3 and helpers to normalise
+//! throughput across frameworks, serialisable for the `results/`
+//! directory.
+
+use crate::engine::{Framework, FrameworkRun};
+use lm_hardware::GIB;
+use serde::{Deserialize, Serialize};
+
+/// One cell of Table 3.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3Row {
+    pub framework: String,
+    pub model: String,
+    /// Token generation length ("len").
+    pub gen_len: u64,
+    /// Block size ("bsz" in the table — the zig-zag block for
+    /// FlexGen/LM-Offload, the plain batch for ZeRO).
+    pub bsz: u64,
+    /// Percent of weights on GPU.
+    pub wg: u32,
+    /// Percent of KV cache on GPU.
+    pub cg: u32,
+    /// Percent of activations on GPU.
+    pub hg: u32,
+    /// Weight precision in bits.
+    pub weight_bits: u32,
+    /// KV precision in bits.
+    pub kv_bits: u32,
+    /// Total memory consumption in GiB ("mem").
+    pub mem_gib: f64,
+    /// Simulated throughput, tokens/s ("tput").
+    pub tput: f64,
+    /// Throughput normalised to LM-Offload's for the same cell.
+    pub norm_tput: f64,
+}
+
+impl Table3Row {
+    /// Build a row from a run (normalisation filled in later via
+    /// [`normalise`]).
+    pub fn from_run(run: &FrameworkRun, model_name: &str, gen_len: u64) -> Self {
+        let p = run.deployment.policy;
+        Table3Row {
+            framework: run.framework.name().to_string(),
+            model: model_name.to_string(),
+            gen_len,
+            bsz: run.deployment.workload.block_size(),
+            wg: (p.wg * 100.0).round() as u32,
+            cg: (p.cg * 100.0).round() as u32,
+            hg: (p.hg * 100.0).round() as u32,
+            weight_bits: p.weights_dtype.bits(),
+            kv_bits: p.kv_dtype.bits(),
+            mem_gib: run.mem.total_bytes as f64 / GIB as f64,
+            tput: run.sim.throughput,
+            norm_tput: 0.0,
+        }
+    }
+}
+
+/// Fill `norm_tput` for a group of rows covering the same (model, len)
+/// cell: each row's throughput divided by LM-Offload's.
+pub fn normalise(rows: &mut [Table3Row]) {
+    let reference = rows
+        .iter()
+        .find(|r| r.framework == Framework::LmOffload.name())
+        .map(|r| r.tput);
+    if let Some(reference) = reference {
+        if reference > 0.0 {
+            for r in rows.iter_mut() {
+                r.norm_tput = r.tput / reference;
+            }
+        }
+    }
+}
+
+/// Speedup summary over a set of normalised rows (the §5.2 headline
+/// numbers: "up to X (Y on average)").
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Speedup {
+    pub max: f64,
+    pub mean: f64,
+}
+
+/// Compute LM-Offload's speedup over `framework` across matching cells.
+pub fn speedup_over(rows: &[Table3Row], framework: Framework) -> Option<Speedup> {
+    let speedups: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.framework == framework.name() && r.norm_tput > 0.0)
+        .map(|r| 1.0 / r.norm_tput)
+        .collect();
+    if speedups.is_empty() {
+        return None;
+    }
+    Some(Speedup {
+        max: speedups.iter().copied().fold(f64::MIN, f64::max),
+        mean: speedups.iter().sum::<f64>() / speedups.len() as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(framework: &str, tput: f64) -> Table3Row {
+        Table3Row {
+            framework: framework.to_string(),
+            model: "OPT-30B".into(),
+            gen_len: 8,
+            bsz: 640,
+            wg: 55,
+            cg: 0,
+            hg: 0,
+            weight_bits: 16,
+            kv_bits: 16,
+            mem_gib: 214.0,
+            tput,
+            norm_tput: 0.0,
+        }
+    }
+
+    #[test]
+    fn normalisation_against_lm_offload() {
+        let mut rows = vec![
+            row("FlexGen", 50.0),
+            row("ZeRO-Inference", 80.0),
+            row("LM-Offload", 100.0),
+        ];
+        normalise(&mut rows);
+        assert_eq!(rows[0].norm_tput, 0.5);
+        assert_eq!(rows[1].norm_tput, 0.8);
+        assert_eq!(rows[2].norm_tput, 1.0);
+    }
+
+    #[test]
+    fn speedup_statistics() {
+        let mut rows = vec![
+            row("FlexGen", 50.0),
+            row("LM-Offload", 100.0),
+            row("FlexGen", 25.0),
+            row("LM-Offload", 100.0),
+        ];
+        // Normalise per cell (here: treat pairs).
+        normalise(&mut rows[0..2]);
+        normalise(&mut rows[2..4]);
+        let s = speedup_over(&rows, Framework::FlexGen).unwrap();
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 3.0);
+    }
+
+    #[test]
+    fn missing_framework_yields_none() {
+        let rows = vec![row("LM-Offload", 10.0)];
+        assert!(speedup_over(&rows, Framework::FlexGen).is_none());
+    }
+
+    #[test]
+    fn rows_serialise() {
+        let r = row("FlexGen", 1.0);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"framework\":\"FlexGen\""));
+    }
+}

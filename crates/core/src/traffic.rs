@@ -1,0 +1,151 @@
+//! I/O traffic accounting — the Table 1 reproduction: bytes crossing the
+//! CPU↔GPU interconnect per generated token, per direction and tensor
+//! class, with and without attention offloading.
+
+use lm_models::{footprint, DType, ModelConfig, Workload};
+use lm_sim::{AttentionPlacement, Policy};
+use serde::{Deserialize, Serialize};
+
+/// Per-token interconnect traffic in bytes, split like Table 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TokenTraffic {
+    pub h2d_weights: u64,
+    pub h2d_kv_cache: u64,
+    pub h2d_activation: u64,
+    pub d2h_weights: u64,
+    pub d2h_kv_cache: u64,
+    pub d2h_activation: u64,
+}
+
+impl TokenTraffic {
+    pub fn h2d_total(&self) -> u64 {
+        self.h2d_weights + self.h2d_kv_cache + self.h2d_activation
+    }
+
+    pub fn d2h_total(&self) -> u64 {
+        self.d2h_weights + self.d2h_kv_cache + self.d2h_activation
+    }
+
+    pub fn total(&self) -> u64 {
+        self.h2d_total() + self.d2h_total()
+    }
+}
+
+/// Traffic across *all layers* for one token generation (Table 1's
+/// caption), at the average decode step (Eq. 18's `s + n/2` size).
+pub fn per_token_traffic(cfg: &ModelConfig, w: &Workload, policy: &Policy) -> TokenTraffic {
+    let l = cfg.num_layers as u64;
+    let weights = ((1.0 - policy.wg)
+        * policy.weights_dtype.bytes_for(cfg.weights_per_layer()) as f64) as u64
+        * l;
+    let act = DType::F16.bytes_for(footprint::activation_elems(cfg, w))
+        .saturating_mul(l);
+    let act = ((1.0 - policy.hg) * act as f64) as u64;
+
+    match policy.attention {
+        AttentionPlacement::Cpu => TokenTraffic {
+            h2d_weights: weights,
+            h2d_kv_cache: 0,
+            h2d_activation: act,
+            d2h_weights: 0,
+            d2h_kv_cache: 0,
+            d2h_activation: act,
+        },
+        AttentionPlacement::Gpu => {
+            // Old KV streams up at the average size; new KV streams down.
+            let avg_pos = w.prompt_len + w.gen_len / 2;
+            let old_elems = 2 * avg_pos * cfg.hidden * w.block_size();
+            let new_elems = 2 * cfg.hidden * w.block_size();
+            let up = ((1.0 - policy.cg) * policy.kv_dtype.bytes_for(old_elems) as f64) as u64 * l;
+            let down =
+                ((1.0 - policy.cg) * policy.kv_dtype.bytes_for(new_elems) as f64) as u64 * l;
+            TokenTraffic {
+                h2d_weights: weights,
+                h2d_kv_cache: up,
+                h2d_activation: act,
+                d2h_weights: 0,
+                d2h_kv_cache: down,
+                d2h_activation: act,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lm_hardware::GIB;
+    use lm_models::presets as models;
+
+    fn gib(b: u64) -> f64 {
+        b as f64 / GIB as f64
+    }
+
+    /// Table 1's two scenarios for OPT-30B at the motivation workload.
+    /// The paper's measured policies imply ~30% of weights streaming with
+    /// attention offloading and ~70% without; we reproduce the reported
+    /// magnitudes with those shares.
+    #[test]
+    fn table1_with_attention_offloading() {
+        let cfg = models::opt_30b();
+        let w = Workload::motivation();
+        let policy = Policy {
+            wg: 0.70, // 30% streamed -> 16.5 GiB/token
+            ..Policy::flexgen_default()
+        };
+        let t = per_token_traffic(&cfg, &w, &policy);
+        assert!((gib(t.h2d_weights) - 16.32).abs() < 1.0, "{}", gib(t.h2d_weights));
+        assert_eq!(t.h2d_kv_cache, 0);
+        assert_eq!(t.d2h_kv_cache, 0);
+        // Activations ~0.38-0.41 GiB each way.
+        assert!((gib(t.h2d_activation) - 0.38).abs() < 0.08, "{}", gib(t.h2d_activation));
+        assert_eq!(t.h2d_activation, t.d2h_activation);
+    }
+
+    #[test]
+    fn table1_without_attention_offloading() {
+        let cfg = models::opt_30b();
+        let w = Workload::motivation();
+        let policy = Policy {
+            wg: 0.30, // 70% streamed -> ~38.6 GiB/token
+            attention: AttentionPlacement::Gpu,
+            ..Policy::flexgen_default()
+        };
+        let t = per_token_traffic(&cfg, &w, &policy);
+        assert!((gib(t.h2d_weights) - 38.88).abs() < 1.5, "{}", gib(t.h2d_weights));
+        // Old KV upstream: Eq. 18's average gives ~105 GiB; the paper's
+        // Table 1 reports 78.72 (exactly half the 157 GiB peak) — we
+        // assert the order of magnitude and document the difference in
+        // EXPERIMENTS.md.
+        assert!(gib(t.h2d_kv_cache) > 60.0 && gib(t.h2d_kv_cache) < 120.0);
+        // New KV downstream ~0.8 GiB.
+        assert!((gib(t.d2h_kv_cache) - 0.82).abs() < 0.15, "{}", gib(t.d2h_kv_cache));
+    }
+
+    #[test]
+    fn offloading_attention_slashes_io() {
+        // §3.1: attention offloading removes the 78.72 GiB/token KV
+        // stream; the activation it adds is 99.5% smaller.
+        let cfg = models::opt_30b();
+        let w = Workload::motivation();
+        let mut gpu_p = Policy::flexgen_default();
+        gpu_p.attention = AttentionPlacement::Gpu;
+        let gpu = per_token_traffic(&cfg, &w, &gpu_p);
+        let cpu = per_token_traffic(&cfg, &w, &Policy::flexgen_default());
+        assert!(cpu.total() < gpu.total() / 2);
+        assert!((cpu.h2d_activation as f64) < 0.01 * gpu.h2d_kv_cache as f64);
+    }
+
+    #[test]
+    fn kv_quantization_scales_kv_terms_only() {
+        let cfg = models::opt_30b();
+        let w = Workload::motivation();
+        let mut p = Policy::flexgen_default();
+        p.attention = AttentionPlacement::Gpu;
+        let f16 = per_token_traffic(&cfg, &w, &p);
+        p.kv_dtype = DType::Int4;
+        let i4 = per_token_traffic(&cfg, &w, &p);
+        assert_eq!(f16.h2d_weights, i4.h2d_weights);
+        assert!((f16.h2d_kv_cache as f64 / i4.h2d_kv_cache as f64 - 4.0).abs() < 0.01);
+    }
+}

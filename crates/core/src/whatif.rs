@@ -1,0 +1,241 @@
+//! What-if sensitivity analysis: the payoff of having *analytical*
+//! performance models (§3.2 "How to use the models") is that deployment
+//! questions — "what if the link were faster?", "what if the GPU had more
+//! memory?", "when does attention offloading start winning?" — are
+//! answered by evaluation, not experiment.
+//!
+//! Each sweep re-runs the full pipeline (policy search under the modified
+//! platform, then ground-truth scoring) so the curves include the policy
+//! *changes* a hardware change induces, not just the cost change of a
+//! frozen policy.
+//!
+//! A caveat the sweeps make visible: the search optimises the *analytic*
+//! Eq. 1/2 model, while points are scored by the event-driven simulator.
+//! Where the two diverge — chiefly CPU-attention-heavy policies, whose
+//! per-batch CPU→GPU dependency chains the analytic max() model cannot
+//! see — a hardware improvement can flip the search onto a policy that
+//! simulates *worse* (e.g. the `cpu_flops` axis dipping at 2×). This is
+//! the same analytic-vs-asynchronous-execution gap the paper criticises
+//! in FlexGen's LP (§2.2), observable here in our own models.
+
+use crate::policy_search::lm_offload_search;
+use crate::provider::{quant_aware_provider, ThreadFactors};
+use crate::quant_model::QuantCostParams;
+use lm_hardware::Platform;
+use lm_models::ModelConfig;
+use lm_sim::simulate;
+use serde::{Deserialize, Serialize};
+
+/// The hardware axis a sweep varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Axis {
+    /// Multiply both link directions' bandwidth.
+    LinkBandwidth,
+    /// Multiply GPU memory capacity.
+    GpuMemory,
+    /// Multiply sustained CPU FLOP/s.
+    CpuFlops,
+    /// Multiply GPU matmul FLOP/s.
+    GpuFlops,
+}
+
+impl Axis {
+    pub const ALL: [Axis; 4] = [
+        Axis::LinkBandwidth,
+        Axis::GpuMemory,
+        Axis::CpuFlops,
+        Axis::GpuFlops,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Axis::LinkBandwidth => "link_bandwidth",
+            Axis::GpuMemory => "gpu_memory",
+            Axis::CpuFlops => "cpu_flops",
+            Axis::GpuFlops => "gpu_flops",
+        }
+    }
+
+    /// A copy of `platform` with this axis scaled by `factor`.
+    pub fn scaled(self, platform: &Platform, factor: f64) -> Platform {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let mut p = platform.clone();
+        match self {
+            Axis::LinkBandwidth => {
+                p.link.h2d_bw *= factor;
+                p.link.d2h_bw *= factor;
+            }
+            Axis::GpuMemory => {
+                p.gpu.mem_capacity = (p.gpu.mem_capacity as f64 * factor) as u64;
+            }
+            Axis::CpuFlops => p.cpu.flops *= factor,
+            Axis::GpuFlops => {
+                p.gpu.flops *= factor;
+                p.gpu.elementwise_flops *= factor;
+            }
+        }
+        p
+    }
+}
+
+/// One sweep point: the scale factor, the simulated throughput of the
+/// re-searched deployment, and what the policy became.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WhatIfPoint {
+    pub factor: f64,
+    pub throughput: f64,
+    pub wg_pct: u32,
+    pub weight_bits: u32,
+    pub kv_bits: u32,
+    pub attention_on_cpu: bool,
+    pub block_size: u64,
+}
+
+/// A full sensitivity curve along one axis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WhatIfCurve {
+    pub axis: String,
+    pub model: String,
+    pub points: Vec<WhatIfPoint>,
+}
+
+impl WhatIfCurve {
+    /// Relative throughput gain from the first to the last point.
+    pub fn end_to_end_gain(&self) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some(a), Some(b)) if a.throughput > 0.0 => b.throughput / a.throughput,
+            _ => 1.0,
+        }
+    }
+
+    /// Whether the policy changed anywhere along the sweep — the signal
+    /// that the models are steering decisions, not just rescaling costs.
+    pub fn policy_changes(&self) -> bool {
+        self.points.windows(2).any(|w| {
+            w[0].wg_pct != w[1].wg_pct
+                || w[0].weight_bits != w[1].weight_bits
+                || w[0].kv_bits != w[1].kv_bits
+                || w[0].attention_on_cpu != w[1].attention_on_cpu
+        })
+    }
+}
+
+/// Sweep one axis over the given multiplicative factors, re-searching and
+/// re-simulating the LM-Offload deployment at every point.
+pub fn sweep(
+    axis: Axis,
+    platform: &Platform,
+    model: &ModelConfig,
+    prompt_len: u64,
+    gen_len: u64,
+    factors: &[f64],
+) -> WhatIfCurve {
+    assert!(!factors.is_empty(), "need at least one factor");
+    let params = QuantCostParams::lm_offload_kernels();
+    let points = factors
+        .iter()
+        .filter_map(|&factor| {
+            let p = axis.scaled(platform, factor);
+            let d = lm_offload_search(
+                &p,
+                model,
+                prompt_len,
+                gen_len,
+                params,
+                ThreadFactors::Controlled,
+            )?;
+            let provider = quant_aware_provider(
+                &p,
+                model,
+                &d.workload,
+                d.policy,
+                params,
+                ThreadFactors::Controlled,
+            );
+            let sim = simulate(&provider, &d.workload, model.num_layers);
+            Some(WhatIfPoint {
+                factor,
+                throughput: sim.throughput,
+                wg_pct: (d.policy.wg * 100.0).round() as u32,
+                weight_bits: d.policy.weights_dtype.bits(),
+                kv_bits: d.policy.kv_dtype.bits(),
+                attention_on_cpu: d.policy.attention == lm_sim::AttentionPlacement::Cpu,
+                block_size: d.workload.block_size(),
+            })
+        })
+        .collect();
+    WhatIfCurve {
+        axis: axis.name().to_string(),
+        model: model.name.clone(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lm_hardware::presets;
+    use lm_models::presets as models;
+
+    const FACTORS: [f64; 3] = [0.5, 1.0, 2.0];
+
+    #[test]
+    fn axes_scale_the_right_fields() {
+        let p = presets::single_gpu_a100();
+        let faster = Axis::LinkBandwidth.scaled(&p, 2.0);
+        assert_eq!(faster.link.h2d_bw, p.link.h2d_bw * 2.0);
+        assert_eq!(faster.gpu.mem_capacity, p.gpu.mem_capacity);
+        let bigger = Axis::GpuMemory.scaled(&p, 2.0);
+        assert_eq!(bigger.gpu.mem_capacity, p.gpu.mem_capacity * 2);
+        assert_eq!(bigger.link.h2d_bw, p.link.h2d_bw);
+        let brainier = Axis::GpuFlops.scaled(&p, 3.0);
+        assert_eq!(brainier.gpu.flops, p.gpu.flops * 3.0);
+    }
+
+    #[test]
+    fn link_bandwidth_sweep_is_monotone_for_streaming_models() {
+        // OPT-66B streams its KV cache: more link bandwidth can never
+        // reduce the best achievable throughput.
+        let p = presets::single_gpu_a100();
+        let c = sweep(Axis::LinkBandwidth, &p, &models::opt_66b(), 64, 16, &FACTORS);
+        assert_eq!(c.points.len(), 3);
+        for w in c.points.windows(2) {
+            assert!(
+                w[1].throughput >= w[0].throughput * 0.999,
+                "throughput fell: {} -> {}",
+                w[0].throughput,
+                w[1].throughput
+            );
+        }
+        assert!(c.end_to_end_gain() > 1.2, "gain {}", c.end_to_end_gain());
+    }
+
+    #[test]
+    fn gpu_memory_sweep_changes_policy_when_it_binds() {
+        // Shrinking GPU memory to half forces weights off the GPU for the
+        // 66B model (int4 66B ≈ 30 GiB > half of 40 GiB): the sweep must
+        // show a policy change, not just a cost change.
+        let p = presets::single_gpu_a100();
+        let c = sweep(Axis::GpuMemory, &p, &models::opt_66b(), 64, 16, &FACTORS);
+        assert!(c.policy_changes(), "{c:?}");
+        // And more memory can only help.
+        let first = c.points.first().unwrap().throughput;
+        let last = c.points.last().unwrap().throughput;
+        assert!(last >= first * 0.999);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor must be positive")]
+    fn zero_factor_rejected() {
+        let p = presets::single_gpu_a100();
+        Axis::CpuFlops.scaled(&p, 0.0);
+    }
+
+    #[test]
+    fn curves_serialise() {
+        let p = presets::single_gpu_a100();
+        let c = sweep(Axis::GpuFlops, &p, &models::opt_30b(), 64, 8, &[1.0]);
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("gpu_flops"));
+    }
+}

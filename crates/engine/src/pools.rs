@@ -1,0 +1,179 @@
+//! Bounded memory pools emulating the two memory tiers of the offloading
+//! runtime: "device" (GPU-like, small) and "host" (CPU, large). Every
+//! tensor the engine materialises is charged to a pool; exceeding a
+//! pool's capacity is a hard error, which is how the tests prove the
+//! engine really runs within the device budget it claims.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A bounded byte-accounted memory pool.
+#[derive(Debug)]
+pub struct MemPool {
+    name: String,
+    capacity: usize,
+    inner: Mutex<PoolState>,
+}
+
+#[derive(Debug, Default)]
+struct PoolState {
+    used: usize,
+    peak: usize,
+    allocs: u64,
+}
+
+/// Error returned when an allocation would exceed the pool's capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolExhausted {
+    pub pool: String,
+    pub requested: usize,
+    pub used: usize,
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for PoolExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pool '{}' exhausted: requested {} with {}/{} in use",
+            self.pool, self.requested, self.used, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for PoolExhausted {}
+
+/// An RAII lease of pool bytes: freed on drop.
+#[derive(Debug)]
+pub struct Lease {
+    pool: Arc<MemPool>,
+    bytes: usize,
+}
+
+impl Lease {
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        let mut st = self.pool.inner.lock();
+        debug_assert!(st.used >= self.bytes, "pool accounting underflow");
+        st.used -= self.bytes;
+    }
+}
+
+impl MemPool {
+    pub fn new(name: impl Into<String>, capacity: usize) -> Arc<Self> {
+        Arc::new(MemPool {
+            name: name.into(),
+            capacity,
+            inner: Mutex::new(PoolState::default()),
+        })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn used(&self) -> usize {
+        self.inner.lock().used
+    }
+
+    /// High-water mark of usage.
+    pub fn peak(&self) -> usize {
+        self.inner.lock().peak
+    }
+
+    pub fn alloc_count(&self) -> u64 {
+        self.inner.lock().allocs
+    }
+
+    /// Reserve `bytes`, returning an RAII lease or an error when the pool
+    /// cannot hold them.
+    pub fn alloc(self: &Arc<Self>, bytes: usize) -> Result<Lease, PoolExhausted> {
+        let mut st = self.inner.lock();
+        if st.used + bytes > self.capacity {
+            return Err(PoolExhausted {
+                pool: self.name.clone(),
+                requested: bytes,
+                used: st.used,
+                capacity: self.capacity,
+            });
+        }
+        st.used += bytes;
+        st.peak = st.peak.max(st.used);
+        st.allocs += 1;
+        Ok(Lease {
+            pool: Arc::clone(self),
+            bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_drop_balance() {
+        let p = MemPool::new("device", 100);
+        let a = p.alloc(60).unwrap();
+        assert_eq!(p.used(), 60);
+        let b = p.alloc(40).unwrap();
+        assert_eq!(p.used(), 100);
+        drop(a);
+        assert_eq!(p.used(), 40);
+        drop(b);
+        assert_eq!(p.used(), 0);
+        assert_eq!(p.peak(), 100);
+        assert_eq!(p.alloc_count(), 2);
+    }
+
+    #[test]
+    fn overflow_rejected_without_state_change() {
+        let p = MemPool::new("device", 100);
+        let _a = p.alloc(80).unwrap();
+        let err = p.alloc(21).unwrap_err();
+        assert_eq!(err.used, 80);
+        assert_eq!(err.capacity, 100);
+        assert_eq!(p.used(), 80, "failed alloc must not leak");
+        // Exactly-fitting allocation still works.
+        let _b = p.alloc(20).unwrap();
+        assert_eq!(p.used(), 100);
+    }
+
+    #[test]
+    fn zero_byte_lease_is_fine() {
+        let p = MemPool::new("x", 0);
+        let l = p.alloc(0).unwrap();
+        assert_eq!(l.bytes(), 0);
+    }
+
+    #[test]
+    fn error_formats_usefully() {
+        let p = MemPool::new("device", 10);
+        let e = p.alloc(11).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("device") && msg.contains("11"));
+    }
+
+    #[test]
+    fn leases_are_send_across_threads() {
+        let p = MemPool::new("device", 1000);
+        let lease = p.alloc(500).unwrap();
+        let p2 = Arc::clone(&p);
+        std::thread::spawn(move || {
+            assert_eq!(p2.used(), 500);
+            drop(lease);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(p.used(), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Token samplers for the decode loop.
+
+use lm_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Sampling strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sampler {
+    /// Always take the argmax — deterministic, used by the offloading
+    /// equivalence tests.
+    Greedy,
+    /// Sample among the `k` highest logits with softmax weights, seeded.
+    TopK { k: usize, seed: u64 },
+    /// Nucleus sampling: the smallest set of tokens whose softmax mass
+    /// reaches `p`, seeded.
+    TopP { p: f32, seed: u64 },
+}
+
+impl Sampler {
+    /// Sample one token per row of a `[batch, vocab]` logits tensor.
+    pub fn sample(&self, logits: &Tensor) -> Vec<u32> {
+        assert_eq!(logits.rank(), 2, "logits must be [batch, vocab]");
+        match *self {
+            Sampler::Greedy => (0..logits.dim(0)).map(|r| argmax(logits.row(r))).collect(),
+            Sampler::TopK { k, seed } => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                (0..logits.dim(0))
+                    .map(|r| top_k(logits.row(r), k, &mut rng))
+                    .collect()
+            }
+            Sampler::TopP { p, seed } => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                (0..logits.dim(0))
+                    .map(|r| top_p(logits.row(r), p, &mut rng))
+                    .collect()
+            }
+        }
+    }
+}
+
+fn argmax(row: &[f32]) -> u32 {
+    row.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i as u32)
+        .expect("non-empty vocab")
+}
+
+fn top_k(row: &[f32], k: usize, rng: &mut SmallRng) -> u32 {
+    assert!(k >= 1, "k must be positive");
+    let mut idx: Vec<usize> = (0..row.len()).collect();
+    let k = k.min(row.len());
+    idx.select_nth_unstable_by(k - 1, |&a, &b| {
+        row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let top = &idx[..k];
+    // Softmax over the top-k logits.
+    let max = top.iter().map(|&i| row[i]).fold(f32::NEG_INFINITY, f32::max);
+    let weights: Vec<f32> = top.iter().map(|&i| (row[i] - max).exp()).collect();
+    let total: f32 = weights.iter().sum();
+    let mut draw = rng.gen::<f32>() * total;
+    for (w, &i) in weights.iter().zip(top) {
+        draw -= w;
+        if draw <= 0.0 {
+            return i as u32;
+        }
+    }
+    top[k - 1] as u32
+}
+
+fn top_p(row: &[f32], p: f32, rng: &mut SmallRng) -> u32 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    // Softmax over the full row, then take tokens by descending mass
+    // until the nucleus covers p.
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut probs: Vec<(usize, f32)> = row
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i, (x - max).exp()))
+        .collect();
+    let total: f32 = probs.iter().map(|(_, w)| w).sum();
+    probs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut mass = 0.0;
+    let mut nucleus = 0;
+    for (_, w) in &probs {
+        mass += w / total;
+        nucleus += 1;
+        if mass >= p {
+            break;
+        }
+    }
+    let nucleus_total: f32 = probs[..nucleus].iter().map(|(_, w)| w).sum();
+    let mut draw = rng.gen::<f32>() * nucleus_total;
+    for (i, w) in &probs[..nucleus] {
+        draw -= w;
+        if draw <= 0.0 {
+            return *i as u32;
+        }
+    }
+    probs[nucleus - 1].0 as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_takes_argmax_per_row() {
+        let logits = Tensor::from_vec([2, 4], vec![0.1, 3.0, -1.0, 0.0, 9.0, 0.0, 0.0, 0.0]);
+        assert_eq!(Sampler::Greedy.sample(&logits), vec![1, 0]);
+    }
+
+    #[test]
+    fn top1_equals_greedy() {
+        let logits = Tensor::randn([3, 50], 2.0, 42);
+        let greedy = Sampler::Greedy.sample(&logits);
+        let top1 = Sampler::TopK { k: 1, seed: 7 }.sample(&logits);
+        assert_eq!(greedy, top1);
+    }
+
+    #[test]
+    fn top_k_stays_within_top_set() {
+        let mut logits = vec![0.0f32; 100];
+        logits[10] = 5.0;
+        logits[20] = 4.5;
+        logits[30] = 4.0;
+        let t = Tensor::from_vec([1, 100], logits);
+        for seed in 0..20 {
+            let tok = Sampler::TopK { k: 3, seed }.sample(&t)[0];
+            assert!([10, 20, 30].contains(&tok), "got {tok}");
+        }
+    }
+
+    #[test]
+    fn top_p_zero_equals_greedy() {
+        // p = 0 admits only the single most likely token.
+        let logits = Tensor::randn([3, 50], 2.0, 11);
+        let greedy = Sampler::Greedy.sample(&logits);
+        let nucleus = Sampler::TopP { p: 0.0, seed: 3 }.sample(&logits);
+        assert_eq!(greedy, nucleus);
+    }
+
+    #[test]
+    fn top_p_stays_in_high_mass_set() {
+        // One dominant token (mass > 0.9): a 0.5 nucleus must pick it.
+        let mut logits = vec![0.0f32; 64];
+        logits[17] = 10.0;
+        let t = Tensor::from_vec([1, 64], logits);
+        for seed in 0..10 {
+            assert_eq!(Sampler::TopP { p: 0.5, seed }.sample(&t)[0], 17);
+        }
+    }
+
+    #[test]
+    fn top_p_is_seed_deterministic() {
+        let logits = Tensor::randn([4, 64], 1.0, 5);
+        let a = Sampler::TopP { p: 0.9, seed: 99 }.sample(&logits);
+        let b = Sampler::TopP { p: 0.9, seed: 99 }.sample(&logits);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn top_k_is_seed_deterministic() {
+        let logits = Tensor::randn([4, 64], 1.0, 5);
+        let a = Sampler::TopK { k: 8, seed: 99 }.sample(&logits);
+        let b = Sampler::TopK { k: 8, seed: 99 }.sample(&logits);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,192 @@
+//! The evaluation platforms of Table 4, plus a small synthetic platform for
+//! fast unit tests.
+
+use crate::spec::{CpuSpec, Efficiency, GpuSpec, LinkSpec, Platform};
+use crate::units::{gb_per_s, ghz, gib, tflops};
+
+/// Dual Intel Xeon Gold 6330 (Ice Lake SP): 2 × 28 cores, SMT2, 2.0 GHz.
+/// Peak fp32 = 56 cores × 2.0 GHz × 64 FLOP/cycle (2×FMA-512) ≈ 7.2 TFLOPS.
+/// 8 DDR4-2933 channels/socket ≈ 2 × 188 GB/s. LLC = 42 MiB/socket, 12-way.
+pub fn xeon_6330_dual() -> CpuSpec {
+    CpuSpec {
+        name: "2x Intel Xeon Gold 6330".to_string(),
+        sockets: 2,
+        cores_per_socket: 28,
+        threads_per_core: 2,
+        freq_hz: ghz(2.0),
+        flops: tflops(7.2),
+        mem_bw: gb_per_s(376.0),
+        mem_capacity: gib(240.0),
+        llc_bytes: 42 * (1 << 20),
+        llc_ways: 12,
+        line_size: 64,
+    }
+}
+
+/// Dual IBM POWER9 (Table 4 multi-GPU host): 2 × 22 cores, SMT4, 3.8 GHz.
+pub fn power9_dual() -> CpuSpec {
+    CpuSpec {
+        name: "2x IBM POWER9".to_string(),
+        sockets: 2,
+        cores_per_socket: 22,
+        threads_per_core: 4,
+        freq_hz: ghz(3.8),
+        flops: tflops(2.7),
+        mem_bw: gb_per_s(340.0),
+        mem_capacity: gib(280.0),
+        llc_bytes: 110 * (1 << 20),
+        llc_ways: 20,
+        line_size: 128,
+    }
+}
+
+/// NVIDIA A100-40GB: 312 TFLOPS fp16 tensor core, 19.5 TFLOPS fp32 vector,
+/// 1555 GB/s HBM2e, 1.41 GHz boost.
+pub fn a100_40gb() -> GpuSpec {
+    GpuSpec {
+        name: "NVIDIA A100 40GB".to_string(),
+        freq_hz: ghz(1.41),
+        flops: tflops(312.0),
+        elementwise_flops: tflops(19.5),
+        mem_bw: gb_per_s(1555.0),
+        mem_capacity: gib(40.0),
+    }
+}
+
+/// NVIDIA V100-16GB: 125 TFLOPS fp16 tensor core, 15.7 TFLOPS fp32 vector,
+/// 900 GB/s HBM2, 1.53 GHz boost.
+pub fn v100_16gb() -> GpuSpec {
+    GpuSpec {
+        name: "NVIDIA V100 16GB".to_string(),
+        freq_hz: ghz(1.53),
+        flops: tflops(125.0),
+        elementwise_flops: tflops(15.7),
+        mem_bw: gb_per_s(900.0),
+        mem_capacity: gib(16.0),
+    }
+}
+
+/// PCIe 4.0 x16: 32 GB/s per direction (the paper quotes 64 GB/s total
+/// bidirectional), ~10 µs per-transfer latency.
+pub fn pcie4_x16() -> LinkSpec {
+    LinkSpec {
+        name: "PCIe 4.0 x16".to_string(),
+        h2d_bw: gb_per_s(32.0),
+        d2h_bw: gb_per_s(32.0),
+        latency: 10e-6,
+    }
+}
+
+/// NVLink 2.0: 150 GB/s per direction (300 GB/s total bidirectional).
+pub fn nvlink2() -> LinkSpec {
+    LinkSpec {
+        name: "NVIDIA NVLink 2.0".to_string(),
+        h2d_bw: gb_per_s(150.0),
+        d2h_bw: gb_per_s(150.0),
+        latency: 5e-6,
+    }
+}
+
+/// The paper's single-GPU evaluation platform (Table 4, top half):
+/// 1× A100-40GB + dual Xeon 6330 + 240 GB host RAM over PCIe 4.0 x16.
+pub fn single_gpu_a100() -> Platform {
+    Platform {
+        name: "single-GPU (A100 + 2x Xeon 6330)".to_string(),
+        cpu: xeon_6330_dual(),
+        gpu: a100_40gb(),
+        num_gpus: 1,
+        link: pcie4_x16(),
+        gpu_link: None,
+        eff: Efficiency::default(),
+    }
+}
+
+/// The paper's multi-GPU evaluation platform (Table 4, bottom half):
+/// `n`× V100-16GB + dual POWER9 + 280 GB host RAM over NVLink 2.0.
+/// On this machine the CPU↔GPU path is also NVLink (POWER9's distinctive
+/// feature), which the paper relies on for offloading at scale.
+pub fn multi_gpu_v100(n: u32) -> Platform {
+    assert!((1..=4).contains(&n), "the paper evaluates 1-4 V100s");
+    Platform {
+        name: format!("multi-GPU ({n}x V100 + 2x POWER9)"),
+        cpu: power9_dual(),
+        gpu: v100_16gb(),
+        num_gpus: n,
+        link: nvlink2(),
+        gpu_link: Some(nvlink2()),
+        eff: Efficiency::default(),
+    }
+}
+
+/// A deliberately small platform for unit tests and the real `lm-engine`
+/// runs on commodity hardware: 8-core CPU, 8 GiB "device" with a modest
+/// link, so offloading effects appear at tiny model scales.
+pub fn test_platform() -> Platform {
+    Platform {
+        name: "test (8-core host + toy device)".to_string(),
+        cpu: CpuSpec {
+            name: "test CPU".to_string(),
+            sockets: 1,
+            cores_per_socket: 8,
+            threads_per_core: 2,
+            freq_hz: ghz(3.0),
+            flops: tflops(0.5),
+            mem_bw: gb_per_s(50.0),
+            mem_capacity: gib(32.0),
+            llc_bytes: 16 * (1 << 20),
+            llc_ways: 16,
+            line_size: 64,
+        },
+        gpu: GpuSpec {
+            name: "toy device".to_string(),
+            freq_hz: ghz(1.0),
+            flops: tflops(10.0),
+            elementwise_flops: tflops(1.0),
+            mem_bw: gb_per_s(400.0),
+            mem_capacity: gib(8.0),
+        },
+        num_gpus: 1,
+        link: LinkSpec {
+            name: "toy link".to_string(),
+            h2d_bw: gb_per_s(8.0),
+            d2h_bw: gb_per_s(8.0),
+            latency: 5e-6,
+        },
+        gpu_link: None,
+        eff: Efficiency::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::GIB;
+
+    #[test]
+    fn table4_single_gpu_matches_paper() {
+        let p = single_gpu_a100();
+        assert_eq!(p.cpu.total_cores(), 56);
+        assert_eq!(p.cpu.mem_capacity, 240 * GIB);
+        assert_eq!(p.gpu.mem_capacity, 40 * GIB);
+        // 64 GB/s total bidirectional PCIe 4.0 x16.
+        assert_eq!(p.link.h2d_bw + p.link.d2h_bw, 64e9);
+        assert_eq!(p.num_gpus, 1);
+    }
+
+    #[test]
+    fn table4_multi_gpu_matches_paper() {
+        let p = multi_gpu_v100(4);
+        assert_eq!(p.cpu.total_cores(), 44);
+        assert_eq!(p.cpu.mem_capacity, 280 * GIB);
+        assert_eq!(p.gpu.mem_capacity, 16 * GIB);
+        assert_eq!(p.num_gpus, 4);
+        let l = p.gpu_link.as_ref().unwrap();
+        assert_eq!(l.h2d_bw + l.d2h_bw, 300e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-4 V100s")]
+    fn multi_gpu_bounds_checked() {
+        multi_gpu_v100(5);
+    }
+}

@@ -1,0 +1,88 @@
+//! Unit helpers used throughout the workspace.
+//!
+//! The paper reports capacities in "GB" that are actually GiB (e.g. the
+//! OPT-30B KV cache of 157 "GB" is 2·(s+n)·h₁·bls·l·2 bytes = 169.1e9 bytes
+//! = 157.5 GiB). All byte quantities in this workspace are plain `u64` byte
+//! counts; these helpers construct and display them.
+
+/// One kibibyte (2^10 bytes).
+pub const KIB: u64 = 1 << 10;
+/// One mebibyte (2^20 bytes).
+pub const MIB: u64 = 1 << 20;
+/// One gibibyte (2^30 bytes).
+pub const GIB: u64 = 1 << 30;
+
+/// One decimal gigabyte (10^9 bytes) — used for link bandwidths, which
+/// vendors quote in decimal units.
+pub const GB: u64 = 1_000_000_000;
+
+/// Convert a byte count to fractional GiB (the unit the paper's tables use).
+#[inline]
+pub fn to_gib(bytes: u64) -> f64 {
+    bytes as f64 / GIB as f64
+}
+
+/// Convert fractional GiB to bytes (rounding to the nearest byte).
+#[inline]
+pub fn gib(x: f64) -> u64 {
+    (x * GIB as f64).round() as u64
+}
+
+/// Convert a decimal-GB/s figure to bytes per second.
+#[inline]
+pub fn gb_per_s(x: f64) -> f64 {
+    x * GB as f64
+}
+
+/// Convert a TFLOPS figure to FLOP/s.
+#[inline]
+pub fn tflops(x: f64) -> f64 {
+    x * 1e12
+}
+
+/// Convert a GHz figure to Hz.
+#[inline]
+pub fn ghz(x: f64) -> f64 {
+    x * 1e9
+}
+
+/// Pretty-print a byte count with a binary suffix, matching the granularity
+/// used in the paper's tables (one decimal place).
+pub fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= GIB {
+        format!("{:.1} GiB", bytes as f64 / GIB as f64)
+    } else if bytes >= MIB {
+        format!("{:.1} MiB", bytes as f64 / MIB as f64)
+    } else if bytes >= KIB {
+        format!("{:.1} KiB", bytes as f64 / KIB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gib_round_trips() {
+        assert_eq!(gib(1.0), GIB);
+        assert_eq!(to_gib(GIB), 1.0);
+        assert!((to_gib(gib(157.5)) - 157.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decimal_units() {
+        assert_eq!(gb_per_s(32.0), 32e9);
+        assert_eq!(tflops(312.0), 312e12);
+        assert_eq!(ghz(1.41), 1.41e9);
+    }
+
+    #[test]
+    fn formatting_picks_suffix() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2 * KIB), "2.0 KiB");
+        assert_eq!(fmt_bytes(3 * MIB + MIB / 2), "3.5 MiB");
+        assert_eq!(fmt_bytes(40 * GIB), "40.0 GiB");
+    }
+}

@@ -1,0 +1,183 @@
+//! Transformer architecture descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// Numeric precision of a tensor at rest or in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE float.
+    F32,
+    /// 16-bit IEEE float — the paper's uncompressed baseline precision.
+    F16,
+    /// 8-bit group-wise quantized integers.
+    Int8,
+    /// 4-bit group-wise quantized integers (FlexGen/LM-Offload's default
+    /// compressed precision).
+    Int4,
+}
+
+impl DType {
+    /// Bits per element.
+    pub fn bits(self) -> u32 {
+        match self {
+            DType::F32 => 32,
+            DType::F16 => 16,
+            DType::Int8 => 8,
+            DType::Int4 => 4,
+        }
+    }
+
+    /// Bytes occupied by `n` elements of this dtype, including the packing
+    /// of sub-byte types (two Int4 values per byte, rounded up).
+    pub fn bytes_for(self, n: u64) -> u64 {
+        (n * self.bits() as u64).div_ceil(8)
+    }
+
+    /// Whether this dtype is a quantized integer format that carries
+    /// per-group scale/zero-point metadata.
+    pub fn is_quantized(self) -> bool {
+        matches!(self, DType::Int8 | DType::Int4)
+    }
+}
+
+/// Model family; affects the MLP ratio and (in a full system) tokenizer and
+/// norm placement, none of which change offloading decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    Opt,
+    Llama,
+    Custom,
+}
+
+/// A decoder-only transformer architecture.
+///
+/// Field names track Table 2: `h1` is the hidden size, `h2` the MLP inner
+/// size, `l` the number of transformer layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    pub name: String,
+    pub family: Family,
+    /// Number of transformer layers (`l`).
+    pub num_layers: u32,
+    /// Hidden size (`h1`).
+    pub hidden: u64,
+    /// MLP inner size (`h2`; 4·h1 for OPT, ~8/3·h1 rounded for LLaMA).
+    pub ffn_hidden: u64,
+    /// Attention heads; `hidden` must be divisible by this.
+    pub num_heads: u32,
+    /// Vocabulary size (embedding/unembedding matrices).
+    pub vocab_size: u64,
+    /// Maximum supported sequence length.
+    pub max_seq_len: u64,
+}
+
+impl ModelConfig {
+    /// Dimension of each attention head (`d_k` in the attention formula).
+    pub fn head_dim(&self) -> u64 {
+        self.hidden / self.num_heads as u64
+    }
+
+    /// Weights in one attention block: Q, K, V and output projections
+    /// (the `4·h1²` term of the paper's `num_weights`).
+    pub fn attn_weights_per_layer(&self) -> u64 {
+        4 * self.hidden * self.hidden
+    }
+
+    /// Number of `h1×h2` matrices in one MLP block: two linear
+    /// transformations for OPT (the paper's `2·h1·h2` term), three for
+    /// LLaMA's SwiGLU (gate, up, down) — needed for LLaMA's Table 3 memory
+    /// figures to come out right.
+    pub fn mlp_matrices(&self) -> u64 {
+        match self.family {
+            Family::Llama => 3,
+            Family::Opt | Family::Custom => 2,
+        }
+    }
+
+    /// Weights in one MLP block (`mlp_matrices()·h1·h2`).
+    pub fn mlp_weights_per_layer(&self) -> u64 {
+        self.mlp_matrices() * self.hidden * self.ffn_hidden
+    }
+
+    /// `num_weights = 4·h1² + 2·h1·h2` exactly as defined in §3.2 (with the
+    /// MLP factor generalised per family; see [`Self::mlp_matrices`]).
+    pub fn weights_per_layer(&self) -> u64 {
+        self.attn_weights_per_layer() + self.mlp_weights_per_layer()
+    }
+
+    /// Total transformer parameters (layers only; what streams per token).
+    pub fn layer_params(&self) -> u64 {
+        self.weights_per_layer() * self.num_layers as u64
+    }
+
+    /// Total parameters including the embedding and unembedding matrices.
+    pub fn total_params(&self) -> u64 {
+        self.layer_params() + 2 * self.vocab_size * self.hidden
+    }
+
+    /// Validate internal consistency; returns a description of the first
+    /// violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_layers == 0 {
+            return Err("num_layers must be positive".into());
+        }
+        if self.hidden == 0 || self.ffn_hidden == 0 {
+            return Err("hidden sizes must be positive".into());
+        }
+        if self.num_heads == 0 {
+            return Err("num_heads must be positive".into());
+        }
+        if !self.hidden.is_multiple_of(self.num_heads as u64) {
+            return Err(format!(
+                "hidden ({}) must be divisible by num_heads ({})",
+                self.hidden, self.num_heads
+            ));
+        }
+        if self.vocab_size == 0 {
+            return Err("vocab_size must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn dtype_bits_and_packing() {
+        assert_eq!(DType::F16.bytes_for(100), 200);
+        assert_eq!(DType::Int4.bytes_for(100), 50);
+        assert_eq!(DType::Int4.bytes_for(101), 51); // rounds up
+        assert_eq!(DType::Int8.bytes_for(7), 7);
+        assert!(DType::Int4.is_quantized());
+        assert!(!DType::F16.is_quantized());
+    }
+
+    #[test]
+    fn opt30b_layer_weights_match_paper_formula() {
+        let m = presets::opt_30b();
+        // 4·7168² + 2·7168·28672 = 616,562,688 weights per layer.
+        assert_eq!(m.weights_per_layer(), 616_562_688);
+        // 48 layers ≈ 29.6B parameters — "30 billion".
+        assert_eq!(m.layer_params(), 29_595_009_024);
+    }
+
+    #[test]
+    fn head_dim_divides() {
+        for m in presets::all_presets() {
+            assert!(m.validate().is_ok(), "{} invalid", m.name);
+            assert_eq!(m.head_dim() * m.num_heads as u64, m.hidden);
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_heads() {
+        let mut m = presets::opt_125m();
+        m.num_heads = 7;
+        assert!(m.validate().is_err());
+        m.num_heads = 0;
+        assert!(m.validate().is_err());
+    }
+}

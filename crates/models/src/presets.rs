@@ -1,0 +1,164 @@
+//! The OPT and LLaMA configurations evaluated in the paper, plus small
+//! members of each family for real execution and tests.
+//!
+//! Sizes follow the published architecture tables (OPT: Zhang et al. 2022;
+//! LLaMA: Touvron et al. 2023).
+
+use crate::config::{Family, ModelConfig};
+
+fn opt(name: &str, l: u32, h: u64, heads: u32) -> ModelConfig {
+    ModelConfig {
+        name: name.to_string(),
+        family: Family::Opt,
+        num_layers: l,
+        hidden: h,
+        ffn_hidden: 4 * h,
+        num_heads: heads,
+        vocab_size: 50_272,
+        max_seq_len: 2048,
+    }
+}
+
+fn llama(name: &str, l: u32, h: u64, ffn: u64, heads: u32) -> ModelConfig {
+    ModelConfig {
+        name: name.to_string(),
+        family: Family::Llama,
+        num_layers: l,
+        hidden: h,
+        ffn_hidden: ffn,
+        num_heads: heads,
+        vocab_size: 32_000,
+        max_seq_len: 2048,
+    }
+}
+
+/// OPT-125M — small enough to run for real in `lm-engine` tests.
+pub fn opt_125m() -> ModelConfig {
+    opt("OPT-125M", 12, 768, 12)
+}
+
+/// OPT-1.3B.
+pub fn opt_1p3b() -> ModelConfig {
+    opt("OPT-1.3B", 24, 2048, 32)
+}
+
+/// OPT-6.7B.
+pub fn opt_6p7b() -> ModelConfig {
+    opt("OPT-6.7B", 32, 4096, 32)
+}
+
+/// OPT-13B — used in the multi-GPU evaluation (Fig. 9).
+pub fn opt_13b() -> ModelConfig {
+    opt("OPT-13B", 40, 5120, 40)
+}
+
+/// OPT-30B — the motivation-study model (Figs. 3-5, Tables 1 and 5).
+pub fn opt_30b() -> ModelConfig {
+    opt("OPT-30B", 48, 7168, 56)
+}
+
+/// OPT-66B — the largest OPT evaluated (Table 3).
+pub fn opt_66b() -> ModelConfig {
+    opt("OPT-66B", 64, 9216, 72)
+}
+
+/// LLaMA-7B.
+pub fn llama_7b() -> ModelConfig {
+    llama("LLaMA-7B", 32, 4096, 11_008, 32)
+}
+
+/// LLaMA-13B — used in the multi-GPU evaluation (Fig. 9).
+pub fn llama_13b() -> ModelConfig {
+    llama("LLaMA-13B", 40, 5120, 13_824, 40)
+}
+
+/// LLaMA-30B (33B) — Table 3.
+pub fn llama_30b() -> ModelConfig {
+    llama("LLaMA-30B", 60, 6656, 17_920, 52)
+}
+
+/// LLaMA-65B — Table 3.
+pub fn llama_65b() -> ModelConfig {
+    llama("LLaMA-65B", 80, 8192, 22_016, 64)
+}
+
+/// A tiny model for real end-to-end generation in tests: 4 layers,
+/// hidden 64. Completes a full prefill+decode in milliseconds.
+pub fn tiny_test() -> ModelConfig {
+    ModelConfig {
+        name: "tiny-test".to_string(),
+        family: Family::Custom,
+        num_layers: 4,
+        hidden: 64,
+        ffn_hidden: 256,
+        num_heads: 4,
+        vocab_size: 512,
+        max_seq_len: 512,
+    }
+}
+
+/// Every preset, for exhaustive validation tests.
+pub fn all_presets() -> Vec<ModelConfig> {
+    vec![
+        opt_125m(),
+        opt_1p3b(),
+        opt_6p7b(),
+        opt_13b(),
+        opt_30b(),
+        opt_66b(),
+        llama_7b(),
+        llama_13b(),
+        llama_30b(),
+        llama_65b(),
+        tiny_test(),
+    ]
+}
+
+/// Look a preset up by (case-insensitive) name, for CLI frontends.
+pub fn by_name(name: &str) -> Option<ModelConfig> {
+    let lower = name.to_ascii_lowercase();
+    all_presets()
+        .into_iter()
+        .find(|m| m.name.to_ascii_lowercase() == lower)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_counts_land_near_nominal_sizes() {
+        // (model, nominal billions, tolerance in billions)
+        let cases = [
+            (opt_13b(), 13.0, 1.0),
+            (opt_30b(), 30.0, 1.0),
+            (opt_66b(), 66.0, 2.5),
+            (llama_13b(), 13.0, 1.0),
+            (llama_30b(), 32.5, 2.0),
+            (llama_65b(), 65.0, 2.5),
+        ];
+        for (m, nominal, tol) in cases {
+            let b = m.total_params() as f64 / 1e9;
+            assert!(
+                (b - nominal).abs() <= tol,
+                "{}: {:.1}B params, expected ~{nominal}B",
+                m.name,
+                b
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("opt-30b").unwrap().hidden, 7168);
+        assert_eq!(by_name("LLAMA-65B").unwrap().num_layers, 80);
+        assert!(by_name("gpt-5").is_none());
+    }
+
+    #[test]
+    fn opt_mlp_ratio_is_four() {
+        for m in [opt_125m(), opt_13b(), opt_30b(), opt_66b()] {
+            assert_eq!(m.ffn_hidden, 4 * m.hidden);
+        }
+    }
+}

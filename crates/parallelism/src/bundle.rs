@@ -1,0 +1,185 @@
+//! Operator bundling: merging small operators into their neighbours
+//! "to avoid cache thrashing" when throttling parallelism (§1, §4).
+//!
+//! A node is merged into its unique successor when the pair forms a linear
+//! chain (single successor / single predecessor) and at least one of the
+//! two is below the cost threshold. Merging a chain never changes the
+//! graph's wavefront widths, so the Kahn-derived inter-op parallelism is
+//! preserved while per-op launch overheads amortise.
+
+use crate::graph::{OpGraph, OpNode};
+
+/// Result of bundling: the new graph plus, for each original node, the
+/// index of the bundled node that absorbed it.
+#[derive(Debug, Clone)]
+pub struct Bundled {
+    pub graph: OpGraph,
+    pub mapping: Vec<usize>,
+}
+
+/// Bundle linear chains whose members fall below `min_flops`.
+pub fn bundle_small_ops(g: &OpGraph, min_flops: f64) -> Bundled {
+    let n = g.len();
+    let preds = g.predecessors();
+    // Union-find-ish absorption: absorb[u] = v means u is merged into v's
+    // group. Process nodes in order; a node with exactly one successor
+    // whose successor has exactly one predecessor is chainable.
+    let mut group = (0..n).collect::<Vec<_>>();
+
+    fn find(group: &mut [usize], mut x: usize) -> usize {
+        while group[x] != x {
+            group[x] = group[group[x]];
+            x = group[x];
+        }
+        x
+    }
+
+    for u in 0..n {
+        if g.edges[u].len() != 1 {
+            continue;
+        }
+        let v = g.edges[u][0];
+        if preds[v].len() != 1 {
+            continue;
+        }
+        if g.nodes[u].flops >= min_flops && g.nodes[v].flops >= min_flops {
+            continue;
+        }
+        // Merge u's group into v's group.
+        let ru = find(&mut group, u);
+        let rv = find(&mut group, v);
+        if ru != rv {
+            group[ru] = rv;
+        }
+    }
+
+    // Build the bundled graph: one node per root group.
+    let root_of: Vec<usize> = (0..n).map(|u| find(&mut group, u)).collect();
+    let mut new_index = vec![usize::MAX; n];
+    let mut graph = OpGraph::new();
+    for &r in &root_of {
+        if new_index[r] == usize::MAX {
+            let node = &g.nodes[r];
+            new_index[r] = graph.add(format!("bundle({})", node.name), node.kind, 0.0, 0.0);
+        }
+    }
+    // Accumulate costs and rebuild edges between distinct groups.
+    for (u, r) in root_of.iter().enumerate() {
+        let gi = new_index[*r];
+        graph.nodes[gi].flops += g.nodes[u].flops;
+        graph.nodes[gi].bytes += g.nodes[u].bytes;
+    }
+    for (u, outs) in g.edges.iter().enumerate() {
+        let gu = new_index[root_of[u]];
+        for &v in outs {
+            let gv = new_index[root_of[v]];
+            if gu != gv {
+                graph.depend(gu, gv);
+            }
+        }
+    }
+    // Restore original names for single-member groups (cosmetic).
+    simplify_names(&mut graph.nodes, g, &root_of, &new_index);
+
+    Bundled {
+        graph,
+        mapping: (0..n).map(|u| new_index[root_of[u]]).collect(),
+    }
+}
+
+fn simplify_names(
+    nodes: &mut [OpNode],
+    original: &OpGraph,
+    root_of: &[usize],
+    new_index: &[usize],
+) {
+    // Restore the original name when a group has a single member.
+    let mut member_count = vec![0usize; nodes.len()];
+    for &r in root_of {
+        member_count[new_index[r]] += 1;
+    }
+    for (u, &r) in root_of.iter().enumerate() {
+        let gi = new_index[r];
+        if member_count[gi] == 1 {
+            nodes[gi].name = original.nodes[u].name.clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{attention_graph, OpKind};
+    use crate::kahn::analyze;
+
+    #[test]
+    fn chain_of_small_ops_collapses() {
+        let mut g = OpGraph::new();
+        let a = g.add("a", OpKind::Elementwise, 1.0, 8.0);
+        let b = g.add("b", OpKind::Elementwise, 1.0, 8.0);
+        let c = g.add("c", OpKind::Elementwise, 1.0, 8.0);
+        g.depend(a, b);
+        g.depend(b, c);
+        let bundled = bundle_small_ops(&g, 10.0);
+        assert_eq!(bundled.graph.len(), 1);
+        assert_eq!(bundled.graph.nodes[0].flops, 3.0);
+        assert_eq!(bundled.graph.nodes[0].bytes, 24.0);
+    }
+
+    #[test]
+    fn large_ops_not_bundled() {
+        let mut g = OpGraph::new();
+        let a = g.add("a", OpKind::Bmm, 1e9, 8.0);
+        let b = g.add("b", OpKind::Bmm, 1e9, 8.0);
+        g.depend(a, b);
+        let bundled = bundle_small_ops(&g, 10.0);
+        assert_eq!(bundled.graph.len(), 2);
+        assert_eq!(bundled.graph.nodes[bundled.mapping[0]].name, "a");
+    }
+
+    #[test]
+    fn bundling_preserves_totals_and_acyclicity() {
+        let g = attention_graph(16, 32, 128, 4);
+        let bundled = bundle_small_ops(&g, 1e7);
+        assert!((bundled.graph.total_flops() - g.total_flops()).abs() < 1e-3);
+        assert!((bundled.graph.total_bytes() - g.total_bytes()).abs() < 1e-3);
+        assert!(bundled.graph.len() <= g.len());
+        assert!(analyze(&bundled.graph).is_some(), "bundling introduced a cycle");
+    }
+
+    #[test]
+    fn bundling_preserves_max_concurrency() {
+        // Merging chains must not reduce usable width (the softmax nodes
+        // merge into their bmm neighbours but the head-group strips stay
+        // parallel).
+        let g = attention_graph(16, 32, 128, 6);
+        let before = analyze(&g).unwrap().max_concurrency();
+        let bundled = bundle_small_ops(&g, 1e7);
+        let after = analyze(&bundled.graph).unwrap().max_concurrency();
+        assert_eq!(before, after.max(3).max(before.min(after)), "width shrank: {before} -> {after}");
+        assert!(after >= 6, "head-group strips must stay parallel");
+    }
+
+    #[test]
+    fn fanout_boundary_not_crossed() {
+        // A small node with two successors must not merge into either.
+        let mut g = OpGraph::new();
+        let a = g.add("a", OpKind::Elementwise, 1.0, 0.0);
+        let b = g.add("b", OpKind::Elementwise, 1.0, 0.0);
+        let c = g.add("c", OpKind::Elementwise, 1.0, 0.0);
+        g.depend(a, b);
+        g.depend(a, c);
+        let bundled = bundle_small_ops(&g, 10.0);
+        assert_eq!(bundled.graph.len(), 3);
+    }
+
+    #[test]
+    fn mapping_covers_all_nodes() {
+        let g = attention_graph(8, 16, 64, 3);
+        let bundled = bundle_small_ops(&g, 1e6);
+        assert_eq!(bundled.mapping.len(), g.len());
+        for &m in &bundled.mapping {
+            assert!(m < bundled.graph.len());
+        }
+    }
+}

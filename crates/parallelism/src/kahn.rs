@@ -1,0 +1,220 @@
+//! Kahn's algorithm: topological sorting, level (wavefront) analysis, and
+//! the *maximum concurrency level* LM-Offload derives its inter-op
+//! parallelism from (Algorithm 3, line 4).
+
+use crate::graph::OpGraph;
+
+/// Result of a Kahn pass over a DAG.
+#[derive(Debug, Clone)]
+pub struct KahnAnalysis {
+    /// A valid topological order of node indices.
+    pub topo_order: Vec<usize>,
+    /// `levels[i]` = wavefront of node `i` (all predecessors in lower
+    /// wavefronts); nodes in the same wavefront can run concurrently.
+    pub levels: Vec<usize>,
+    /// Number of nodes per wavefront.
+    pub level_widths: Vec<usize>,
+}
+
+impl KahnAnalysis {
+    /// The paper's "maximum concurrency level": the widest wavefront.
+    pub fn max_concurrency(&self) -> usize {
+        self.level_widths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Critical-path length in wavefronts.
+    pub fn depth(&self) -> usize {
+        self.level_widths.len()
+    }
+}
+
+/// Run Kahn's algorithm. Returns `None` if the graph has a cycle.
+pub fn analyze(g: &OpGraph) -> Option<KahnAnalysis> {
+    let n = g.len();
+    let mut indeg = g.in_degrees();
+    let mut levels = vec![0usize; n];
+    let mut order = Vec::with_capacity(n);
+    let mut frontier: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut level_widths = Vec::new();
+    let mut level = 0;
+
+    while !frontier.is_empty() {
+        level_widths.push(frontier.len());
+        let mut next = Vec::new();
+        for &u in &frontier {
+            levels[u] = level;
+            order.push(u);
+            for &v in &g.edges[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+        level += 1;
+    }
+
+    if order.len() != n {
+        return None; // cycle
+    }
+    Some(KahnAnalysis {
+        topo_order: order,
+        levels,
+        level_widths,
+    })
+}
+
+/// List-schedule the graph on `p` identical processors with per-node
+/// execution times, returning the makespan. Greedy earliest-finish
+/// assignment in topological order — the estimator Algorithm 3 uses for
+/// the compute task once intra-op parallelism (and hence node times) is
+/// fixed.
+pub fn makespan(g: &OpGraph, times: &[f64], p: usize) -> f64 {
+    assert_eq!(times.len(), g.len(), "one time per node required");
+    assert!(p >= 1, "need at least one processor");
+    let analysis = match analyze(g) {
+        Some(a) => a,
+        None => return f64::INFINITY,
+    };
+    let preds = g.predecessors();
+    // ready[i]: when node i's inputs are all available.
+    let mut finish = vec![0.0f64; g.len()];
+    let mut proc_free = vec![0.0f64; p];
+    for &u in &analysis.topo_order {
+        let ready = preds[u]
+            .iter()
+            .map(|&q| finish[q])
+            .fold(0.0f64, f64::max);
+        // Earliest-available processor.
+        let (pi, &free) = proc_free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .expect("p >= 1");
+        let start = ready.max(free);
+        finish[u] = start + times[u];
+        proc_free[pi] = finish[u];
+    }
+    finish.iter().copied().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{attention_graph, OpKind};
+    use proptest::prelude::*;
+
+    fn diamond() -> OpGraph {
+        let mut g = OpGraph::new();
+        let a = g.add("a", OpKind::Elementwise, 1.0, 0.0);
+        let b = g.add("b", OpKind::Elementwise, 1.0, 0.0);
+        let c = g.add("c", OpKind::Elementwise, 1.0, 0.0);
+        let d = g.add("d", OpKind::Elementwise, 1.0, 0.0);
+        g.depend(a, b);
+        g.depend(a, c);
+        g.depend(b, d);
+        g.depend(c, d);
+        g
+    }
+
+    #[test]
+    fn diamond_levels() {
+        let a = analyze(&diamond()).unwrap();
+        assert_eq!(a.level_widths, vec![1, 2, 1]);
+        assert_eq!(a.max_concurrency(), 2);
+        assert_eq!(a.depth(), 3);
+    }
+
+    #[test]
+    fn attention_graph_concurrency_matches_head_groups() {
+        // Wavefronts: [q,k,v] → [concat] → [scores×G] → [softmax×G] →
+        // [mix×G] → [out]. Max width = max(3, G).
+        for groups in [2usize, 4, 7] {
+            let g = attention_graph(16, 32, 128, groups);
+            let a = analyze(&g).unwrap();
+            assert_eq!(a.max_concurrency(), groups.max(3), "groups {groups}");
+        }
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = diamond();
+        g.depend(3, 0); // close the cycle
+        assert!(analyze(&g).is_none());
+    }
+
+    #[test]
+    fn topo_order_is_valid() {
+        let g = attention_graph(8, 16, 64, 3);
+        let a = analyze(&g).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.len()];
+            for (i, &u) in a.topo_order.iter().enumerate() {
+                p[u] = i;
+            }
+            p
+        };
+        for (from, outs) in g.edges.iter().enumerate() {
+            for &t in outs {
+                assert!(pos[from] < pos[t], "edge {from}->{t} violated");
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_bounds() {
+        let g = diamond();
+        let times = vec![1.0, 2.0, 3.0, 1.0];
+        let serial: f64 = times.iter().sum();
+        let critical = 1.0 + 3.0 + 1.0;
+        assert_eq!(makespan(&g, &times, 1), serial);
+        let two = makespan(&g, &times, 2);
+        assert_eq!(two, critical); // b runs in c's shadow
+        // More processors can't help a width-2 graph.
+        assert_eq!(makespan(&g, &times, 8), two);
+    }
+
+    #[test]
+    fn makespan_infinite_on_cycle() {
+        let mut g = diamond();
+        g.depend(3, 0);
+        assert_eq!(makespan(&g, &[1.0; 4], 2), f64::INFINITY);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_makespan_monotone_in_processors(
+            groups in 1usize..6,
+            seed in 0u64..100,
+        ) {
+            let g = attention_graph(8, 16, 64, groups);
+            let times: Vec<f64> = (0..g.len())
+                .map(|i| 1.0 + ((seed as usize + i * 7) % 5) as f64)
+                .collect();
+            let mut last = f64::INFINITY;
+            for p in 1..=8 {
+                let m = makespan(&g, &times, p);
+                prop_assert!(m <= last + 1e-9, "p={p}: {m} > {last}");
+                last = m;
+            }
+            // And never below the critical path or work/p bound.
+            let work: f64 = times.iter().sum();
+            let m8 = makespan(&g, &times, 8);
+            prop_assert!(m8 + 1e-9 >= work / 8.0);
+        }
+
+        #[test]
+        fn prop_levels_respect_edges(groups in 1usize..6) {
+            let g = attention_graph(4, 8, 32, groups);
+            let a = analyze(&g).unwrap();
+            for (from, outs) in g.edges.iter().enumerate() {
+                for &t in outs {
+                    prop_assert!(a.levels[from] < a.levels[t]);
+                }
+            }
+            let total: usize = a.level_widths.iter().sum();
+            prop_assert_eq!(total, g.len());
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Offline profiling tables (§4.2): per-operator execution times under
+//! each intra-op thread count, collected once and reused during online
+//! inference.
+//!
+//! In the paper these come from measuring PyTorch operators; here they
+//! can be *synthesised* from the operator's FLOP/byte counts and the
+//! calibrated [`CpuScalingModel`] (the large-platform path), or
+//! *measured* on this machine by actually running each operator at each
+//! thread count ([`ProfileTable::measure`]) — the paper's offline
+//! profiling step, executed for real.
+
+use crate::graph::OpGraph;
+use crate::scaling::CpuScalingModel;
+use serde::{Deserialize, Serialize};
+
+/// Per-operator launch overhead: the paper notes operator times are at
+/// micro-second level where "the overhead of thread scheduling can easily
+/// kill the performance".
+pub const LAUNCH_OVERHEAD_SECS: f64 = 5e-6;
+
+/// Execution-time table: `times[node][t-1]` is the time of `node` with `t`
+/// intra-op threads (no co-run contention — that is applied at schedule
+/// time).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileTable {
+    times: Vec<Vec<f64>>,
+    max_threads: u32,
+}
+
+impl ProfileTable {
+    /// Synthesise a table for `graph` on a CPU with sustained scalar rates
+    /// `flops_rate` (FLOP/s, single thread) and `bytes_rate` (B/s, single
+    /// thread): an operator's single-thread time is the roofline
+    /// `max(flops/flops_rate, bytes/bytes_rate)` plus launch overhead.
+    pub fn synthesize(
+        graph: &OpGraph,
+        model: &CpuScalingModel,
+        flops_rate: f64,
+        bytes_rate: f64,
+        max_threads: u32,
+    ) -> Self {
+        assert!(max_threads >= 1, "max_threads must be positive");
+        assert!(flops_rate > 0.0 && bytes_rate > 0.0, "rates must be positive");
+        let times = graph
+            .nodes
+            .iter()
+            .map(|n| {
+                let base =
+                    (n.flops / flops_rate).max(n.bytes / bytes_rate) + LAUNCH_OVERHEAD_SECS;
+                (1..=max_threads)
+                    .map(|t| base / model.intra_speedup(t))
+                    .collect()
+            })
+            .collect();
+        ProfileTable { times, max_threads }
+    }
+
+    /// Build from explicit measurements (`measured[node][t-1]`).
+    pub fn from_measurements(measured: Vec<Vec<f64>>) -> Self {
+        assert!(!measured.is_empty(), "empty profile");
+        let max_threads = measured[0].len() as u32;
+        assert!(max_threads >= 1, "profile needs at least one thread column");
+        assert!(
+            measured.iter().all(|r| r.len() as u32 == max_threads),
+            "ragged profile table"
+        );
+        ProfileTable {
+            times: measured,
+            max_threads,
+        }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.times.len()
+    }
+
+    pub fn max_threads(&self) -> u32 {
+        self.max_threads
+    }
+
+    /// Time of `node` with `threads` intra-op threads (clamped to the
+    /// profiled range, matching how a runtime would reuse its table).
+    pub fn time(&self, node: usize, threads: u32) -> f64 {
+        let t = threads.clamp(1, self.max_threads);
+        self.times[node][(t - 1) as usize]
+    }
+
+    /// All node times at a given intra-op thread count.
+    pub fn node_times(&self, threads: u32) -> Vec<f64> {
+        (0..self.num_nodes())
+            .map(|n| self.time(n, threads))
+            .collect()
+    }
+
+    /// Measure a profile on this machine: run `work(node, threads)` for
+    /// every (node, thread-count) cell `runs` times and keep the minimum
+    /// wall-clock time — the paper's "offline profiling happens only
+    /// once" step, done for real.
+    pub fn measure<F>(graph: &OpGraph, max_threads: u32, runs: u32, work: F) -> Self
+    where
+        F: Fn(usize, u32),
+    {
+        assert!(max_threads >= 1 && runs >= 1, "degenerate profiling setup");
+        let times = (0..graph.len())
+            .map(|node| {
+                (1..=max_threads)
+                    .map(|t| {
+                        let mut best = f64::INFINITY;
+                        for _ in 0..runs {
+                            let t0 = std::time::Instant::now();
+                            work(node, t);
+                            best = best.min(t0.elapsed().as_secs_f64());
+                        }
+                        best.max(1e-9)
+                    })
+                    .collect()
+            })
+            .collect();
+        ProfileTable { times, max_threads }
+    }
+
+    /// Convenience: measure using the synthetic CPU-burn workload sized
+    /// by each node's modelled FLOPs (scaled by `work_scale` so profiling
+    /// stays fast).
+    pub fn measure_burn(graph: &OpGraph, max_threads: u32, work_scale: f64) -> Self {
+        ProfileTable::measure(graph, max_threads, 3, |node, threads| {
+            crate::executor::burn(graph.nodes[node].flops * work_scale, threads as usize)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::attention_graph;
+    use lm_hardware::presets;
+
+    fn setup() -> (OpGraph, ProfileTable) {
+        let g = attention_graph(64, 128, 512, 4);
+        let model = CpuScalingModel::from_cpu(&presets::single_gpu_a100().cpu);
+        let p = ProfileTable::synthesize(&g, &model, 5e9, 10e9, 56);
+        (g, p)
+    }
+
+    #[test]
+    fn more_threads_never_slower_per_op() {
+        let (g, p) = setup();
+        for n in 0..g.len() {
+            for t in 1..28u32 {
+                assert!(
+                    p.time(n, t + 1) <= p.time(n, t) * 1.0001,
+                    "node {n}: t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn launch_overhead_floors_tiny_ops() {
+        let (g, p) = setup();
+        // kv_concat has zero flops but still costs at least the launch
+        // overhead.
+        let concat = g.nodes.iter().position(|n| n.name == "kv_concat").unwrap();
+        assert!(p.time(concat, 56) >= LAUNCH_OVERHEAD_SECS / 10.0);
+    }
+
+    #[test]
+    fn clamps_out_of_range_threads() {
+        let (_, p) = setup();
+        assert_eq!(p.time(0, 0), p.time(0, 1));
+        assert_eq!(p.time(0, 999), p.time(0, 56));
+    }
+
+    #[test]
+    fn node_times_matches_per_node_lookup() {
+        let (g, p) = setup();
+        let all = p.node_times(8);
+        assert_eq!(all.len(), g.len());
+        for (n, &t) in all.iter().enumerate() {
+            assert_eq!(t, p.time(n, 8));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged profile")]
+    fn ragged_measurements_rejected() {
+        ProfileTable::from_measurements(vec![vec![1.0, 2.0], vec![1.0]]);
+    }
+
+    #[test]
+    fn measured_profile_is_well_formed_and_usable() {
+        // A real measurement pass on a tiny graph: every cell positive,
+        // shape matches, and the table drives the Algorithm 3 estimator.
+        let g = attention_graph(2, 4, 32, 2);
+        let p = ProfileTable::measure_burn(&g, 2, 1e-5);
+        assert_eq!(p.num_nodes(), g.len());
+        assert_eq!(p.max_threads(), 2);
+        for n in 0..g.len() {
+            for t in 1..=2 {
+                assert!(p.time(n, t) > 0.0, "node {n} t {t}");
+            }
+        }
+        // Bigger modelled ops must measure slower single-threaded (the
+        // projections dominate the concat).
+        let concat = g.nodes.iter().position(|n| n.name == "kv_concat").unwrap();
+        let proj = g.nodes.iter().position(|n| n.name == "q_proj").unwrap();
+        assert!(p.time(proj, 1) > p.time(concat, 1));
+    }
+}

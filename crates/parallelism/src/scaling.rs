@@ -1,0 +1,203 @@
+//! Analytic CPU scaling model.
+//!
+//! Substitutes for the paper's offline profiling of operator execution
+//! times under varying thread counts (§4.2): memory-intensive attention
+//! operators stop scaling once the memory bandwidth saturates (Fig. 5
+//! shows the knee at ~8 threads), crossing the socket boundary pays a NUMA
+//! penalty, and co-running operators beyond the LLC's capacity pay a cache
+//! contention penalty (Fig. 5 shows inter-op throughput peaking at 12).
+
+use lm_hardware::CpuSpec;
+use serde::{Deserialize, Serialize};
+
+/// Scaling parameters; defaults are calibrated to the dual-Xeon-6330
+/// behaviour reported in §4.1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CpuScalingModel {
+    /// Physical cores per socket.
+    pub cores_per_socket: u32,
+    /// Sockets.
+    pub sockets: u32,
+    /// Hardware threads (including SMT).
+    pub hw_threads: u32,
+    /// Threads at which a single memory-bound operator saturates memory
+    /// bandwidth (the intra-op knee of Fig. 5).
+    pub bw_saturation_threads: f64,
+    /// Fractional throughput lost when an operator's threads span sockets.
+    pub numa_penalty: f64,
+    /// Number of co-running operators whose combined working sets still
+    /// fit the LLC (the inter-op peak of Fig. 5).
+    pub llc_fit_ops: f64,
+    /// Linear cache-contention penalty strength beyond `llc_fit_ops`.
+    pub corun_penalty: f64,
+    /// Quadratic cache-contention term: past the LLC fit, each extra
+    /// co-runner hurts *every* co-runner, so the aggregate cost grows
+    /// superlinearly — this is what makes 12 the throughput peak rather
+    /// than "more is always better divided by contention".
+    pub corun_penalty_quad: f64,
+    /// Extra slowdown per unit of thread oversubscription (capped: the
+    /// OS stops making things worse once run-queues are saturated).
+    pub oversub_penalty: f64,
+    /// Penalty per inter-op pool thread beyond `llc_fit_ops`: even idle
+    /// pool workers cost NUMA-spread scheduling and cache conflicts (§4.1
+    /// gives both reasons for the decline past 12).
+    pub pool_penalty_rate: f64,
+}
+
+impl CpuScalingModel {
+    /// Calibrated defaults for a CPU spec.
+    pub fn from_cpu(cpu: &CpuSpec) -> Self {
+        CpuScalingModel {
+            cores_per_socket: cpu.cores_per_socket,
+            sockets: cpu.sockets,
+            hw_threads: cpu.total_threads(),
+            bw_saturation_threads: 8.0,
+            numa_penalty: 0.15,
+            llc_fit_ops: 12.0,
+            corun_penalty: 0.6,
+            corun_penalty_quad: 1.5,
+            oversub_penalty: 0.1,
+            pool_penalty_rate: 0.004,
+        }
+    }
+
+    /// Slowdown multiplier from the size of the inter-op worker pool
+    /// itself: flat up to `llc_fit_ops` workers, then growing — the
+    /// downslope of Fig. 5's inter-op curve.
+    pub fn pool_penalty(&self, inter_op: u32) -> f64 {
+        1.0 + self.pool_penalty_rate * (inter_op as f64 - self.llc_fit_ops).max(0.0)
+    }
+
+    /// Speedup of one memory-intensive operator with `t` threads relative
+    /// to one thread: a saturating-exponential roofline with a NUMA
+    /// penalty once threads span sockets.
+    ///
+    /// Shape guarantees (tested): monotone non-decreasing up to the
+    /// saturation knee, within a few percent of flat beyond it — matching
+    /// the paper's observation that "performance increases but becomes
+    /// stable when the number of threads is larger than 8".
+    pub fn intra_speedup(&self, t: u32) -> f64 {
+        assert!(t >= 1, "at least one thread required");
+        let t = t as f64;
+        let sat = self.bw_saturation_threads;
+        // Smooth-min between linear scaling and the bandwidth ceiling
+        // (p-norm with p=4: a hard knee at `sat`), normalised so
+        // speedup(1) == 1.
+        let raw = |x: f64| x / (1.0 + (x / sat).powi(4)).powf(0.25);
+        let mut s = raw(t) / raw(1.0);
+        let cps = self.cores_per_socket as f64;
+        if t > cps {
+            let spill = ((t - cps) / cps).min(1.0);
+            s *= 1.0 - self.numa_penalty * spill;
+        }
+        s
+    }
+
+    /// Per-operator throughput multiplier when `c` operators co-run:
+    /// 1 while the combined working sets fit the LLC, then decaying from
+    /// cache contention (the downslope of Fig. 5's inter-op curve).
+    pub fn corun_efficiency(&self, c: u32) -> f64 {
+        assert!(c >= 1, "at least one co-running op");
+        let over = (c as f64 - self.llc_fit_ops).max(0.0) / self.llc_fit_ops;
+        1.0 / (1.0 + self.corun_penalty * over + self.corun_penalty_quad * over * over)
+    }
+
+    /// Slowdown multiplier from software-thread oversubscription: asking
+    /// for `requested` threads on `hw_threads` hardware threads.
+    pub fn oversubscription_factor(&self, requested: u32) -> f64 {
+        let ratio = requested as f64 / self.hw_threads as f64;
+        if ratio <= 1.0 {
+            1.0
+        } else {
+            1.0 + self.oversub_penalty * (ratio - 1.0).min(6.0)
+        }
+    }
+
+    /// Effective execution time of an operator whose single-thread time is
+    /// `base_secs`, run with `intra` threads while `corun` operators
+    /// co-run and `total_requested` software threads exist system-wide.
+    pub fn op_time(&self, base_secs: f64, intra: u32, corun: u32, total_requested: u32) -> f64 {
+        base_secs / self.intra_speedup(intra) / self.corun_efficiency(corun)
+            * self.oversubscription_factor(total_requested)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lm_hardware::presets;
+
+    fn model() -> CpuScalingModel {
+        CpuScalingModel::from_cpu(&presets::single_gpu_a100().cpu)
+    }
+
+    #[test]
+    fn speedup_normalised_at_one_thread() {
+        let m = model();
+        assert!((m.intra_speedup(1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_monotone_until_knee_then_flat() {
+        // Fig. 5 (left): rising to ~8 threads, then stable.
+        let m = model();
+        let mut prev = 0.0;
+        for t in 1..=8 {
+            let s = m.intra_speedup(t);
+            assert!(s > prev, "t={t}");
+            prev = s;
+        }
+        let s8 = m.intra_speedup(8);
+        let s16 = m.intra_speedup(16);
+        let s28 = m.intra_speedup(28);
+        // Beyond the knee: gains under 25% despite 3.5x threads.
+        assert!(s28 / s8 < 1.25, "s8={s8} s28={s28}");
+        assert!(s16 >= s8);
+    }
+
+    #[test]
+    fn numa_penalty_kicks_in_across_sockets() {
+        let m = model();
+        // 56 threads span both sockets; speedup dips relative to the
+        // saturation asymptote reached within one socket.
+        let s28 = m.intra_speedup(28);
+        let s56 = m.intra_speedup(56);
+        assert!(s56 < s28 * 1.01, "cross-socket should not gain: {s28} -> {s56}");
+    }
+
+    #[test]
+    fn corun_efficiency_flat_then_decaying() {
+        // Fig. 5 (right): no penalty up to ~12 co-running ops, then decay.
+        let m = model();
+        assert_eq!(m.corun_efficiency(1), 1.0);
+        assert_eq!(m.corun_efficiency(12), 1.0);
+        let e24 = m.corun_efficiency(24);
+        let e112 = m.corun_efficiency(112);
+        assert!(e24 < 1.0);
+        assert!(e112 < e24);
+        assert!(e112 < 0.4, "112 co-runners must thrash: {e112}");
+    }
+
+    #[test]
+    fn oversubscription_only_beyond_hw() {
+        let m = model();
+        assert_eq!(m.oversubscription_factor(56), 1.0);
+        assert_eq!(m.oversubscription_factor(112), 1.0);
+        assert!(m.oversubscription_factor(224) > 1.0);
+    }
+
+    #[test]
+    fn op_time_composes_factors() {
+        let m = model();
+        let base = 1.0;
+        let fast = m.op_time(base, 8, 4, 32);
+        let contended = m.op_time(base, 8, 112, 112 * 56);
+        assert!(contended > fast * 2.0, "{contended} vs {fast}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        model().intra_speedup(0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # lm-sim
+//!
+//! Simulation substrate for the LM-Offload reproduction: the hardware the
+//! paper ran on, replaced by models (DESIGN.md §2).
+//!
+//! - [`policy`]: offloading policies — the `(wg, cg, hg)` placements,
+//!   per-tensor precisions and attention placement of Table 3, with
+//!   memory-feasibility checks;
+//! - [`tasks`]: the six decode tasks of Algorithm 1, the [`tasks::CostProvider`]
+//!   abstraction, and the analytic Eq. 1/2 aggregation;
+//! - [`analytic`]: the base (quantization-free) cost model — FlexGen's
+//!   accounting — that `lm-offload` extends with Eq. 3-7 overheads;
+//! - [`exec`]: an event-driven executor of the decode loop against FIFO
+//!   hardware resources, validating the analytic `max()` model and
+//!   producing the per-task breakdown of Fig. 8;
+//! - [`pipeline`]: pipeline-parallel multi-GPU simulation for the weak
+//!   scaling study of Fig. 9.
+
+pub mod analytic;
+pub mod exec;
+pub mod pipeline;
+pub mod policy;
+pub mod tasks;
+pub mod timeline;
+
+pub use analytic::{BaseCostModel, DISK_BW, TASK_OVERHEAD};
+pub use exec::{simulate, simulate_traced, SimReport, TaskBreakdown};
+pub use timeline::{render_gantt, resource_overlaps, Span};
+pub use pipeline::{host_contention, simulate_pipeline, PipelineReport};
+pub use policy::{fits, max_gpu_batch, memory_plan, AttentionPlacement, MemoryPlan, Policy};
+pub use tasks::{t_gen, total_latency, CostProvider, TaskExtras, TaskKind};

@@ -1,0 +1,248 @@
+//! Offloading policies: the `(wg, cg, hg)` placement percentages of
+//! Table 3, per-tensor-class precisions, and attention placement — the
+//! decision variables every framework in the paper searches over.
+
+use lm_hardware::Platform;
+use lm_models::{footprint, DType, ModelConfig, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Where the attention computation of the decode phase runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttentionPlacement {
+    /// Attention on GPU: the KV cache streams over the interconnect.
+    Gpu,
+    /// Attention offloaded to CPU: the KV cache stays in host memory and
+    /// only activations cross the link (FlexGen's default for long
+    /// sequences).
+    Cpu,
+}
+
+/// A complete offloading policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Policy {
+    /// Fraction of weights resident on GPU (`wg`, 0..=1).
+    pub wg: f64,
+    /// Fraction of KV cache resident on GPU (`cg`).
+    pub cg: f64,
+    /// Fraction of activations resident on GPU (`hg`).
+    pub hg: f64,
+    /// At-rest precision of the weights.
+    pub weights_dtype: DType,
+    /// At-rest precision of the KV cache.
+    pub kv_dtype: DType,
+    /// Attention placement.
+    pub attention: AttentionPlacement,
+}
+
+impl Policy {
+    /// FlexGen's §3.1 default: attention offloaded, no quantization,
+    /// everything streamed from CPU.
+    pub fn flexgen_default() -> Self {
+        Policy {
+            wg: 0.0,
+            cg: 0.0,
+            hg: 0.0,
+            weights_dtype: DType::F16,
+            kv_dtype: DType::F16,
+            attention: AttentionPlacement::Cpu,
+        }
+    }
+
+    fn check_fraction(name: &str, x: f64) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&x) || !x.is_finite() {
+            return Err(format!("{name} = {x} outside [0, 1]"));
+        }
+        Ok(())
+    }
+
+    /// Validate the percentage fields.
+    pub fn validate(&self) -> Result<(), String> {
+        Self::check_fraction("wg", self.wg)?;
+        Self::check_fraction("cg", self.cg)?;
+        Self::check_fraction("hg", self.hg)?;
+        if self.attention == AttentionPlacement::Cpu && self.cg > 0.0 {
+            // With CPU attention the KV cache must live where the compute
+            // is; a GPU-resident share would never be read.
+            return Err(format!(
+                "cg = {} useless with CPU attention (KV is consumed on CPU)",
+                self.cg
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Byte-level memory requirements of a (policy, model, workload) triple.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryPlan {
+    pub gpu_bytes: u64,
+    pub cpu_bytes: u64,
+    /// Total footprint (the "mem" column of Table 3).
+    pub total_bytes: u64,
+}
+
+/// Working-buffer slack reserved on the GPU for in-flight layer weights,
+/// double-buffered activations and temporaries (fraction of GPU memory).
+pub const GPU_WORKING_RESERVE: f64 = 0.10;
+
+/// Compute the memory plan for a policy.
+pub fn memory_plan(
+    cfg: &ModelConfig,
+    w: &Workload,
+    platform: &Platform,
+    policy: &Policy,
+) -> MemoryPlan {
+    let weights = footprint::weights_bytes(cfg, policy.weights_dtype);
+    let kv = footprint::kv_cache_bytes_peak(cfg, w, policy.kv_dtype);
+    let act = footprint::activation_bytes(cfg, w, DType::F16);
+    // In-flight working set on GPU: two layers of weights (current +
+    // prefetched) at the streaming precision plus activation buffers.
+    let per_layer_weights = weights / cfg.num_layers as u64;
+    let working = 2 * per_layer_weights + 2 * act;
+    let gpu_bytes = (policy.wg * weights as f64) as u64
+        + (policy.cg * kv as f64) as u64
+        + (policy.hg * act as f64) as u64
+        + working;
+    let cpu_bytes = ((1.0 - policy.wg) * weights as f64) as u64
+        + ((1.0 - policy.cg) * kv as f64) as u64
+        + ((1.0 - policy.hg) * act as f64) as u64;
+    let _ = platform;
+    MemoryPlan {
+        gpu_bytes,
+        cpu_bytes,
+        total_bytes: weights + kv + act,
+    }
+}
+
+/// Whether a policy fits the platform's memories.
+pub fn fits(cfg: &ModelConfig, w: &Workload, platform: &Platform, policy: &Policy) -> bool {
+    let plan = memory_plan(cfg, w, platform, policy);
+    let gpu_cap = (platform.gpu.mem_capacity as f64 * (1.0 - GPU_WORKING_RESERVE)) as u64;
+    plan.gpu_bytes <= gpu_cap && plan.cpu_bytes <= platform.cpu.mem_capacity
+}
+
+/// Largest GPU batch size (in multiples of `step`) for which `policy`
+/// still fits, holding the number of zig-zag batches fixed.
+pub fn max_gpu_batch(
+    cfg: &ModelConfig,
+    base: &Workload,
+    platform: &Platform,
+    policy: &Policy,
+    step: u64,
+    cap: u64,
+) -> Option<u64> {
+    let mut best = None;
+    let mut bsz = step;
+    while bsz <= cap {
+        let w = Workload::new(base.prompt_len, base.gen_len, bsz, base.num_batches);
+        if fits(cfg, &w, platform, policy) {
+            best = Some(bsz);
+        } else {
+            break;
+        }
+        bsz += step;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lm_hardware::presets;
+    use lm_models::presets as models;
+
+    #[test]
+    fn flexgen_default_is_valid() {
+        assert!(Policy::flexgen_default().validate().is_ok());
+    }
+
+    #[test]
+    fn out_of_range_fractions_rejected() {
+        let mut p = Policy::flexgen_default();
+        p.wg = 1.5;
+        assert!(p.validate().is_err());
+        p.wg = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn cpu_attention_with_gpu_kv_rejected() {
+        let mut p = Policy::flexgen_default();
+        p.cg = 0.5;
+        assert!(p.validate().is_err());
+        p.attention = AttentionPlacement::Gpu;
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn opt30b_motivation_total_matches_table() {
+        // Table 3 / §3.1: OPT-30B fp16 everything ≈ 214 GiB total.
+        let platform = presets::single_gpu_a100();
+        let plan = memory_plan(
+            &models::opt_30b(),
+            &Workload::motivation(),
+            &platform,
+            &Policy::flexgen_default(),
+        );
+        let gib = plan.total_bytes as f64 / (1u64 << 30) as f64;
+        assert!((gib - 214.0).abs() < 3.0, "total {gib:.1} GiB");
+    }
+
+    #[test]
+    fn opt30b_does_not_fit_without_offloading() {
+        // §3.1: "Without tensor offloading, our evaluation platform cannot
+        // be used for model inference."
+        let platform = presets::single_gpu_a100();
+        let all_gpu = Policy {
+            wg: 1.0,
+            cg: 1.0,
+            hg: 1.0,
+            weights_dtype: DType::F16,
+            kv_dtype: DType::F16,
+            attention: AttentionPlacement::Gpu,
+        };
+        assert!(!fits(
+            &models::opt_30b(),
+            &Workload::motivation(),
+            &platform,
+            &all_gpu
+        ));
+        // But the fully-offloaded FlexGen default fits in 240 GB host RAM.
+        assert!(fits(
+            &models::opt_30b(),
+            &Workload::motivation(),
+            &platform,
+            &Policy::flexgen_default()
+        ));
+    }
+
+    #[test]
+    fn quantized_weights_fit_on_gpu() {
+        // ZeRO-style: OPT-30B 4-bit weights ≈ 14 GiB < 40 GiB A100.
+        let platform = presets::single_gpu_a100();
+        let zero = Policy {
+            wg: 1.0,
+            cg: 0.0,
+            hg: 1.0,
+            weights_dtype: DType::Int4,
+            kv_dtype: DType::F16,
+            attention: AttentionPlacement::Cpu,
+        };
+        let w = Workload::new(64, 128, 64, 1);
+        assert!(fits(&models::opt_30b(), &w, &platform, &zero));
+    }
+
+    #[test]
+    fn max_batch_monotone_in_capacity() {
+        let platform = presets::single_gpu_a100();
+        let base = Workload::new(64, 8, 64, 10);
+        let p = Policy::flexgen_default();
+        let got = max_gpu_batch(&models::opt_30b(), &base, &platform, &p, 64, 4096).unwrap();
+        assert!(got >= 64);
+        // Bigger KV dtype shrinks the feasible batch.
+        let mut p4 = p;
+        p4.kv_dtype = DType::Int4;
+        let got4 = max_gpu_batch(&models::opt_30b(), &base, &platform, &p4, 64, 4096).unwrap();
+        assert!(got4 >= got);
+    }
+}

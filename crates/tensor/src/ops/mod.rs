@@ -1,0 +1,8 @@
+//! Numeric kernels: matmul, elementwise/normalisation, attention, linear
+//! layers.
+
+pub mod attention;
+pub mod elementwise;
+pub mod linear;
+pub mod matmul;
+pub mod rope;

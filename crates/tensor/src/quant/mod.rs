@@ -1,0 +1,328 @@
+//! Group-wise min-max quantization — a faithful implementation of the
+//! paper's Algorithm 2 and Equations 10/11.
+//!
+//! The workload has four phases, exactly as the paper profiles them:
+//! 1. **Pad** — extend the tensor so the group size divides it (lines 5-6);
+//! 2. **Find min/max** — per group (lines 9-10);
+//! 3. **Normalize** — `x_q = round((x-min)/(max-min)·(2^b-1))`, clamped
+//!    (lines 12-14, Eq. 10);
+//! 4. **Pack/reshape** — bit-pack to the target width (lines 16-18).
+//!
+//! Dequantization applies Eq. 11: `x = x_q/(2^b-1)·(max-min) + min`, reusing
+//! the stored per-group min/max, so there is no min/max phase — matching
+//! the cost asymmetry the performance model exploits (Eq. 16/24).
+
+pub mod pack;
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use bytes::Bytes;
+use rayon::prelude::*;
+
+/// Quantization parameters: target bit width and group size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantConfig {
+    /// Bits per element after quantization (4 or 8; FlexGen's default is 4
+    /// with group size 64).
+    pub bits: u8,
+    /// Elements per quantization group sharing one (min, max) pair.
+    pub group_size: usize,
+}
+
+impl QuantConfig {
+    /// FlexGen's default: 4-bit, groups of 64.
+    pub fn int4() -> Self {
+        QuantConfig {
+            bits: 4,
+            group_size: 64,
+        }
+    }
+
+    /// 8-bit variant.
+    pub fn int8() -> Self {
+        QuantConfig {
+            bits: 8,
+            group_size: 64,
+        }
+    }
+
+    /// Number of quantization levels minus one (`2^b - 1` in Eq. 10/11).
+    pub fn levels(&self) -> f32 {
+        ((1u32 << self.bits) - 1) as f32
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.bits == 4 || self.bits == 8,
+            "only 4- and 8-bit quantization supported, got {}",
+            self.bits
+        );
+        assert!(self.group_size > 0, "group_size must be positive");
+    }
+}
+
+/// A group-wise quantized tensor: packed codes plus per-group `(min, max)`
+/// metadata, remembering the original shape for exact reconstruction of
+/// padding.
+#[derive(Debug, Clone)]
+pub struct QuantizedTensor {
+    shape: Shape,
+    config: QuantConfig,
+    /// Packed codes, `bits`-wide each, padded tail included.
+    packed: Bytes,
+    /// Per-group minimum.
+    mins: Vec<f32>,
+    /// Per-group range (`max - min`).
+    ranges: Vec<f32>,
+    /// Element count after padding to a multiple of `group_size`.
+    padded_len: usize,
+}
+
+impl QuantizedTensor {
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    pub fn config(&self) -> QuantConfig {
+        self.config
+    }
+
+    pub fn num_groups(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Total bytes at rest: packed codes plus f32 metadata per group.
+    pub fn bytes(&self) -> usize {
+        self.packed.len() + (self.mins.len() + self.ranges.len()) * std::mem::size_of::<f32>()
+    }
+
+    /// Compression ratio versus f32 storage of the original tensor.
+    pub fn compression_ratio(&self) -> f64 {
+        (self.shape.numel() * std::mem::size_of::<f32>()) as f64 / self.bytes() as f64
+    }
+
+    /// Worst-case absolute reconstruction error: half a quantization step
+    /// of the widest group.
+    pub fn error_bound(&self) -> f32 {
+        let widest = self.ranges.iter().copied().fold(0.0f32, f32::max);
+        0.5 * widest / self.config.levels()
+    }
+}
+
+/// Quantize a tensor (Algorithm 2). Groups are formed along the flattened
+/// row-major order, which matches grouping along the last dimension when
+/// `group_size` divides it (the common case for `[.., hidden]` tensors).
+pub fn quantize(t: &Tensor, config: QuantConfig) -> QuantizedTensor {
+    config.validate();
+    let n = t.numel();
+    // Phase 1: pad to a multiple of the group size.
+    let padded_len = n.div_ceil(config.group_size) * config.group_size;
+    let num_groups = padded_len / config.group_size;
+    let levels = config.levels();
+
+    // Phases 2-3, parallel over groups (independent, no sharing).
+    let results: Vec<(f32, f32, Vec<u8>)> = (0..num_groups)
+        .into_par_iter()
+        .map(|g| {
+            let start = g * config.group_size;
+            let end = (start + config.group_size).min(n);
+            let group = &t.data()[start..end];
+            // Phase 2: find min and max within the group (lines 9-10).
+            let mut min = f32::INFINITY;
+            let mut max = f32::NEG_INFINITY;
+            for &x in group {
+                min = min.min(x);
+                max = max.max(x);
+            }
+            if group.is_empty() {
+                // Whole group is padding.
+                min = 0.0;
+                max = 0.0;
+            }
+            let range = max - min;
+            let inv = if range > 0.0 { levels / range } else { 0.0 };
+            // Phase 3: min-max normalize per Eq. 10, then clamp (lines 12-14).
+            let mut codes = Vec::with_capacity(config.group_size);
+            for &x in group {
+                let q = ((x - min) * inv).round();
+                codes.push(q.clamp(0.0, levels) as u8);
+            }
+            codes.resize(config.group_size, 0); // padded tail elements
+            (min, range, codes)
+        })
+        .collect();
+
+    let mut mins = Vec::with_capacity(num_groups);
+    let mut ranges = Vec::with_capacity(num_groups);
+    let mut all_codes = Vec::with_capacity(padded_len);
+    for (min, range, codes) in results {
+        mins.push(min);
+        ranges.push(range);
+        all_codes.extend_from_slice(&codes);
+    }
+
+    // Phase 4: pack to the target bit width (lines 16-18).
+    let packed = match config.bits {
+        4 => pack::pack_nibbles(&all_codes),
+        8 => all_codes,
+        _ => unreachable!("validated above"),
+    };
+
+    QuantizedTensor {
+        shape: t.shape().clone(),
+        config,
+        packed: Bytes::from(packed),
+        mins,
+        ranges,
+        padded_len,
+    }
+}
+
+/// Dequantize per Eq. 11, dropping padding to restore the original shape.
+pub fn dequantize(q: &QuantizedTensor) -> Tensor {
+    let n = q.shape.numel();
+    let codes: Vec<u8> = match q.config.bits {
+        4 => pack::unpack_nibbles(&q.packed, q.padded_len),
+        8 => q.packed.to_vec(),
+        _ => unreachable!("config validated at quantize time"),
+    };
+    let levels = q.config.levels();
+    let gs = q.config.group_size;
+
+    let mut out = vec![0.0f32; n];
+    out.par_chunks_mut(gs).enumerate().for_each(|(g, chunk)| {
+        let min = q.mins[g];
+        let range = q.ranges[g];
+        let scale = range / levels;
+        let group_codes = &codes[g * gs..g * gs + chunk.len()];
+        for (x, &c) in chunk.iter_mut().zip(group_codes) {
+            *x = c as f32 * scale + min;
+        }
+    });
+
+    Tensor::from_vec(q.shape.clone(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_error_within_bound() {
+        let t = Tensor::randn([64, 48], 1.0, 33);
+        for cfg in [QuantConfig::int4(), QuantConfig::int8()] {
+            let q = quantize(&t, cfg);
+            let d = dequantize(&q);
+            let err = t.max_abs_diff(&d);
+            assert!(
+                err <= q.error_bound() + 1e-6,
+                "{}-bit error {err} > bound {}",
+                cfg.bits,
+                q.error_bound()
+            );
+        }
+    }
+
+    #[test]
+    fn int8_tighter_than_int4() {
+        let t = Tensor::randn([1024], 1.0, 5);
+        let e4 = t.max_abs_diff(&dequantize(&quantize(&t, QuantConfig::int4())));
+        let e8 = t.max_abs_diff(&dequantize(&quantize(&t, QuantConfig::int8())));
+        assert!(e8 < e4, "int8 err {e8} should beat int4 err {e4}");
+    }
+
+    #[test]
+    fn constant_tensor_is_exact() {
+        let t = Tensor::full([100], 3.5);
+        let q = quantize(&t, QuantConfig::int4());
+        assert!(dequantize(&q).allclose(&t, 0.0));
+        assert_eq!(q.error_bound(), 0.0);
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        // Group min and max quantize to codes 0 and 2^b-1 and reconstruct
+        // exactly (Eq. 10/11 are exact at the endpoints).
+        let t = Tensor::from_vec([4], vec![-2.0, 0.1, 0.9, 2.0]);
+        let q = quantize(
+            &t,
+            QuantConfig {
+                bits: 4,
+                group_size: 4,
+            },
+        );
+        let d = dequantize(&q);
+        assert_eq!(d.at(&[0]), -2.0);
+        assert_eq!(d.at(&[3]), 2.0);
+    }
+
+    #[test]
+    fn padding_respects_shape() {
+        // 7 elements with group size 4 → one padded group.
+        let t = Tensor::randn([7], 1.0, 8);
+        let q = quantize(
+            &t,
+            QuantConfig {
+                bits: 4,
+                group_size: 4,
+            },
+        );
+        assert_eq!(q.num_groups(), 2);
+        let d = dequantize(&q);
+        assert_eq!(d.numel(), 7);
+        assert!(t.max_abs_diff(&d) <= q.error_bound() + 1e-6);
+    }
+
+    #[test]
+    fn int4_compresses_roughly_4x_on_large_groups() {
+        let t = Tensor::randn([4096, 64], 1.0, 9);
+        let q = quantize(&t, QuantConfig::int4());
+        // 4-bit codes = 8x vs f32, minus per-group metadata (8B/64 elems).
+        let ratio = q.compression_ratio();
+        assert!(ratio > 6.0 && ratio < 8.0, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "only 4- and 8-bit")]
+    fn odd_bit_widths_rejected() {
+        quantize(
+            &Tensor::zeros([4]),
+            QuantConfig {
+                bits: 3,
+                group_size: 4,
+            },
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_error_bounded(
+            n in 1usize..500,
+            gs in 1usize..128,
+            bits in prop_oneof![Just(4u8), Just(8u8)],
+            seed in 0u64..1000,
+            std in 0.01f32..10.0,
+        ) {
+            let t = Tensor::randn([n], std, seed);
+            let cfg = QuantConfig { bits, group_size: gs };
+            let q = quantize(&t, cfg);
+            let d = dequantize(&q);
+            prop_assert_eq!(d.numel(), n);
+            let err = t.max_abs_diff(&d);
+            // Allow tiny float slack on top of the analytic bound.
+            prop_assert!(err <= q.error_bound() * (1.0 + 1e-4) + 1e-6,
+                "err {} > bound {}", err, q.error_bound());
+        }
+
+        #[test]
+        fn prop_quantization_idempotent(n in 1usize..200, seed in 0u64..500) {
+            // Dequantized values re-quantize to themselves (fixed point).
+            let t = Tensor::randn([n], 1.0, seed);
+            let cfg = QuantConfig::int4();
+            let d1 = dequantize(&quantize(&t, cfg));
+            let d2 = dequantize(&quantize(&d1, cfg));
+            prop_assert!(d1.allclose(&d2, 1e-5));
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Bit packing for sub-byte quantized values (the "Pack" phase of
+//! Algorithm 2, lines 16-18).
+
+/// Pack 4-bit values (each `< 16`) two per byte, low nibble first.
+pub fn pack_nibbles(vals: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len().div_ceil(2));
+    let mut iter = vals.chunks_exact(2);
+    for pair in &mut iter {
+        debug_assert!(pair[0] < 16 && pair[1] < 16);
+        out.push(pair[0] | (pair[1] << 4));
+    }
+    if let [last] = iter.remainder() {
+        debug_assert!(*last < 16);
+        out.push(*last);
+    }
+    out
+}
+
+/// Unpack `n` 4-bit values from bytes produced by [`pack_nibbles`].
+pub fn unpack_nibbles(bytes: &[u8], n: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(n);
+    for &b in bytes {
+        out.push(b & 0x0F);
+        if out.len() < n {
+            out.push(b >> 4);
+        }
+        if out.len() >= n {
+            break;
+        }
+    }
+    assert_eq!(out.len(), n, "not enough packed bytes for {n} values");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_even() {
+        let vals = vec![0u8, 15, 7, 8];
+        assert_eq!(unpack_nibbles(&pack_nibbles(&vals), 4), vals);
+    }
+
+    #[test]
+    fn round_trip_odd() {
+        let vals = vec![3u8, 12, 9];
+        let packed = pack_nibbles(&vals);
+        assert_eq!(packed.len(), 2);
+        assert_eq!(unpack_nibbles(&packed, 3), vals);
+    }
+
+    #[test]
+    fn packed_size_halves() {
+        let vals = vec![1u8; 1000];
+        assert_eq!(pack_nibbles(&vals).len(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough packed bytes")]
+    fn underflow_detected() {
+        unpack_nibbles(&[0x21], 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pack_unpack_bijective(vals in proptest::collection::vec(0u8..16, 0..300)) {
+            let packed = pack_nibbles(&vals);
+            prop_assert_eq!(packed.len(), vals.len().div_ceil(2));
+            prop_assert_eq!(unpack_nibbles(&packed, vals.len()), vals);
+        }
+    }
+}

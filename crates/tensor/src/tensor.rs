@@ -1,0 +1,255 @@
+//! A dense, contiguous, row-major f32 tensor.
+//!
+//! Deliberately minimal: owned storage, no views or autograd. This is the
+//! numeric substrate the real inference engine (`lm-engine`) runs on; the
+//! large-model experiments never materialise tensors and use shape
+//! arithmetic from `lm-models` instead.
+
+use crate::shape::Shape;
+use rand::distributions::Distribution;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A dense row-major f32 tensor with owned storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A tensor of zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// Wrap an existing buffer; `data.len()` must equal the shape's numel.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "buffer length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// Deterministic normal init (mean 0, given std) from a seed — used for
+    /// synthetic weights so tests are reproducible.
+    pub fn randn(shape: impl Into<Shape>, std: f32, seed: u64) -> Self {
+        let shape = shape.into();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Box-Muller via rand's StandardNormal-free path: use uniform pairs.
+        // rand 0.8's Standard gives uniform [0,1); transform manually to
+        // avoid the rand_distr dependency.
+        let uniform = rand::distributions::Uniform::new(f32::EPSILON, 1.0f32);
+        let n = shape.numel();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = uniform.sample(&mut rng);
+            let u2: f32 = uniform.sample(&mut rng);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos() * std);
+            if data.len() < n {
+                data.push(r * theta.sin() * std);
+            }
+        }
+        Tensor { shape, data }
+    }
+
+    /// Xavier/Glorot-style init for a `[fan_out, fan_in]` weight matrix.
+    pub fn xavier(fan_out: usize, fan_in: usize, seed: u64) -> Self {
+        let std = (2.0 / (fan_in + fan_out) as f32).sqrt();
+        Tensor::randn([fan_out, fan_in], std, seed)
+    }
+
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    pub fn dim(&self, d: usize) -> usize {
+        self.shape.dim(d)
+    }
+
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Mutable element at a multi-dimensional index.
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
+        let off = self.shape.offset(index);
+        &mut self.data[off]
+    }
+
+    /// Reinterpret with a new shape of identical numel (no data movement).
+    pub fn reshape(mut self, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            shape.numel(),
+            self.data.len(),
+            "reshape to {shape} changes element count"
+        );
+        self.shape = shape;
+        self
+    }
+
+    /// Borrow row `r` of a rank-2 tensor.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert_eq!(self.rank(), 2, "row() requires a rank-2 tensor");
+        let cols = self.dim(1);
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Mutably borrow row `r` of a rank-2 tensor.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert_eq!(self.rank(), 2, "row_mut() requires a rank-2 tensor");
+        let cols = self.dim(1);
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Transpose a rank-2 tensor (materialised).
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "transpose2() requires a rank-2 tensor");
+        let (m, n) = (self.dim(0), self.dim(1));
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::from_vec([n, m], out)
+    }
+
+    /// Concatenate rank-2 tensors along dim 0 (stacking rows).
+    pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat of zero tensors");
+        let cols = parts[0].dim(1);
+        let mut data = Vec::new();
+        let mut rows = 0;
+        for p in parts {
+            assert_eq!(p.rank(), 2, "concat_rows requires rank-2 tensors");
+            assert_eq!(p.dim(1), cols, "column mismatch in concat_rows");
+            rows += p.dim(0);
+            data.extend_from_slice(p.data());
+        }
+        Tensor::from_vec([rows, cols], data)
+    }
+
+    /// Maximum absolute difference against another tensor of equal shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "shape mismatch in comparison");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Approximate equality within an absolute tolerance.
+    pub fn allclose(&self, other: &Tensor, atol: f32) -> bool {
+        self.shape == other.shape && self.max_abs_diff(other) <= atol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let t = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.at(&[0, 0]), 1.0);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+        assert_eq!(t.row(1), &[4., 5., 6.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_checks_len() {
+        Tensor::from_vec([2, 2], vec![1.0; 5]);
+    }
+
+    #[test]
+    fn randn_is_deterministic_and_roughly_normal() {
+        let a = Tensor::randn([1000], 1.0, 42);
+        let b = Tensor::randn([1000], 1.0, 42);
+        assert_eq!(a, b);
+        let mean: f32 = a.data().iter().sum::<f32>() / 1000.0;
+        let var: f32 = a.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 1000.0;
+        assert!(mean.abs() < 0.15, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let t = Tensor::randn([3, 5], 1.0, 7);
+        let tt = t.transpose2().transpose2();
+        assert!(t.allclose(&tt, 0.0));
+    }
+
+    #[test]
+    fn concat_rows_stacks() {
+        let a = Tensor::from_vec([1, 2], vec![1., 2.]);
+        let b = Tensor::from_vec([2, 2], vec![3., 4., 5., 6.]);
+        let c = Tensor::concat_rows(&[&a, &b]);
+        assert_eq!(c.shape().0, vec![3, 2]);
+        assert_eq!(c.data(), &[1., 2., 3., 4., 5., 6.]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let r = t.clone().reshape([3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert_eq!(r.dim(0), 3);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_change() {
+        let a = Tensor::zeros([4]);
+        let mut b = Tensor::zeros([4]);
+        b.data_mut()[2] = 0.5;
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+        assert!(!a.allclose(&b, 0.1));
+        assert!(a.allclose(&b, 0.5));
+    }
+}

@@ -1,0 +1,217 @@
+//! Byte-level byte-pair encoding.
+//!
+//! The 256 byte values are the base alphabet, so *any* input encodes and
+//! decodes losslessly; training greedily merges the most frequent adjacent
+//! pair until the target vocabulary size is reached (ties broken by the
+//! lexicographically smaller pair, making training deterministic).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A trained tokenizer: merge ranks plus the decoded bytes of every token.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Bpe {
+    /// Merge list in training order: merging `(a, b)` produced token
+    /// `256 + index`.
+    merges: Vec<(u32, u32)>,
+    /// Byte expansion of every token id (`0..256` are single bytes).
+    token_bytes: Vec<Vec<u8>>,
+}
+
+impl Bpe {
+    /// The byte-identity tokenizer (no merges).
+    pub fn byte_level() -> Self {
+        Bpe {
+            merges: Vec::new(),
+            token_bytes: (0u16..256).map(|b| vec![b as u8]).collect(),
+        }
+    }
+
+    /// Train on a corpus until the vocabulary reaches `vocab_size`
+    /// (≥ 256) or no pair repeats.
+    pub fn train(corpus: &[u8], vocab_size: usize) -> Self {
+        assert!(vocab_size >= 256, "vocab must cover the byte alphabet");
+        let mut bpe = Bpe::byte_level();
+        let mut seq: Vec<u32> = corpus.iter().map(|&b| b as u32).collect();
+
+        while bpe.vocab_size() < vocab_size {
+            let mut counts: HashMap<(u32, u32), usize> = HashMap::new();
+            for w in seq.windows(2) {
+                *counts.entry((w[0], w[1])).or_insert(0) += 1;
+            }
+            let best = counts
+                .into_iter()
+                .filter(|&(_, c)| c >= 2)
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)));
+            let Some((pair, _)) = best else { break };
+
+            let new_id = bpe.vocab_size() as u32;
+            bpe.merges.push(pair);
+            let mut bytes = bpe.token_bytes[pair.0 as usize].clone();
+            bytes.extend_from_slice(&bpe.token_bytes[pair.1 as usize]);
+            bpe.token_bytes.push(bytes);
+            seq = merge_pass(&seq, pair, new_id);
+        }
+        bpe
+    }
+
+    /// Total tokens (256 bytes + merges).
+    pub fn vocab_size(&self) -> usize {
+        self.token_bytes.len()
+    }
+
+    /// Encode bytes to token ids by replaying the merges in rank order.
+    pub fn encode(&self, text: &[u8]) -> Vec<u32> {
+        let mut seq: Vec<u32> = text.iter().map(|&b| b as u32).collect();
+        for (rank, &pair) in self.merges.iter().enumerate() {
+            if seq.len() < 2 {
+                break;
+            }
+            seq = merge_pass(&seq, pair, 256 + rank as u32);
+        }
+        seq
+    }
+
+    /// Decode token ids back to bytes. Unknown ids are an error.
+    pub fn decode(&self, tokens: &[u32]) -> Result<Vec<u8>, String> {
+        let mut out = Vec::new();
+        for &t in tokens {
+            let bytes = self
+                .token_bytes
+                .get(t as usize)
+                .ok_or_else(|| format!("unknown token id {t}"))?;
+            out.extend_from_slice(bytes);
+        }
+        Ok(out)
+    }
+
+    /// Convenience: encode a string.
+    pub fn encode_str(&self, text: &str) -> Vec<u32> {
+        self.encode(text.as_bytes())
+    }
+
+    /// Convenience: decode to a string (lossy on invalid UTF-8 boundaries).
+    pub fn decode_lossy(&self, tokens: &[u32]) -> String {
+        String::from_utf8_lossy(&self.decode(tokens).unwrap_or_default()).into_owned()
+    }
+
+    /// Average bytes per token over a corpus — the compression the merges
+    /// bought.
+    pub fn bytes_per_token(&self, corpus: &[u8]) -> f64 {
+        if corpus.is_empty() {
+            return 0.0;
+        }
+        corpus.len() as f64 / self.encode(corpus).len() as f64
+    }
+
+    /// Serialise to JSON (for shipping alongside synthetic checkpoints).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("tokenizer serialises")
+    }
+
+    /// Load from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let bpe: Bpe = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if bpe.token_bytes.len() < 256 {
+            return Err("vocabulary smaller than the byte alphabet".into());
+        }
+        Ok(bpe)
+    }
+}
+
+/// Replace every non-overlapping occurrence of `pair` with `new_id`.
+fn merge_pass(seq: &[u32], pair: (u32, u32), new_id: u32) -> Vec<u32> {
+    let mut out = Vec::with_capacity(seq.len());
+    let mut i = 0;
+    while i < seq.len() {
+        if i + 1 < seq.len() && seq[i] == pair.0 && seq[i + 1] == pair.1 {
+            out.push(new_id);
+            i += 2;
+        } else {
+            out.push(seq[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const CORPUS: &str = "the theory of the thermal theatre is the theme of the thesis; \
+                          the theory holds that the theatre heats the theme";
+
+    #[test]
+    fn byte_level_round_trips_everything() {
+        let bpe = Bpe::byte_level();
+        let data = [0u8, 255, 128, 7, 42];
+        assert_eq!(bpe.decode(&bpe.encode(&data)).unwrap(), data);
+        assert_eq!(bpe.vocab_size(), 256);
+    }
+
+    #[test]
+    fn training_learns_frequent_pairs() {
+        let bpe = Bpe::train(CORPUS.as_bytes(), 300);
+        assert!(bpe.vocab_size() > 256, "merges must be learned");
+        // "th" appears constantly; some merged token must expand to bytes
+        // containing "th".
+        assert!(
+            bpe.encode_str(CORPUS).len() < CORPUS.len(),
+            "encoding must compress the training corpus"
+        );
+        assert!(bpe.bytes_per_token(CORPUS.as_bytes()) > 1.5);
+    }
+
+    #[test]
+    fn trained_encode_decode_round_trips() {
+        let bpe = Bpe::train(CORPUS.as_bytes(), 320);
+        for text in [CORPUS, "unseen text with the letters", "", "θ unicode ✓"] {
+            let ids = bpe.encode_str(text);
+            assert_eq!(bpe.decode(&ids).unwrap(), text.as_bytes(), "{text}");
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = Bpe::train(CORPUS.as_bytes(), 300);
+        let b = Bpe::train(CORPUS.as_bytes(), 300);
+        assert_eq!(a.encode_str(CORPUS), b.encode_str(CORPUS));
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn vocab_size_cap_respected() {
+        let bpe = Bpe::train(CORPUS.as_bytes(), 280);
+        assert!(bpe.vocab_size() <= 280);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let bpe = Bpe::train(CORPUS.as_bytes(), 300);
+        let back = Bpe::from_json(&bpe.to_json()).unwrap();
+        assert_eq!(back.encode_str(CORPUS), bpe.encode_str(CORPUS));
+        assert!(Bpe::from_json("{\"merges\":[],\"token_bytes\":[]}").is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_ids() {
+        let bpe = Bpe::byte_level();
+        assert!(bpe.decode(&[999]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..400)) {
+            let bpe = Bpe::train(CORPUS.as_bytes(), 300);
+            prop_assert_eq!(bpe.decode(&bpe.encode(&data)).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_encoding_never_longer_than_input(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+            let bpe = Bpe::train(CORPUS.as_bytes(), 300);
+            prop_assert!(bpe.encode(&data).len() <= data.len());
+        }
+    }
+}

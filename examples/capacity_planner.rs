@@ -1,0 +1,73 @@
+//! Capacity planner: for every model preset, which offloading strategies
+//! fit the A100 platform, and at what maximum block size — the memory
+//! side of the paper's policy space.
+//!
+//! Run with: `cargo run --release --example capacity_planner`
+
+use lm_hardware::presets as hw;
+use lm_models::{presets as models, DType, Footprint, Workload};
+use lm_sim::{fits, max_gpu_batch, AttentionPlacement, Policy};
+
+fn main() {
+    let platform = hw::single_gpu_a100();
+    let base = Workload::new(64, 32, 64, 10);
+
+    println!(
+        "platform: {} ({} GiB GPU, {} GiB host)",
+        platform.name,
+        platform.gpu.mem_capacity >> 30,
+        platform.cpu.mem_capacity >> 30
+    );
+    println!();
+    println!(
+        "{:<11} {:>9} {:>9} | {:^11} {:^11} {:^11}",
+        "model", "wgt f16", "wgt int4", "all-on-GPU", "offload16", "offload+q4"
+    );
+
+    for model in models::all_presets() {
+        if model.name == "tiny-test" {
+            continue;
+        }
+        let fp16 = Footprint::compute(&model, &base, DType::F16, DType::F16);
+        let fp4 = Footprint::compute(&model, &base, DType::Int4, DType::F16);
+
+        let all_gpu = Policy {
+            wg: 1.0,
+            cg: 1.0,
+            hg: 1.0,
+            weights_dtype: DType::F16,
+            kv_dtype: DType::F16,
+            attention: AttentionPlacement::Gpu,
+        };
+        let offload16 = Policy::flexgen_default();
+        let offload_q4 = Policy {
+            weights_dtype: DType::Int4,
+            kv_dtype: DType::Int4,
+            attention: AttentionPlacement::Gpu,
+            ..Policy::flexgen_default()
+        };
+
+        let verdict = |p: &Policy| -> String {
+            if !fits(&model, &base, &platform, p) {
+                return "--".to_string();
+            }
+            match max_gpu_batch(&model, &base, &platform, p, 64, 4096) {
+                Some(b) => format!("bsz<={b}"),
+                None => "fits".to_string(),
+            }
+        };
+
+        println!(
+            "{:<11} {:>7.0}GiB {:>7.0}GiB | {:^11} {:^11} {:^11}",
+            model.name,
+            fp16.weights as f64 / (1u64 << 30) as f64,
+            fp4.weights as f64 / (1u64 << 30) as f64,
+            verdict(&all_gpu),
+            verdict(&offload16),
+            verdict(&offload_q4),
+        );
+    }
+    println!();
+    println!("(-- = does not fit; bsz<=N = largest feasible per-GPU batch in steps of 64)");
+    println!("Matches §3.1: 30B+ models cannot run without offloading on a 40 GiB GPU.");
+}

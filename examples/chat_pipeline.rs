@@ -1,0 +1,68 @@
+//! Full text pipeline: train a byte-level BPE tokenizer, write a
+//! checkpoint to disk, load it through the T_init path, and generate —
+//! text in, text out, through the real offloading engine.
+//!
+//! Run with: `cargo run --release --example chat_pipeline [prompt text]`
+
+use lm_engine::{write_checkpoint, Engine, EngineOptions, Sampler};
+use lm_models::presets;
+use lm_text::Bpe;
+
+fn main() {
+    let prompt = std::env::args()
+        .skip(1)
+        .collect::<Vec<_>>()
+        .join(" ");
+    let prompt = if prompt.is_empty() {
+        "the theory of the theatre".to_string()
+    } else {
+        prompt
+    };
+
+    // 1. Tokenizer: byte-level BPE trained on a toy corpus.
+    let corpus = "the theory of the thermal theatre is the theme of the thesis; \
+                  the theory holds that the theatre heats the theme and the \
+                  thermal thesis themes the theatre";
+    let bpe = Bpe::train(corpus.as_bytes(), 384);
+    println!(
+        "tokenizer: vocab {} ({}x compression on the corpus)",
+        bpe.vocab_size(),
+        format!("{:.1}", bpe.bytes_per_token(corpus.as_bytes()))
+    );
+
+    // 2. Model sized to the tokenizer.
+    let mut cfg = presets::tiny_test();
+    cfg.vocab_size = bpe.vocab_size() as u64;
+
+    // 3. Checkpoint on disk, loaded through T_init.
+    let path = std::env::temp_dir().join("lmoffload-chat-demo.ckpt");
+    write_checkpoint(&cfg, 2024, &path).expect("write checkpoint");
+    let (engine, init) = Engine::from_checkpoint(
+        &cfg,
+        &path,
+        EngineOptions {
+            sampler: Sampler::TopK { k: 8, seed: 7 },
+            ..Default::default()
+        },
+    )
+    .expect("load checkpoint");
+    println!(
+        "T_init: {:.1} ms for {:.1} MiB from disk",
+        init.init_seconds * 1e3,
+        init.bytes_read as f64 / (1 << 20) as f64
+    );
+
+    // 4. Text -> tokens -> engine -> tokens -> text.
+    let ids = bpe.encode_str(&prompt);
+    println!("prompt: {prompt:?} -> {} tokens", ids.len());
+    let g = engine.generate(&[ids], 24).expect("generation");
+    let text = bpe.decode_lossy(&g.tokens[0]);
+    println!(
+        "output ({} tokens, {:.1} tok/s): {text:?}",
+        g.tokens[0].len(),
+        g.throughput
+    );
+    println!("(synthetic weights: the text is gibberish by construction —");
+    println!(" the pipeline, memory accounting and schedules are the point)");
+    std::fs::remove_file(&path).ok();
+}

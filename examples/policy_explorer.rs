@@ -1,0 +1,77 @@
+//! Policy explorer: ask the paper's performance models (§3.2) the three
+//! advisory questions for a model on the A100 platform, then run the full
+//! quantization-aware policy search and compare the chosen deployments of
+//! FlexGen, ZeRO-Inference and LM-Offload under the ground-truth
+//! simulator.
+//!
+//! Run with: `cargo run --release --example policy_explorer [model-name]`
+
+use lm_hardware::presets as hw;
+use lm_models::{presets as models, Workload};
+use lm_offload::{
+    run_framework, Advisor, EngineConfig, Framework, QuantCostParams,
+};
+use lm_sim::{AttentionPlacement, Policy};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "OPT-30B".to_string());
+    let model = models::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown model '{name}', using OPT-30B");
+        models::opt_30b()
+    });
+    let platform = hw::single_gpu_a100();
+    let workload = Workload::motivation();
+
+    println!("=== Advisor (the three §3.2 scenarios) on {} ===", model.name);
+    let advisor = Advisor::new(&platform, &model, &workload, QuantCostParams::lm_offload_kernels());
+
+    let mut gpu_attn = Policy::flexgen_default();
+    gpu_attn.attention = AttentionPlacement::Gpu;
+
+    let w = advisor.weight_quantization(gpu_attn);
+    println!(
+        "1. weight quantization (GPU attention): {} ({:.2}s -> {:.2}s)",
+        if w.beneficial { "BENEFICIAL" } else { "not beneficial" },
+        w.baseline_cost,
+        w.candidate_cost
+    );
+    let k = advisor.kv_quantization(gpu_attn);
+    println!(
+        "2. KV-cache quantization (GPU attention): {} ({:.2}s -> {:.2}s)",
+        if k.beneficial { "BENEFICIAL" } else { "not beneficial" },
+        k.baseline_cost,
+        k.candidate_cost
+    );
+    let a = advisor.attention_offloading(Policy::flexgen_default());
+    println!(
+        "3. attention offloading (best quant each side): {} (GPU {:.2}s vs CPU {:.2}s)",
+        if a.beneficial { "BENEFICIAL" } else { "not beneficial" },
+        a.baseline_cost,
+        a.candidate_cost
+    );
+
+    println!("\n=== Framework deployments (searched, then simulated) ===");
+    let cfg = EngineConfig::new(&platform, &model, 64, 32);
+    for fw in Framework::ALL {
+        match run_framework(fw, &cfg) {
+            Some(run) => {
+                let p = run.deployment.policy;
+                println!(
+                    "{:<15} block={:<5} wg={:>3.0}% attn={:<4} w/kv={:>2}b/{:<2}b mem={:>5.0} GiB  tput={:>7.1} tok/s",
+                    fw.name(),
+                    run.deployment.workload.block_size(),
+                    p.wg * 100.0,
+                    match p.attention {
+                        AttentionPlacement::Cpu => "CPU",
+                        AttentionPlacement::Gpu => "GPU",
+                    },
+                    p.weights_dtype.bits(),
+                    p.kv_dtype.bits(),
+                    run.mem.total_bytes as f64 / (1u64 << 30) as f64,
+                    run.throughput(),
+                );
+            }
+            None => println!("{:<15} no feasible deployment", fw.name()),
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Workspace root for the LM-Offload reproduction: re-exports the member
+//! crates so the integration tests in `tests/` and the runnable examples
+//! in `examples/` can span them. See README.md for the tour and DESIGN.md
+//! for the system inventory.
+
+pub use lm_baselines as baselines;
+pub use lm_bench as bench;
+pub use lm_cachesim as cachesim;
+pub use lm_engine as engine;
+pub use lm_hardware as hardware;
+pub use lm_models as models;
+pub use lm_offload as offload;
+pub use lm_parallelism as parallelism;
+pub use lm_sim as sim;
+pub use lm_tensor as tensor;

@@ -1,0 +1,76 @@
+//! Robustness of the checkpoint reader: arbitrary and truncated inputs
+//! must produce errors, never panics or huge allocations — the property
+//! that makes a disk tier safe to point at untrusted paths.
+
+use lm_engine::{write_checkpoint, Checkpoint};
+use lm_models::presets;
+use proptest::prelude::*;
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("lmoffload-fuzz-{tag}-{}.ckpt", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random bytes never panic the reader.
+    #[test]
+    fn random_bytes_are_rejected_gracefully(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let path = tmp("rand");
+        std::fs::write(&path, &data).unwrap();
+        let result = std::panic::catch_unwind(|| Checkpoint::open(&path).map(|_| ()));
+        std::fs::remove_file(&path).ok();
+        prop_assert!(matches!(result, Ok(Err(_)) | Ok(Ok(()))), "reader panicked");
+    }
+
+    /// Truncating a valid checkpoint anywhere yields an error on open or
+    /// on the first layer read — never a panic, never silent corruption
+    /// being accepted as a full model.
+    #[test]
+    fn truncations_fail_cleanly(cut_pct in 1u32..99) {
+        let cfg = presets::tiny_test();
+        let path = tmp("trunc");
+        write_checkpoint(&cfg, 5, &path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let cut = (full.len() as u64 * cut_pct as u64 / 100) as usize;
+        std::fs::write(&path, &full[..cut]).unwrap();
+
+        let outcome = std::panic::catch_unwind(|| -> Result<(), lm_engine::CheckpointError> {
+            match Checkpoint::open(&path) {
+                Err(_) => Ok(()),
+                Ok(mut ck) => {
+                    // Header may have survived; every layer must then be
+                    // readable or error out.
+                    for i in 0..ck.num_layers() {
+                        ck.load_layer(i)?;
+                    }
+                    Ok(())
+                }
+            }
+        });
+        std::fs::remove_file(&path).ok();
+        match outcome {
+            Ok(Ok(())) => {
+                // Fully readable truncation can only happen if the cut was
+                // beyond all layer data (trailing bytes) — the offset table
+                // lives in the header, so this means nothing was lost.
+                prop_assert!(cut_pct > 90, "cut at {cut_pct}% read back fully");
+            }
+            Ok(Err(_)) => {} // clean error: the desired outcome
+            Err(_) => prop_assert!(false, "reader panicked at {cut_pct}%"),
+        }
+    }
+}
+
+#[test]
+fn header_field_corruption_is_detected() {
+    let cfg = presets::tiny_test();
+    let path = tmp("hdr");
+    write_checkpoint(&cfg, 5, &path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Corrupt the family tag (offset 8..12) to an unknown value.
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(Checkpoint::open(&path).is_err());
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,103 @@
+//! Cross-crate integration: the real offloading engine generates the same
+//! tokens under tight device budgets, at-rest quantization shrinks the
+//! footprint, and pool accounting holds end to end.
+
+use lm_engine::{Engine, EngineOptions, Sampler};
+use lm_models::presets;
+use lm_tensor::QuantConfig;
+
+fn prompts() -> Vec<Vec<u32>> {
+    vec![vec![5, 9, 13, 2, 8], vec![40, 41, 42, 43, 44]]
+}
+
+#[test]
+fn opt125m_generates_deterministically() {
+    // A real (if synthetic-weighted) OPT-architecture model, full
+    // prefill + decode through every layer.
+    let cfg = presets::opt_125m();
+    let engine = Engine::new(&cfg, 99, EngineOptions::default()).unwrap();
+    let a = engine.generate(&prompts(), 4).unwrap();
+    let b = engine.generate(&prompts(), 4).unwrap();
+    assert_eq!(a.tokens, b.tokens);
+    assert_eq!(a.tokens.len(), 2);
+    assert!(a.tokens.iter().all(|t| t.len() == 4));
+    assert!(a.throughput > 0.0);
+}
+
+#[test]
+fn llama_family_generates() {
+    // The LLaMA path exercises RMSNorm + SwiGLU (three MLP matrices).
+    let mut cfg = presets::llama_7b();
+    // Shrink to test scale while keeping the architecture family.
+    cfg.num_layers = 3;
+    cfg.hidden = 64;
+    cfg.ffn_hidden = 172;
+    cfg.num_heads = 4;
+    cfg.vocab_size = 256;
+    let engine = Engine::new(&cfg, 5, EngineOptions::default()).unwrap();
+    let g = engine.generate(&prompts(), 6).unwrap();
+    assert_eq!(g.tokens[0].len(), 6);
+}
+
+#[test]
+fn tight_budget_generation_is_equivalent_and_bounded() {
+    let cfg = presets::tiny_test();
+    let roomy = Engine::new(&cfg, 3, EngineOptions::default()).unwrap();
+    let baseline = roomy.generate(&prompts(), 10).unwrap();
+
+    let layer_bytes = cfg.weights_per_layer() as usize * 4 + 64 * 1024;
+    let budget = 2 * layer_bytes;
+    let tight = Engine::new(
+        &cfg,
+        3,
+        EngineOptions {
+            device_capacity: budget,
+            prefetch: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let offloaded = tight.generate(&prompts(), 10).unwrap();
+    assert_eq!(baseline.tokens, offloaded.tokens);
+    assert!(
+        offloaded.device_peak <= budget,
+        "peak {} > budget {budget}",
+        offloaded.device_peak
+    );
+}
+
+#[test]
+fn quantized_at_rest_top1_drift_is_limited_on_tiny_model() {
+    // int8 at rest: the greedy trajectory of a tiny model usually matches
+    // for the first tokens; assert the engine runs and the first token
+    // matches (error bounds are tested at the tensor level).
+    let cfg = presets::tiny_test();
+    let full = Engine::new(&cfg, 21, EngineOptions::default()).unwrap();
+    let quant = Engine::new(
+        &cfg,
+        21,
+        EngineOptions {
+            quantize_at_rest: Some(QuantConfig::int8()),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let a = full.generate(&prompts(), 3).unwrap();
+    let b = quant.generate(&prompts(), 3).unwrap();
+    assert_eq!(a.tokens[0][0], b.tokens[0][0], "first greedy token must survive int8");
+}
+
+#[test]
+fn top_k_sampling_is_reproducible_across_engines() {
+    let cfg = presets::tiny_test();
+    let opts = EngineOptions {
+        sampler: Sampler::TopK { k: 4, seed: 1234 },
+        ..Default::default()
+    };
+    let e1 = Engine::new(&cfg, 8, opts.clone()).unwrap();
+    let e2 = Engine::new(&cfg, 8, opts).unwrap();
+    assert_eq!(
+        e1.generate(&prompts(), 5).unwrap().tokens,
+        e2.generate(&prompts(), 5).unwrap().tokens
+    );
+}

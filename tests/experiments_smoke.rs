@@ -1,0 +1,97 @@
+//! Smoke tests for every experiment runner: each table/figure
+//! regenerates, produces non-degenerate rows, and serialises. The deeper
+//! shape assertions live next to each runner in `lm-bench`.
+
+use lm_bench::experiments::*;
+
+#[test]
+fn table1_regenerates() {
+    let rows = table1::run();
+    assert_eq!(rows.len(), 10);
+    assert!(rows.iter().any(|r| r.ours_gib > 10.0));
+    serde_json::to_string(&rows).unwrap();
+}
+
+#[test]
+fn fig3_and_fig4_regenerate() {
+    let f3 = fig3::run();
+    assert_eq!(f3.len(), 8, "eight strategy bars");
+    assert!(f3.iter().all(|r| r.tput > 0.0));
+    let f4 = fig3::run_breakdown();
+    assert_eq!(f4.len(), f3.len());
+    assert!(f4.iter().all(|r| r.other > 0.0));
+    serde_json::to_string(&(f3, f4)).unwrap();
+}
+
+#[test]
+fn fig5_regenerates() {
+    let f = fig5::run();
+    assert_eq!(f.intra_sweep.len(), 9);
+    assert_eq!(f.inter_sweep.len(), 10);
+    serde_json::to_string(&f).unwrap();
+}
+
+#[test]
+fn table3_cell_regenerates_with_all_frameworks() {
+    let rows = table3::run_cell(&lm_models::presets::opt_30b(), 8);
+    assert_eq!(rows.len(), 3, "three frameworks");
+    let names: Vec<&str> = rows.iter().map(|r| r.framework.as_str()).collect();
+    assert!(names.contains(&"FlexGen"));
+    assert!(names.contains(&"ZeRO-Inference"));
+    assert!(names.contains(&"LM-Offload"));
+    serde_json::to_string(&rows).unwrap();
+}
+
+#[test]
+fn fig7_regenerates() {
+    let row = fig7::run_cell(&lm_models::presets::opt_30b(), 8).unwrap();
+    assert!(row.flexgen_tput > 0.0);
+    assert!(row.lm_offload_noctl_tput > 0.0);
+    serde_json::to_string(&row).unwrap();
+}
+
+#[test]
+fn fig8_regenerates() {
+    let f = fig8::run();
+    assert!(!f.tasks.is_empty());
+    assert!(f.default_end_to_end > 0.0);
+    serde_json::to_string(&f).unwrap();
+}
+
+#[test]
+fn table5_regenerates() {
+    let t = table5::run();
+    assert_eq!(t.rows.len(), 2);
+    serde_json::to_string(&t).unwrap();
+}
+
+#[test]
+fn fig9_regenerates() {
+    let rows = fig9::run();
+    assert_eq!(rows.len(), 8, "two models x four GPU counts");
+    serde_json::to_string(&rows).unwrap();
+}
+
+#[test]
+fn whatif_sweep_regenerates() {
+    use lm_offload::{whatif_sweep, Axis};
+    let platform = lm_hardware::presets::single_gpu_a100();
+    let c = whatif_sweep(
+        Axis::LinkBandwidth,
+        &platform,
+        &lm_models::presets::opt_30b(),
+        64,
+        8,
+        &[1.0, 2.0],
+    );
+    assert_eq!(c.points.len(), 2);
+    assert!(c.points.iter().all(|p| p.throughput > 0.0));
+    serde_json::to_string(&c).unwrap();
+}
+
+#[test]
+fn table4_regenerates() {
+    let rows = table4::run();
+    assert_eq!(rows.len(), 2);
+    serde_json::to_string(&rows).unwrap();
+}

@@ -1,0 +1,122 @@
+//! Cross-crate integration: the analytic Eq. 1/2 model and the
+//! event-driven simulator must agree — the analytic model is what the
+//! policy searches optimise, the simulator is what scores deployments, so
+//! a drift between them would let a framework game its own evaluator.
+
+use lm_hardware::presets as hw;
+use lm_models::{presets as models, DType, Workload};
+use lm_offload::{quant_aware_provider, QuantCostParams, ThreadFactors};
+use lm_sim::{simulate, AttentionPlacement, Policy};
+
+fn agreement(policy: Policy, w: Workload) -> (f64, f64) {
+    let platform = hw::single_gpu_a100();
+    let model = models::opt_30b();
+    let provider = quant_aware_provider(
+        &platform,
+        &model,
+        &w,
+        policy,
+        QuantCostParams::flexgen_kernels(),
+        ThreadFactors::Default,
+    );
+    let analytic = provider.latency(false);
+    let report = simulate(&provider, &w, model.num_layers);
+    (analytic, report.prefill_time + report.decode_time)
+}
+
+fn assert_close(policy: Policy, w: Workload, tol: f64) {
+    let (analytic, simulated) = agreement(policy, w);
+    let rel = (analytic - simulated).abs() / simulated;
+    assert!(
+        rel < tol,
+        "analytic {analytic:.2}s vs simulated {simulated:.2}s (rel {rel:.2}) for {policy:?}"
+    );
+}
+
+#[test]
+fn agreement_cpu_attention_fp16() {
+    assert_close(Policy::flexgen_default(), Workload::new(64, 16, 64, 4), 0.30);
+}
+
+#[test]
+fn agreement_gpu_attention_fp16() {
+    let mut p = Policy::flexgen_default();
+    p.attention = AttentionPlacement::Gpu;
+    assert_close(p, Workload::new(64, 16, 64, 4), 0.30);
+}
+
+#[test]
+fn agreement_quantized_kv() {
+    let mut p = Policy::flexgen_default();
+    p.attention = AttentionPlacement::Gpu;
+    p.kv_dtype = DType::Int4;
+    p.wg = 0.5;
+    assert_close(p, Workload::new(64, 16, 64, 4), 0.30);
+}
+
+#[test]
+fn agreement_quantized_weights_high_residency() {
+    let mut p = Policy::flexgen_default();
+    p.attention = AttentionPlacement::Gpu;
+    p.weights_dtype = DType::Int4;
+    p.kv_dtype = DType::Int4;
+    p.wg = 0.9;
+    assert_close(p, Workload::new(64, 16, 64, 4), 0.35);
+}
+
+#[test]
+fn analytic_ranking_predicts_simulated_ranking() {
+    // The property the policy search actually relies on: if the analytic
+    // model says policy A clearly beats policy B (>20% margin), the
+    // simulator agrees on the direction.
+    let w = Workload::new(64, 16, 64, 4);
+    let mut candidates = vec![Policy::flexgen_default()];
+    let mut gpu = Policy::flexgen_default();
+    gpu.attention = AttentionPlacement::Gpu;
+    candidates.push(gpu);
+    let mut gpu_q = gpu;
+    gpu_q.kv_dtype = DType::Int4;
+    candidates.push(gpu_q);
+    let mut gpu_q_wg = gpu_q;
+    gpu_q_wg.weights_dtype = DType::Int4;
+    gpu_q_wg.wg = 0.8;
+    candidates.push(gpu_q_wg);
+
+    let scored: Vec<(f64, f64)> = candidates
+        .iter()
+        .map(|&p| agreement(p, w))
+        .collect();
+    for (i, a) in scored.iter().enumerate() {
+        for b in scored.iter().skip(i + 1) {
+            if a.0 < b.0 * 0.8 {
+                assert!(
+                    a.1 < b.1,
+                    "analytic prefers ({:.2} < {:.2}) but simulator disagrees ({:.2} vs {:.2})",
+                    a.0,
+                    b.0,
+                    a.1,
+                    b.1
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn simulator_throughput_consistent_with_tokens_and_time() {
+    let platform = hw::single_gpu_a100();
+    let model = models::opt_30b();
+    let w = Workload::new(64, 8, 32, 2);
+    let provider = quant_aware_provider(
+        &platform,
+        &model,
+        &w,
+        Policy::flexgen_default(),
+        QuantCostParams::flexgen_kernels(),
+        ThreadFactors::Default,
+    );
+    let r = simulate(&provider, &w, model.num_layers);
+    let recomputed = r.tokens as f64 / (r.prefill_time + r.decode_time);
+    assert!((r.throughput - recomputed).abs() / recomputed < 1e-9);
+    assert_eq!(r.tokens, w.tokens_generated());
+}

@@ -1,0 +1,111 @@
+//! Cross-crate integration of the §4 pipeline: controller → Algorithm 3
+//! plan → real executor, plus the LLC contention model it is meant to
+//! relieve.
+
+use lm_cachesim::{run_contention, ContentionConfig, ThreadSetting};
+use lm_hardware::presets as hw;
+use lm_models::{presets as models, Workload};
+use lm_offload::derive_plan;
+use lm_parallelism::{analyze, attention_graph, bundle_small_ops, burn, Executor};
+use lm_sim::Policy;
+
+#[test]
+fn controller_plans_are_consistent_across_models() {
+    // The plan's invariants must hold for every evaluated model: 12
+    // total inter-op (7-wide graph + 5 transfers), thread budget
+    // respected, transfers each granted >= 1 thread.
+    let platform = hw::single_gpu_a100();
+    for model in [models::opt_30b(), models::opt_66b(), models::llama_65b()] {
+        let w = Workload::parallelism_study();
+        let out = derive_plan(&platform, &model, &w, &Policy::flexgen_default());
+        assert_eq!(out.plan.inter_op_total, 12, "{}", model.name);
+        let used = out.plan.inter_op_compute * out.plan.intra_op_compute
+            + out.plan.transfer_threads.iter().sum::<u32>();
+        assert!(
+            used <= platform.cpu.total_threads(),
+            "{}: {used} threads",
+            model.name
+        );
+        assert!(out.plan.transfer_threads.iter().all(|&t| t >= 1));
+        assert!(out.plan.est_step_time <= out.default_step_time);
+    }
+}
+
+#[test]
+fn plan_executes_on_real_cores_with_speedup() {
+    // Execute the Fig. 6 graph with the plan's shape on this machine and
+    // verify the tuned configuration beats serial execution.
+    let graph = attention_graph(32, 64, 256, 7);
+    let analysis = analyze(&graph).unwrap();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let inter = analysis.max_concurrency().min(cores).max(2);
+
+    let work = |u: usize, threads: usize| burn(graph.nodes[u].flops * 1e-3, threads);
+    let t_serial = {
+        let t0 = std::time::Instant::now();
+        Executor::new(1, 1).run(&graph, work);
+        t0.elapsed()
+    };
+    let t_tuned = {
+        let t0 = std::time::Instant::now();
+        Executor::new(inter, 1).run(&graph, work);
+        t0.elapsed()
+    };
+    if cores >= 2 {
+        assert!(
+            t_tuned.as_secs_f64() < t_serial.as_secs_f64() * 1.05,
+            "tuned {t_tuned:?} vs serial {t_serial:?} on {cores} cores"
+        );
+    } else {
+        // Single core: only bounded scheduling overhead can be asserted.
+        assert!(t_tuned.as_secs_f64() < t_serial.as_secs_f64() * 2.0);
+    }
+}
+
+#[test]
+fn bundled_graph_executes_identically() {
+    // Bundling must not change which work runs — total burned FLOPs are
+    // conserved and the bundled graph still executes cleanly.
+    let graph = attention_graph(16, 32, 128, 4);
+    let bundled = bundle_small_ops(&graph, 1e7);
+    let order = Executor::new(4, 2).run(&bundled.graph, |_u, _t| {});
+    assert_eq!(order.len(), bundled.graph.len());
+    assert!((bundled.graph.total_flops() - graph.total_flops()).abs() < 1e-3);
+}
+
+#[test]
+fn thread_setting_reduces_cache_misses_and_step_time_together() {
+    // The two §5.4 observations are one mechanism: the tuned setting
+    // reduces both LLC misses (Table 5) and modelled step time (Fig. 8).
+    let cache_cfg = ContentionConfig::scaled_default();
+    let default = run_contention(&cache_cfg, ThreadSetting::pytorch_default());
+    let tuned = run_contention(&cache_cfg, ThreadSetting::lm_offload());
+    assert!(tuned.stats.misses() < default.stats.misses());
+
+    let platform = hw::single_gpu_a100();
+    let out = derive_plan(
+        &platform,
+        &models::opt_30b(),
+        &Workload::parallelism_study(),
+        &Policy::flexgen_default(),
+    );
+    assert!(out.plan.est_step_time < out.default_step_time);
+}
+
+#[test]
+fn plan_shape_matches_paper_and_cachesim_setting() {
+    // §5.4 reports 12/16; the cachesim experiment hard-codes the same
+    // setting — keep them in sync.
+    let platform = hw::single_gpu_a100();
+    let out = derive_plan(
+        &platform,
+        &models::opt_30b(),
+        &Workload::parallelism_study(),
+        &Policy::flexgen_default(),
+    );
+    let setting = ThreadSetting::lm_offload();
+    assert_eq!(setting.inter_op, out.plan.inter_op_total);
+    // Intra-op: the paper reports 16; our search lands at the knee
+    // (8-16 on this scaling model).
+    assert!((4..=16).contains(&out.plan.intra_op_compute));
+}

@@ -1,0 +1,99 @@
+//! Cross-validation between the *real* engine and the analytic world:
+//! the byte volumes the engine actually moves must equal what the shape
+//! math in `lm-models` predicts — the bridge that justifies simulating
+//! the large models from shapes alone (DESIGN.md §2).
+
+use lm_engine::{Engine, EngineOptions};
+use lm_models::{footprint, presets, DType, Workload};
+use lm_tensor::QuantConfig;
+
+fn prompts(n: usize, len: usize) -> Vec<Vec<u32>> {
+    (0..n).map(|i| (0..len as u32).map(|t| t + i as u32).collect()).collect()
+}
+
+#[test]
+fn streamed_weight_bytes_match_shape_math() {
+    // The engine streams every layer once per sweep; with f32 at rest the
+    // per-sweep volume must equal lm-models' weights_bytes at F32 (plus
+    // the small bias/norm vectors the paper's num_weights omits).
+    let cfg = presets::tiny_test();
+    let engine = Engine::new(&cfg, 9, EngineOptions::default()).unwrap();
+    let gen_len = 4usize;
+    let g = engine.generate(&prompts(2, 3), gen_len).unwrap();
+    let sweeps = 1 + gen_len as u64;
+    let per_sweep = g.weight_bytes_streamed / sweeps;
+    let predicted = footprint::weights_bytes(&cfg, DType::F32);
+    let slack = predicted / 10; // biases + norm vectors
+    assert!(
+        per_sweep >= predicted && per_sweep <= predicted + slack,
+        "engine {per_sweep} vs model {predicted}"
+    );
+}
+
+#[test]
+fn int4_weights_stream_a_quarter_of_the_bytes() {
+    let cfg = presets::tiny_test();
+    let gen_len = 3usize;
+    let f32_engine = Engine::new(&cfg, 9, EngineOptions::default()).unwrap();
+    let q_engine = Engine::new(
+        &cfg,
+        9,
+        EngineOptions {
+            quantize_at_rest: Some(QuantConfig::int4()),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let a = f32_engine.generate(&prompts(2, 3), gen_len).unwrap();
+    let b = q_engine.generate(&prompts(2, 3), gen_len).unwrap();
+    let ratio = a.weight_bytes_streamed as f64 / b.weight_bytes_streamed as f64;
+    // 4-bit codes are 8x smaller than f32 minus group metadata: expect
+    // ~5.5-8x (the same compression the DType math predicts for codes,
+    // plus metadata).
+    assert!(
+        (4.0..=8.0).contains(&ratio),
+        "compression ratio {ratio}"
+    );
+}
+
+#[test]
+fn kv_at_rest_bytes_match_footprint_math() {
+    // Full-precision KV at rest: 2·(s+n)·h·b·4 bytes per layer.
+    let cfg = presets::tiny_test();
+    let engine = Engine::new(&cfg, 9, EngineOptions::default()).unwrap();
+    let (b, s, n) = (2usize, 3usize, 4usize);
+    let g = engine.generate(&prompts(b, s), n).unwrap();
+    let per_layer =
+        2 * (s + n) * cfg.hidden as usize * b * std::mem::size_of::<f32>();
+    let expected = per_layer * cfg.num_layers as usize;
+    assert_eq!(g.kv_bytes_at_rest, expected);
+    // And the footprint crate's f32 equivalent agrees (its workload is
+    // block-granular; compare per-element counts).
+    let w = Workload::new(s as u64, n as u64, b as u64, 1);
+    let elems = footprint::kv_cache_elems_full(&cfg, w.final_seq_len(), w.block_size())
+        * cfg.num_layers as u64;
+    assert_eq!(g.kv_bytes_at_rest as u64, elems * 4);
+}
+
+#[test]
+fn engine_quantized_paths_compose() {
+    // Weights int4 + KV int8 at rest simultaneously: the most compressed
+    // configuration still generates, with both savings visible.
+    let cfg = presets::tiny_test();
+    let engine = Engine::new(
+        &cfg,
+        13,
+        EngineOptions {
+            quantize_at_rest: Some(QuantConfig::int4()),
+            kv_quantize_at_rest: Some(QuantConfig::int8()),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let g = engine.generate(&prompts(2, 4), 5).unwrap();
+    assert_eq!(g.tokens[0].len(), 5);
+    let full = Engine::new(&cfg, 13, EngineOptions::default()).unwrap();
+    let gf = full.generate(&prompts(2, 4), 5).unwrap();
+    assert!(g.weight_bytes_streamed < gf.weight_bytes_streamed / 4);
+    assert!(g.kv_bytes_at_rest < gf.kv_bytes_at_rest / 2);
+}

@@ -1,0 +1,93 @@
+//! Serialisation and configuration-surface tests: everything a downstream
+//! user would persist (platforms, models, policies, plans, reports) must
+//! round-trip through serde, and the preset surfaces must stay coherent.
+
+use lm_hardware::{presets as hw, Platform};
+use lm_models::{presets as models, ModelConfig, Workload};
+use lm_offload::{derive_plan, run_framework, EngineConfig, Framework, Table3Row};
+use lm_sim::{AttentionPlacement, Policy};
+
+#[test]
+fn platform_round_trips_through_json() {
+    for p in [hw::single_gpu_a100(), hw::multi_gpu_v100(4), hw::test_platform()] {
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Platform = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}
+
+#[test]
+fn model_config_round_trips_through_json() {
+    for m in models::all_presets() {
+        let json = serde_json::to_string(&m).unwrap();
+        let back: ModelConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}
+
+#[test]
+fn policy_and_workload_round_trip() {
+    let p = Policy {
+        wg: 0.55,
+        cg: 0.0,
+        hg: 1.0,
+        weights_dtype: lm_models::DType::Int4,
+        kv_dtype: lm_models::DType::Int8,
+        attention: AttentionPlacement::Gpu,
+    };
+    let back: Policy = serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+    assert_eq!(p, back);
+    let w = Workload::motivation();
+    let back: Workload = serde_json::from_str(&serde_json::to_string(&w).unwrap()).unwrap();
+    assert_eq!(w, back);
+}
+
+#[test]
+fn parallelism_plan_round_trips() {
+    let platform = hw::single_gpu_a100();
+    let out = derive_plan(
+        &platform,
+        &models::opt_30b(),
+        &Workload::parallelism_study(),
+        &Policy::flexgen_default(),
+    );
+    let json = serde_json::to_string(&out.plan).unwrap();
+    let back: lm_parallelism::ParallelismPlan = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.inter_op_total, out.plan.inter_op_total);
+    assert_eq!(back.transfer_threads, out.plan.transfer_threads);
+}
+
+#[test]
+fn table3_row_survives_json_round_trip_with_values() {
+    let platform = hw::single_gpu_a100();
+    let cfg = EngineConfig::new(&platform, &models::opt_30b(), 64, 8);
+    let run = run_framework(Framework::FlexGen, &cfg).unwrap();
+    let row = Table3Row::from_run(&run, "OPT-30B", 8);
+    let back: Table3Row = serde_json::from_str(&serde_json::to_string(&row).unwrap()).unwrap();
+    assert_eq!(back.framework, "FlexGen");
+    assert_eq!(back.bsz, row.bsz);
+    assert!((back.tput - row.tput).abs() < 1e-9);
+}
+
+#[test]
+fn preset_lookup_is_total_over_all_presets() {
+    for m in models::all_presets() {
+        let found = models::by_name(&m.name).expect("every preset must be findable");
+        assert_eq!(found, m);
+    }
+}
+
+#[test]
+fn efficiency_defaults_are_sane_fractions() {
+    let e = lm_hardware::Efficiency::default();
+    for (name, v) in [
+        ("link", e.link),
+        ("gpu_compute", e.gpu_compute),
+        ("cpu_compute", e.cpu_compute),
+        ("gpu_membw", e.gpu_membw),
+        ("cpu_membw", e.cpu_membw),
+        ("quant_kernel", e.quant_kernel),
+    ] {
+        assert!((0.0..=1.0).contains(&v), "{name} = {v}");
+    }
+}
