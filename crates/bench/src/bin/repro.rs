@@ -1,12 +1,14 @@
 //! `repro` — regenerate every table and figure of the LM-Offload paper.
 //!
 //! Usage:
-//!   repro <experiment> [--fast]
+//!   repro <experiment> [--fast] [--fault-seed N]
 //!   repro all [--fast]
 //!
 //! Experiments: table1 table3 table4 table5 fig3 fig4 fig5 fig7 fig8 fig9
-//! summary. `--fast` restricts Table-3-derived sweeps to two generation
-//! lengths. JSON results are written to `results/<experiment>.json`.
+//! whatif faults summary. `--fast` restricts Table-3-derived sweeps to two
+//! generation lengths; `--fault-seed N` sets the deterministic fault plan
+//! of the `faults` experiment. JSON results are written to
+//! `results/<experiment>.json`.
 
 use lm_bench::experiments::*;
 use lm_bench::table::{f, render};
@@ -319,14 +321,69 @@ fn run_whatif() {
     save("whatif", &curves);
 }
 
+fn run_faults(fault_seed: u64) {
+    println!("\n== Fault injection: retry, backpressure, model-guided degradation (seed {fault_seed}) ==");
+    let r = faults::run(fault_seed);
+    println!(
+        "checkpoint: {} layers, loaded={} (disk faults {}, torn {}, retries {}, recovered {})",
+        r.checkpoint.layers,
+        r.checkpoint.loaded,
+        r.checkpoint.disk_io_faults,
+        r.checkpoint.torn_reads,
+        r.checkpoint.retries,
+        r.checkpoint.retry_successes
+    );
+    println!(
+        "degradation: completed={} ({} tokens/row, {} policy switch(es) -> {}-bit weights; {} pressure spikes, {} prefetch drops)",
+        r.degradation.completed,
+        r.degradation.tokens_per_row,
+        r.degradation.policy_switches,
+        r.degradation.final_weight_bits,
+        r.degradation.pool_pressure_spikes,
+        r.degradation.prefetch_drops
+    );
+    println!(
+        "simulator: decode {:.2}s -> {:.2}s ({:.2}x) under {} degraded link windows, {} stalls (+{}ms)",
+        r.sim.clean_decode_s,
+        r.sim.faulted_decode_s,
+        r.sim.slowdown,
+        r.sim.link_degrades,
+        r.sim.transfer_stalls,
+        r.sim.stall_ms_total
+    );
+    save("faults", &r);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let fast = args.iter().any(|a| a == "--fast");
-    let which = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
+    let mut fast = false;
+    let mut fault_seed = faults::DEFAULT_FAULT_SEED;
+    let mut which: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let seed_value = if a == "--fault-seed" {
+            i += 1;
+            Some(args.get(i).cloned().unwrap_or_default())
+        } else {
+            a.strip_prefix("--fault-seed=").map(String::from)
+        };
+        if let Some(v) = seed_value {
+            fault_seed = match v.parse() {
+                Ok(s) => s,
+                Err(_) => {
+                    eprintln!("--fault-seed expects an integer, got '{v}'");
+                    std::process::exit(2);
+                }
+            };
+        } else if a == "--fast" {
+            fast = true;
+        } else if !a.starts_with("--") && which.is_none() {
+            which = Some(a.clone());
+        }
+        i += 1;
+    }
+    let which = which.as_deref().unwrap_or("all");
     let lens: &[u64] = if fast {
         &[8, 64]
     } else {
@@ -345,6 +402,7 @@ fn main() {
         "fig8" => run_fig8(),
         "fig9" => run_fig9(),
         "whatif" => run_whatif(),
+        "faults" => run_faults(fault_seed),
         "summary" => {
             let s = summary::run(lens);
             print_summary(&s);
@@ -362,10 +420,11 @@ fn main() {
             run_fig8();
             run_table5();
             run_fig9();
+            run_faults(fault_seed);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose from: table1 table3 table4 table5 fig3 fig4 fig5 fig7 fig8 fig9 whatif summary all");
+            eprintln!("choose from: table1 table3 table4 table5 fig3 fig4 fig5 fig7 fig8 fig9 whatif faults summary all");
             std::process::exit(2);
         }
     }

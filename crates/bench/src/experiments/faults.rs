@@ -1,0 +1,254 @@
+//! Fault-injection experiment — the robustness counterpart of the paper
+//! tables: inject a deterministic, seeded fault plan into every layer of
+//! the stack and record what the recovery machinery did about it.
+//!
+//! Three phases, one results JSON (`results/faults.json`):
+//!
+//! 1. **Checkpoint load under disk faults** — `Engine::from_checkpoint`
+//!    with injected I/O errors and torn reads, absorbed by bounded retry
+//!    with exponential backoff.
+//! 2. **Generation under pool pressure** — pressure spikes sized so the
+//!    double-buffered prefetch path cannot fit; the degradation
+//!    controller re-scores the fallback ladder with the analytic model
+//!    and generation completes serially at the chosen policy.
+//! 3. **Simulated link degradation** — the discrete-event simulator with
+//!    H2D/D2H windows running at a fraction of nominal bandwidth,
+//!    against the clean run of the same policy.
+//!
+//! The fault seed is recorded in the JSON, so any run can be replayed
+//! bit-for-bit from the artifact alone (`repro faults --fault-seed N`).
+
+use lm_engine::{write_checkpoint, Engine, EngineOptions};
+use lm_fault::{FaultConfig, FaultInjector, FaultProfile, RetryPolicy};
+use lm_hardware::presets as hw;
+use lm_models::{presets as models, Workload};
+use lm_offload::{
+    generate_with_degradation, quant_aware_provider, DegradationController, FaultReport,
+    QuantCostParams, ThreadFactors,
+};
+use lm_sim::{simulate, simulate_faulted, Policy};
+use serde::{Deserialize, Serialize};
+
+/// Default fault seed when `--fault-seed` is not given.
+pub const DEFAULT_FAULT_SEED: u64 = 42;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckpointPhase {
+    pub layers: u32,
+    /// Whether every layer was ultimately read back.
+    pub loaded: bool,
+    pub disk_io_faults: u64,
+    pub torn_reads: u64,
+    pub retries: u64,
+    pub retry_successes: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DegradationPhase {
+    pub completed: bool,
+    pub tokens_per_row: usize,
+    pub policy_switches: usize,
+    /// Weight precision of the policy generation finished under.
+    pub final_weight_bits: u32,
+    pub pool_pressure_spikes: u64,
+    pub prefetch_drops: u64,
+    pub degradations: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimPhase {
+    pub clean_decode_s: f64,
+    pub faulted_decode_s: f64,
+    pub slowdown: f64,
+    pub link_degrades: u64,
+    pub transfer_stalls: u64,
+    pub stall_ms_total: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultsResult {
+    pub fault_seed: u64,
+    pub checkpoint: CheckpointPhase,
+    pub degradation: DegradationPhase,
+    pub sim: SimPhase,
+    /// Full counters + accepted policy switches of the engine phases
+    /// (checkpoint load and degraded generation share one injector).
+    pub report: FaultReport,
+}
+
+/// Run all three phases under the given fault seed.
+pub fn run(fault_seed: u64) -> FaultsResult {
+    let cfg = models::tiny_test();
+
+    // Size the device pool from the real per-layer footprint: two
+    // layers plus slack, so the clean double-buffered prefetch fits.
+    let probe = Engine::new(&cfg, 7, EngineOptions::default()).expect("probe engine");
+    let layer_bytes = probe.layer_fetch_bytes(0);
+    drop(probe);
+    let device_capacity = 2 * layer_bytes + 512;
+
+    // Moderate disk/link rates, plus a pool-pressure *episode*: a spike
+    // as large as the whole pool, fired on every probe of a burst that
+    // outlasts the retry budget. The first fetch therefore exhausts its
+    // retries deterministically — independent of loader/consumer thread
+    // timing — and hands control to the degradation controller; by the
+    // time the fallback engine runs, the episode has subsided.
+    let retry = RetryPolicy::default();
+    let mut fc = FaultConfig::profile(fault_seed, FaultProfile::Moderate);
+    fc.pool_pressure_rate = 1.0;
+    fc.pool_pressure_bytes = device_capacity as u64;
+    fc.pool_pressure_burst = retry.max_attempts as u64;
+    let fault = FaultInjector::new(fc);
+
+    let options = EngineOptions {
+        device_capacity,
+        fault: fault.clone(),
+        retry,
+        ..EngineOptions::default()
+    };
+
+    // Phase 1: checkpoint load under injected disk faults.
+    let path = std::env::temp_dir().join(format!(
+        "lmoffload-faults-{}-{fault_seed}.ckpt",
+        std::process::id()
+    ));
+    write_checkpoint(&cfg, 7, &path).expect("write checkpoint");
+    let loaded = Engine::from_checkpoint(&cfg, &path, options.clone()).is_ok();
+    std::fs::remove_file(&path).ok();
+    let after_load = fault.stats();
+    let checkpoint = CheckpointPhase {
+        layers: cfg.num_layers,
+        loaded,
+        disk_io_faults: after_load.disk_io_faults,
+        torn_reads: after_load.torn_reads,
+        retries: after_load.retries,
+        retry_successes: after_load.retry_successes,
+    };
+
+    // Phase 2: generation under sustained pool pressure, recovered by
+    // model-guided degradation. The analytic context is the paper's A100
+    // platform; the running engine is the tiny test model.
+    let controller = DegradationController::new(
+        &hw::single_gpu_a100(),
+        &models::opt_30b(),
+        &Workload::motivation(),
+        QuantCostParams::lm_offload_kernels(),
+    );
+    let prompts = vec![vec![1, 2, 3, 4], vec![9, 8, 7, 6]];
+    let outcome = generate_with_degradation(
+        &controller,
+        &cfg,
+        11,
+        &options,
+        Policy::flexgen_default(),
+        &prompts,
+        8,
+    );
+    let stats = fault.stats();
+    let (completed, tokens_per_row, policy_switches, final_weight_bits, switches) = match &outcome {
+        Ok(d) => (
+            true,
+            d.generation.tokens[0].len(),
+            d.switches.len(),
+            d.policy.weights_dtype.bits(),
+            d.switches.clone(),
+        ),
+        Err(e) => {
+            eprintln!("warning: degraded generation failed: {e}");
+            (false, 0, 0, 0, Vec::new())
+        }
+    };
+    let degradation = DegradationPhase {
+        completed,
+        tokens_per_row,
+        policy_switches,
+        final_weight_bits,
+        pool_pressure_spikes: stats.pool_pressure_spikes,
+        prefetch_drops: stats.prefetch_drops,
+        degradations: stats.degradations,
+    };
+    let report = FaultReport::from_injector(&fault, switches, completed);
+
+    // Phase 3: the discrete-event simulator under link degradation, on
+    // the paper-scale policy the other tables use.
+    let platform = hw::single_gpu_a100();
+    let model = models::opt_30b();
+    let w = Workload::motivation();
+    let policy = Policy::flexgen_default();
+    let provider = quant_aware_provider(
+        &platform,
+        &model,
+        &w,
+        policy,
+        QuantCostParams::lm_offload_kernels(),
+        ThreadFactors::Controlled,
+    );
+    let clean = simulate(&provider, &w, model.num_layers);
+    let sim_fault = FaultInjector::new(FaultConfig {
+        link_degrade_rate: 0.4,
+        link_degrade_factor: 0.25,
+        stall_rate: 0.1,
+        stall_ms: 5,
+        ..FaultConfig::quiescent(fault_seed)
+    });
+    let faulted = simulate_faulted(&provider, &w, model.num_layers, &sim_fault);
+    let sim_stats = sim_fault.stats();
+    let sim = SimPhase {
+        clean_decode_s: clean.decode_time,
+        faulted_decode_s: faulted.decode_time,
+        slowdown: faulted.decode_time / clean.decode_time,
+        link_degrades: sim_stats.link_degrades,
+        transfer_stalls: sim_stats.transfer_stalls,
+        stall_ms_total: sim_stats.stall_ms_total,
+    };
+
+    FaultsResult {
+        fault_seed,
+        checkpoint,
+        degradation,
+        sim,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_seed_exercises_recovery_end_to_end() {
+        let r = run(DEFAULT_FAULT_SEED);
+        assert!(r.checkpoint.loaded, "checkpoint load must survive retries");
+        assert!(r.degradation.completed, "degraded generation must finish");
+        assert_eq!(r.degradation.tokens_per_row, 8);
+        // The pressure episode covers exactly the retry budget, so the
+        // first fetch must have retried, failed, and degraded.
+        assert_eq!(r.degradation.pool_pressure_spikes, 4);
+        assert!(r.report.stats.retries >= 3);
+        assert!(r.degradation.degradations > 0);
+        assert!(r.degradation.policy_switches > 0);
+        assert!(r.report.stats.total_faults() > 0);
+        assert_eq!(r.report.fault_seed, Some(DEFAULT_FAULT_SEED));
+        assert!(r.report.completed);
+        // Link degradation at 40% of windows must slow simulated decode.
+        assert!(r.sim.link_degrades > 0);
+        assert!(r.sim.slowdown > 1.0, "slowdown {}", r.sim.slowdown);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_result() {
+        // Fault decisions are stateless hashes of (seed, site, key,
+        // attempt), and the only engine failure happens on the very
+        // first fetch — before any loader/consumer concurrency exists —
+        // so the full counter set is seed-stable.
+        let a = run(DEFAULT_FAULT_SEED);
+        let b = run(DEFAULT_FAULT_SEED);
+        assert_eq!(a.report.stats, b.report.stats);
+        assert_eq!(a.degradation.policy_switches, b.degradation.policy_switches);
+        assert_eq!(a.degradation.tokens_per_row, b.degradation.tokens_per_row);
+        assert_eq!(a.degradation.final_weight_bits, b.degradation.final_weight_bits);
+        assert_eq!(a.sim.faulted_decode_s, b.sim.faulted_decode_s);
+        assert_eq!(a.sim.link_degrades, b.sim.link_degrades);
+        assert_eq!(a.sim.stall_ms_total, b.sim.stall_ms_total);
+    }
+}

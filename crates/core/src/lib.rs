@@ -12,6 +12,10 @@
 //!   policy is simulated under;
 //! - [`traffic`]: per-token interconnect traffic accounting (Table 1);
 //! - [`advisor`]: the three "how to use the models" decision scenarios;
+//! - [`degrade`]: model-guided graceful degradation — on sustained pool
+//!   pressure or bandwidth drops, re-score a fallback ladder against the
+//!   degraded platform and continue generation at the policy the model
+//!   ranks fastest among the feasible ones;
 //! - [`policy_search`]: LM-Offload's quantization-aware policy search
 //!   over the extended (4-bit weights/KV) space;
 //! - [`controller`]: Algorithm 3 integration — building the attention
@@ -44,6 +48,7 @@
 
 pub mod advisor;
 pub mod controller;
+pub mod degrade;
 pub mod engine;
 pub mod policy_search;
 pub mod provider;
@@ -54,10 +59,14 @@ pub mod whatif;
 
 pub use advisor::{Advisor, Verdict};
 pub use controller::{derive_plan, transfer_tasks, ControllerOutput, DEFAULT_HEAD_GROUPS};
+pub use degrade::{
+    engine_options_for_policy, generate_with_degradation, DegradationController,
+    DegradationTrigger, DegradedGeneration, PolicySwitch,
+};
 pub use engine::{run_framework, run_pipeline, EngineConfig, Framework, FrameworkRun};
 pub use policy_search::{lm_offload_evaluator, lm_offload_search, lm_offload_search_in_space};
 pub use provider::{quant_aware_provider, ThreadFactors};
 pub use quant_model::{QuantCostParams, QuantModel};
-pub use report::{normalise, speedup_over, Speedup, Table3Row};
+pub use report::{normalise, speedup_over, FaultReport, Speedup, Table3Row};
 pub use traffic::{per_token_traffic, TokenTraffic};
 pub use whatif::{sweep as whatif_sweep, Axis, WhatIfCurve, WhatIfPoint};

@@ -2,7 +2,9 @@
 //! throughput across frameworks, serialisable for the `results/`
 //! directory.
 
+use crate::degrade::PolicySwitch;
 use crate::engine::{Framework, FrameworkRun};
+use lm_fault::{FaultInjector, FaultStats};
 use lm_hardware::GIB;
 use serde::{Deserialize, Serialize};
 
@@ -68,6 +70,35 @@ pub fn normalise(rows: &mut [Table3Row]) {
             for r in rows.iter_mut() {
                 r.norm_tput = r.tput / reference;
             }
+        }
+    }
+}
+
+/// Fault-injection outcome of a run, serialisable into results JSON so
+/// a fault seed can be replayed from the artifact alone.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// The seed the fault plan was derived from (`None`: faults off).
+    pub fault_seed: Option<u64>,
+    /// Injected-fault and recovery counters.
+    pub stats: FaultStats,
+    /// Policy switches the degradation controller accepted, in order.
+    pub switches: Vec<PolicySwitch>,
+    /// Whether generation ultimately completed.
+    pub completed: bool,
+}
+
+impl FaultReport {
+    pub fn from_injector(
+        fault: &FaultInjector,
+        switches: Vec<PolicySwitch>,
+        completed: bool,
+    ) -> Self {
+        FaultReport {
+            fault_seed: fault.seed(),
+            stats: fault.stats(),
+            switches,
+            completed,
         }
     }
 }

@@ -9,6 +9,7 @@
 //! little-endian platform without external dependencies.
 
 use crate::model::LayerWeights;
+use lm_fault::{FaultInjector, RetryError, RetryPolicy};
 use lm_models::{Family, ModelConfig};
 use lm_tensor::{Linear, Tensor, WeightStore as LinearStore};
 use std::fs::File;
@@ -235,6 +236,78 @@ impl Checkpoint {
 
     /// Read one layer from disk.
     pub fn load_layer(&mut self, idx: usize) -> Result<LayerWeights, CheckpointError> {
+        self.load_layer_attempt(idx, &FaultInjector::disabled(), 0)
+    }
+
+    /// [`Checkpoint::load_layer`] with fault injection: the read may fail
+    /// with an injected I/O error, or tear — deliver only a prefix of the
+    /// layer. Either way the result is a clean error and no partial
+    /// `LayerWeights` ever escapes.
+    pub fn load_layer_attempt(
+        &mut self,
+        idx: usize,
+        fault: &FaultInjector,
+        attempt: u32,
+    ) -> Result<LayerWeights, CheckpointError> {
+        if fault.disk_error("disk.load_layer", idx as u64, attempt) {
+            return Err(CheckpointError::Io(std::io::Error::other(format!(
+                "injected disk I/O error reading layer {idx}"
+            ))));
+        }
+        let layer = self.read_layer_records(idx)?;
+        if let Some(frac) = fault.torn_read("disk.load_layer", idx as u64, attempt) {
+            // The full read happened, but the fault plan says only a
+            // prefix reached memory: discard everything.
+            return Err(CheckpointError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!(
+                    "torn read: layer {idx} delivered only {:.0}% of its bytes",
+                    frac * 100.0
+                ),
+            )));
+        }
+        Ok(layer)
+    }
+
+    /// [`Checkpoint::load_layer`] under a retry policy: transient faults
+    /// are retried with exponential backoff until the policy's attempt or
+    /// deadline budget runs out, at which point the *last* error (or a
+    /// timeout) is returned — never a panic, never a partial layer.
+    pub fn load_layer_with_retry(
+        &mut self,
+        idx: usize,
+        fault: &FaultInjector,
+        retry: &RetryPolicy,
+    ) -> Result<LayerWeights, CheckpointError> {
+        let mut retried = false;
+        // Two disjoint captures: `op` borrows `self` mutably, `on_retry`
+        // only touches the injector's shared counters.
+        let retried_flag = &mut retried;
+        let out = retry.run(
+            |attempt| self.load_layer_attempt(idx, fault, attempt),
+            |_, _| {
+                *retried_flag = true;
+                fault.note_retry();
+            },
+        );
+        match out {
+            Ok(layer) => {
+                if retried {
+                    fault.note_retry_success();
+                }
+                Ok(layer)
+            }
+            Err(RetryError::DeadlineExceeded { elapsed, last }) => {
+                Err(CheckpointError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!("layer {idx} read deadline exceeded after {elapsed:?}: {last}"),
+                )))
+            }
+            Err(RetryError::AttemptsExhausted { last, .. }) => Err(last),
+        }
+    }
+
+    fn read_layer_records(&mut self, idx: usize) -> Result<LayerWeights, CheckpointError> {
         let off = *self
             .offsets
             .get(idx)

@@ -9,6 +9,7 @@ use crate::model::Embedding;
 use crate::pools::{MemPool, PoolExhausted};
 use crate::sampler::Sampler;
 use crate::store::{FetchedLayer, OffloadStore, WeightsAtRest};
+use lm_fault::{FaultInjector, RetryPolicy};
 use lm_models::ModelConfig;
 use lm_tensor::{QuantConfig, Tensor};
 use std::sync::Arc;
@@ -33,6 +34,14 @@ pub struct EngineOptions {
     /// Overlap next-layer weight fetches with compute (double buffering).
     pub prefetch: bool,
     pub sampler: Sampler,
+    /// Deterministic fault plan threaded into the pools, the weight store
+    /// and the prefetch channel. Disabled by default: every probe is an
+    /// inlined `None` check and the engine behaves bit-identically to a
+    /// build without fault injection.
+    pub fault: FaultInjector,
+    /// Recovery policy for transient faults (device-pool pressure on
+    /// fetches, prefetch drops). Only consulted when `fault` is enabled.
+    pub retry: RetryPolicy,
 }
 
 impl Default for EngineOptions {
@@ -45,6 +54,8 @@ impl Default for EngineOptions {
             kv_quantize_at_rest: None,
             prefetch: true,
             sampler: Sampler::Greedy,
+            fault: FaultInjector::disabled(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -76,11 +87,18 @@ pub struct InitReport {
     pub bytes_read: u64,
 }
 
-/// Errors from engine construction.
+/// Errors from engine construction and generation.
 #[derive(Debug)]
 pub enum EngineError {
     Pool(PoolExhausted),
     Checkpoint(CheckpointError),
+    /// An I/O-level failure that survived the retry budget.
+    Io(std::io::Error),
+    /// A recovery deadline elapsed before the operation could complete.
+    Timeout(String),
+    /// Generation could not proceed at the requested policy and no
+    /// feasible fallback existed (raised by degradation controllers).
+    Degraded(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -88,6 +106,9 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Pool(e) => write!(f, "{e}"),
             EngineError::Checkpoint(e) => write!(f, "{e}"),
+            EngineError::Io(e) => write!(f, "engine I/O error: {e}"),
+            EngineError::Timeout(m) => write!(f, "engine timeout: {m}"),
+            EngineError::Degraded(m) => write!(f, "degradation failed: {m}"),
         }
     }
 }
@@ -127,16 +148,20 @@ pub struct Engine {
 
 impl Engine {
     /// Build an engine with synthetic weights.
-    pub fn new(cfg: &ModelConfig, seed: u64, options: EngineOptions) -> Result<Self, PoolExhausted> {
+    pub fn new(cfg: &ModelConfig, seed: u64, options: EngineOptions) -> Result<Self, EngineError> {
         let host = MemPool::new("host", options.host_capacity);
         let device = MemPool::new("device", options.device_capacity);
+        // Pools see pressure spikes only on the *device* side: the device
+        // budget is the scarce resource the degradation machinery defends.
+        device.attach_fault(options.fault.clone());
         let at_rest = weights_at_rest(&options);
-        let store = OffloadStore::from_layers(
+        let mut store = OffloadStore::from_layers(
             (0..cfg.num_layers).map(|i| crate::model::LayerWeights::synthesize(cfg, i, seed)),
             at_rest,
             Arc::clone(&host),
             Arc::clone(&device),
         )?;
+        store.fault = options.fault.clone();
         Ok(Engine {
             cfg: cfg.clone(),
             store: Arc::new(store),
@@ -172,16 +197,18 @@ impl Engine {
         }
         let host = MemPool::new("host", options.host_capacity);
         let device = MemPool::new("device", options.device_capacity);
+        device.attach_fault(options.fault.clone());
         let mut layers = Vec::with_capacity(ck.num_layers());
         for i in 0..ck.num_layers() {
-            layers.push(ck.load_layer(i)?);
+            layers.push(ck.load_layer_with_retry(i, &options.fault, &options.retry)?);
         }
-        let store = OffloadStore::from_layers(
+        let mut store = OffloadStore::from_layers(
             layers,
             weights_at_rest(&options),
             Arc::clone(&host),
             Arc::clone(&device),
         )?;
+        store.fault = options.fault.clone();
         let bytes_read = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
         let engine = Engine {
             cfg: cfg.clone(),
@@ -204,20 +231,38 @@ impl Engine {
         &self.cfg
     }
 
+    /// Bytes one fetched (device-resident) layer occupies — the sizing
+    /// input when a test or experiment wants a device budget of "N
+    /// layers plus slack".
+    pub fn layer_fetch_bytes(&self, layer: u32) -> usize {
+        self.store.fetched_bytes(layer)
+    }
+
     pub fn device_pool(&self) -> &Arc<MemPool> {
         &self.device
     }
 
+    /// Fetch one layer, retrying transient device-pool pressure when a
+    /// fault injector is attached. Without one this is a plain fetch —
+    /// no retry bookkeeping touches the hot path.
+    fn fetch_layer(&self, j: u32) -> Result<FetchedLayer, PoolExhausted> {
+        if self.options.fault.is_enabled() {
+            self.store.fetch_with_retry(j, &self.options.retry)
+        } else {
+            self.store.fetch(j)
+        }
+    }
+
     /// Run one layer-sweep over `f`, streaming weights with or without
     /// the prefetcher.
-    fn sweep_layers<F>(&self, mut f: F) -> Result<(), PoolExhausted>
+    fn sweep_layers<F>(&self, mut f: F) -> Result<(), EngineError>
     where
         F: FnMut(&FetchedLayer),
     {
         let l = self.store.num_layers() as u32;
         if !self.options.prefetch {
             for j in 0..l {
-                let fetched = self.store.fetch(j)?;
+                let fetched = self.fetch_layer(j)?;
                 f(&fetched);
             }
             return Ok(());
@@ -227,10 +272,16 @@ impl Engine {
         // so at most two layers exist at once: the one being computed and
         // the one the loader fetched ahead.
         let store = Arc::clone(&self.store);
+        let fault = self.options.fault.clone();
+        let retry = self.options.retry.clone();
         let (tx, rx) = crossbeam::channel::bounded::<Result<FetchedLayer, PoolExhausted>>(0);
         let loader = std::thread::spawn(move || {
             for j in 0..l {
-                let fetched = store.fetch(j);
+                let fetched = if fault.is_enabled() {
+                    store.fetch_with_retry(j, &retry)
+                } else {
+                    store.fetch(j)
+                };
                 let failed = fetched.is_err();
                 if tx.send(fetched).is_err() || failed {
                     break;
@@ -238,17 +289,35 @@ impl Engine {
             }
         });
         let mut result = Ok(());
-        for _ in 0..l {
+        for j in 0..l {
             match rx.recv() {
-                Ok(Ok(fetched)) => f(&fetched),
+                Ok(Ok(fetched)) => {
+                    // A prefetch-channel drop loses the handed-over layer
+                    // (backpressure glitch); recover with an on-demand
+                    // refetch so the sweep still sees every layer once.
+                    if self.options.fault.prefetch_drop("engine.prefetch", j as u64) {
+                        drop(fetched);
+                        match self.fetch_layer(j) {
+                            Ok(refetched) => f(&refetched),
+                            Err(e) => {
+                                result = Err(EngineError::Pool(e));
+                                break;
+                            }
+                        }
+                    } else {
+                        f(&fetched);
+                    }
+                }
                 Ok(Err(e)) => {
-                    result = Err(e);
+                    result = Err(EngineError::Pool(e));
                     break;
                 }
                 Err(_) => break,
             }
         }
-        loader.join().expect("loader thread panicked");
+        loader
+            .join()
+            .map_err(|_| EngineError::Io(std::io::Error::other("prefetch loader thread panicked")))?;
         result
     }
 
@@ -259,7 +328,7 @@ impl Engine {
         &self,
         prompts: &[Vec<u32>],
         gen_len: usize,
-    ) -> Result<Generation, PoolExhausted> {
+    ) -> Result<Generation, EngineError> {
         assert!(!prompts.is_empty(), "empty batch");
         let s = prompts[0].len();
         assert!(s > 0, "empty prompt");
@@ -373,7 +442,7 @@ impl Engine {
         prompts: &[Vec<u32>],
         gen_len: usize,
         num_batches: usize,
-    ) -> Result<Generation, PoolExhausted> {
+    ) -> Result<Generation, EngineError> {
         assert!(num_batches >= 1, "need at least one batch");
         assert!(
             !prompts.is_empty() && prompts.len().is_multiple_of(num_batches),

@@ -4,6 +4,7 @@
 //! pool's capacity is a hard error, which is how the tests prove the
 //! engine really runs within the device budget it claims.
 
+use lm_fault::FaultInjector;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -13,6 +14,9 @@ pub struct MemPool {
     name: String,
     capacity: usize,
     inner: Mutex<PoolState>,
+    /// Injects transient pressure spikes (see [`MemPool::attach_fault`]);
+    /// disabled by default, making every probe an inlined `None` check.
+    fault: Mutex<FaultInjector>,
 }
 
 #[derive(Debug, Default)]
@@ -20,6 +24,9 @@ struct PoolState {
     used: usize,
     peak: usize,
     allocs: u64,
+    /// Allocation *attempts* (incl. failed ones) — the fault-decision key,
+    /// so a retried allocation gets a fresh draw and pressure can clear.
+    probes: u64,
 }
 
 /// Error returned when an allocation would exceed the pool's capacity.
@@ -70,7 +77,16 @@ impl MemPool {
             name: name.into(),
             capacity,
             inner: Mutex::new(PoolState::default()),
+            fault: Mutex::new(FaultInjector::disabled()),
         })
+    }
+
+    /// Attach a fault injector: subsequent allocations may observe
+    /// transient pressure spikes (bytes squatting in the pool for the
+    /// duration of one attempt). A disabled injector restores the
+    /// fault-free behaviour exactly.
+    pub fn attach_fault(&self, fault: FaultInjector) {
+        *self.fault.lock() = fault;
     }
 
     pub fn name(&self) -> &str {
@@ -95,15 +111,25 @@ impl MemPool {
     }
 
     /// Reserve `bytes`, returning an RAII lease or an error when the pool
-    /// cannot hold them.
+    /// cannot hold them. With a fault injector attached, a pressure spike
+    /// may transiently shrink the capacity seen by this one attempt.
     pub fn alloc(self: &Arc<Self>, bytes: usize) -> Result<Lease, PoolExhausted> {
+        let fault = self.fault.lock().clone();
         let mut st = self.inner.lock();
-        if st.used + bytes > self.capacity {
+        st.probes += 1;
+        let capacity = match fault.pool_pressure(
+            if self.name == "device" { "pool.device" } else { "pool.host" },
+            st.probes,
+        ) {
+            Some(spike) => self.capacity.saturating_sub(spike as usize),
+            None => self.capacity,
+        };
+        if st.used + bytes > capacity {
             return Err(PoolExhausted {
                 pool: self.name.clone(),
                 requested: bytes,
                 used: st.used,
-                capacity: self.capacity,
+                capacity,
             });
         }
         st.used += bytes;
@@ -164,6 +190,47 @@ mod tests {
     }
 
     #[test]
+    fn pressure_spike_shrinks_one_attempt_then_clears() {
+        use lm_fault::FaultConfig;
+        // Rate 1.0 with a spike bigger than the pool: every attempt fails.
+        let p = MemPool::new("device", 100);
+        p.attach_fault(FaultInjector::new(FaultConfig {
+            pool_pressure_rate: 1.0,
+            pool_pressure_bytes: 1000,
+            ..FaultConfig::quiescent(3)
+        }));
+        assert!(p.alloc(1).is_err());
+        // Detach: behaviour returns to normal, nothing leaked.
+        p.attach_fault(FaultInjector::disabled());
+        let l = p.alloc(100).unwrap();
+        assert_eq!(p.used(), 100);
+        drop(l);
+        assert_eq!(p.used(), 0);
+    }
+
+    #[test]
+    fn pressure_retries_get_fresh_draws() {
+        use lm_fault::FaultConfig;
+        let p = MemPool::new("device", 100);
+        let f = FaultInjector::new(FaultConfig {
+            pool_pressure_rate: 0.5,
+            pool_pressure_bytes: 1000,
+            ..FaultConfig::quiescent(7)
+        });
+        p.attach_fault(f.clone());
+        // Keyed by attempt count, a failing alloc eventually succeeds.
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            assert!(attempts < 64, "pressure never cleared");
+            if p.alloc(10).is_ok() {
+                break;
+            }
+        }
+        assert!(f.stats().pool_pressure_spikes >= (attempts - 1) as u64);
+    }
+
+    #[test]
     fn leases_are_send_across_threads() {
         let p = MemPool::new("device", 1000);
         let lease = p.alloc(500).unwrap();
@@ -175,5 +242,66 @@ mod tests {
         .join()
         .unwrap();
         assert_eq!(p.used(), 0);
+    }
+
+    mod properties {
+        use super::*;
+        use lm_fault::FaultConfig;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Under concurrent alloc/free churn with injected pressure
+            /// spikes, the pool's accounting never goes negative (drop
+            /// would panic its underflow debug_assert), the peak stays
+            /// within capacity, and every lease release is reflected:
+            /// the pool drains to exactly zero.
+            #[test]
+            fn concurrent_churn_with_faults_keeps_accounting_exact(
+                capacity in 10_000usize..100_000,
+                sizes in proptest::collection::vec(1usize..8_000, 4..48),
+                seed in 0u64..1_000,
+            ) {
+                let p = MemPool::new("device", capacity);
+                p.attach_fault(FaultInjector::new(FaultConfig {
+                    pool_pressure_rate: 0.3,
+                    pool_pressure_bytes: (capacity / 2) as u64,
+                    ..FaultConfig::quiescent(seed)
+                }));
+                let granted = std::sync::atomic::AtomicUsize::new(0);
+                std::thread::scope(|s| {
+                    for chunk in sizes.chunks(sizes.len().div_ceil(4)) {
+                        let p = Arc::clone(&p);
+                        let granted = &granted;
+                        s.spawn(move || {
+                            for &b in chunk {
+                                match p.alloc(b) {
+                                    Ok(lease) => {
+                                        granted.fetch_add(
+                                            1,
+                                            std::sync::atomic::Ordering::Relaxed,
+                                        );
+                                        assert!(p.used() <= capacity);
+                                        assert_eq!(lease.bytes(), b);
+                                        drop(lease);
+                                    }
+                                    Err(e) => {
+                                        // A rejected alloc must not leak.
+                                        assert!(e.requested == b);
+                                    }
+                                }
+                            }
+                        });
+                    }
+                });
+                prop_assert_eq!(p.used(), 0, "every lease must be released");
+                prop_assert!(p.peak() <= capacity, "peak exceeded capacity");
+                prop_assert_eq!(
+                    p.alloc_count(),
+                    granted.load(std::sync::atomic::Ordering::Relaxed) as u64
+                );
+            }
+        }
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::model::LayerWeights;
 use crate::pools::{Lease, MemPool, PoolExhausted};
+use lm_fault::{FaultInjector, RetryPolicy};
 use lm_models::ModelConfig;
 use lm_tensor::{Linear, QuantConfig, WeightStore as LinearStore};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,6 +29,8 @@ pub struct OffloadStore {
     /// engine's `load_weight` traffic — comparable to the analytic
     /// model's per-token weight volume).
     fetched_bytes: AtomicU64,
+    /// Injects transfer stalls into fetches; disabled by default.
+    pub fault: FaultInjector,
     _host_lease: Lease,
 }
 
@@ -103,6 +106,7 @@ impl OffloadStore {
             host,
             device,
             fetched_bytes: AtomicU64::new(0),
+            fault: FaultInjector::disabled(),
             _host_lease: host_lease,
         })
     }
@@ -141,8 +145,13 @@ impl OffloadStore {
     }
 
     /// Fetch layer `idx` to the device: dequantize/copy into a
-    /// full-precision working set charged to the device pool.
+    /// full-precision working set charged to the device pool. With a
+    /// fault injector attached, the transfer may stall (a real sleep —
+    /// the engine-side counterpart of the simulator's virtual stall).
     pub fn fetch(&self, idx: u32) -> Result<FetchedLayer, PoolExhausted> {
+        if let Some(stall) = self.fault.transfer_stall("store.fetch", idx as u64) {
+            std::thread::sleep(stall);
+        }
         let at_rest = &self.layers[idx as usize];
         let lease = self.device.alloc(self.fetched_bytes(idx))?;
         self.fetched_bytes
@@ -164,6 +173,34 @@ impl OffloadStore {
             layer: idx,
             _lease: lease,
         })
+    }
+
+    /// [`OffloadStore::fetch`] under a retry policy: transient device-pool
+    /// pressure (injected or real) is retried with backoff until the
+    /// policy's attempt or deadline budget runs out. Retries are counted
+    /// on the attached injector.
+    pub fn fetch_with_retry(
+        &self,
+        idx: u32,
+        retry: &RetryPolicy,
+    ) -> Result<FetchedLayer, PoolExhausted> {
+        let mut retried = false;
+        let out = retry.run(
+            |_| self.fetch(idx),
+            |_, _| {
+                retried = true;
+                self.fault.note_retry();
+            },
+        );
+        match out {
+            Ok(f) => {
+                if retried {
+                    self.fault.note_retry_success();
+                }
+                Ok(f)
+            }
+            Err(e) => Err(e.into_last()),
+        }
     }
 }
 
@@ -232,6 +269,33 @@ mod tests {
         let a = fetched.weights.forward_decode(&x, &mut c1, 4, 0);
         let b = reference.forward_decode(&x, &mut c2, 4, 0);
         assert!(a.allclose(&b, 1e-6));
+    }
+
+    #[test]
+    fn fetch_retries_clear_injected_pool_pressure() {
+        use lm_fault::{FaultConfig, FaultInjector};
+        let cfg = presets::tiny_test();
+        let (host, device) = pools(64 << 20);
+        let fault = FaultInjector::new(FaultConfig {
+            pool_pressure_rate: 0.6,
+            pool_pressure_bytes: 1 << 30, // bigger than the pool: spike = failure
+            ..FaultConfig::quiescent(11)
+        });
+        device.attach_fault(fault.clone());
+        let mut store = OffloadStore::synthesize(&cfg, 6, None, host, device).unwrap();
+        store.fault = fault.clone();
+        let policy = lm_fault::RetryPolicy {
+            max_attempts: 32,
+            ..lm_fault::RetryPolicy::fast_test()
+        };
+        // At rate 0.6 with fresh draws per attempt, 32 attempts make
+        // failure astronomically unlikely; every layer must come through.
+        for i in 0..store.num_layers() as u32 {
+            store.fetch_with_retry(i, &policy).unwrap();
+        }
+        let stats = fault.stats();
+        assert!(stats.pool_pressure_spikes > 0, "spikes never fired");
+        assert_eq!(stats.retries, stats.pool_pressure_spikes);
     }
 
     #[test]

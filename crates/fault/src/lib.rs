@@ -1,0 +1,517 @@
+//! Deterministic fault injection for the LM-Offload pipeline.
+//!
+//! The paper's performance model assumes a well-behaved platform: disks
+//! deliver checkpoints, links run at nominal bandwidth, memory pools
+//! have the capacity the policy planner budgeted for. This crate
+//! supplies the machinery to violate those assumptions on purpose — in
+//! the real engine, in the discrete-event simulator, and in the policy
+//! layer — so recovery paths (retry with backoff, prefetch
+//! backpressure, model-guided degradation) can be exercised and tested.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero-cost when off.** A disabled [`FaultInjector`] is a `None`;
+//!    every probe is an inlined null check. Token streams with faults
+//!    disabled are bit-identical to a build that never heard of this
+//!    crate.
+//! 2. **Deterministic by seed.** Decisions are *stateless hashes* of
+//!    `(seed, kind, site key, attempt)`, not draws from a shared
+//!    mutable RNG. Thread interleaving therefore cannot perturb which
+//!    operations fail: the same seed produces the same fault pattern
+//!    whether the prefetcher wins or loses its races.
+//! 3. **Shared accounting.** All layers count injected faults and
+//!    recovery actions into one [`FaultStats`], surfaced through
+//!    `lm_offload::report` and the `repro` binary.
+
+mod plan;
+mod retry;
+
+pub use plan::{FaultConfig, FaultProfile};
+pub use retry::{RetryError, RetryPolicy};
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Categories of injected misbehaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A disk read returns an I/O error.
+    DiskIo,
+    /// A disk read delivers only a prefix of the requested bytes.
+    TornRead,
+    /// A link's effective bandwidth drops for a window.
+    LinkDegrade,
+    /// A transfer stalls (wall-clock sleep in the engine, extra latency
+    /// in the simulator) before completing.
+    TransferStall,
+    /// A transient allocation claims pool headroom, making the next
+    /// allocations see an exhausted pool.
+    PoolPressure,
+    /// A prefetched layer is dropped between loader and consumer.
+    PrefetchDrop,
+}
+
+impl FaultKind {
+    const COUNT: usize = 6;
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::DiskIo => 0,
+            FaultKind::TornRead => 1,
+            FaultKind::LinkDegrade => 2,
+            FaultKind::TransferStall => 3,
+            FaultKind::PoolPressure => 4,
+            FaultKind::PrefetchDrop => 5,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::DiskIo => "disk_io",
+            FaultKind::TornRead => "torn_read",
+            FaultKind::LinkDegrade => "link_degrade",
+            FaultKind::TransferStall => "transfer_stall",
+            FaultKind::PoolPressure => "pool_pressure",
+            FaultKind::PrefetchDrop => "prefetch_drop",
+        }
+    }
+}
+
+/// One injected fault, for event-sequence assertions in tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    pub kind: FaultKind,
+    /// Which injection point fired (e.g. `"engine.load_layer"`).
+    pub site: &'static str,
+    /// The caller's natural key for the operation (layer index, task
+    /// sequence number, ...).
+    pub key: u64,
+    /// Retry attempt at the time of injection (0 for first tries).
+    pub attempt: u32,
+}
+
+/// Injected-fault and recovery counters, serialised into results JSON.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    pub seed: u64,
+    pub disk_io_faults: u64,
+    pub torn_reads: u64,
+    pub link_degrades: u64,
+    pub transfer_stalls: u64,
+    pub pool_pressure_spikes: u64,
+    pub prefetch_drops: u64,
+    /// Retries attempted by recovery wrappers.
+    pub retries: u64,
+    /// Retries that ended in success.
+    pub retry_successes: u64,
+    /// Times the degradation controller switched to a fallback policy.
+    pub degradations: u64,
+    /// Total wall/virtual milliseconds added by injected stalls.
+    pub stall_ms_total: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults of all kinds.
+    pub fn total_faults(&self) -> u64 {
+        self.disk_io_faults
+            + self.torn_reads
+            + self.link_degrades
+            + self.transfer_stalls
+            + self.pool_pressure_spikes
+            + self.prefetch_drops
+    }
+}
+
+struct Inner {
+    cfg: FaultConfig,
+    injected: [AtomicU64; FaultKind::COUNT],
+    retries: AtomicU64,
+    retry_successes: AtomicU64,
+    degradations: AtomicU64,
+    stall_ms_total: AtomicU64,
+    /// Pressure probes observed across every pool sharing this injector
+    /// — the clock the bounded pressure episode runs on. Pools keep
+    /// their own per-instance counters, so a rebuilt engine would reset
+    /// a per-pool clock and re-enter the episode forever.
+    pressure_probes: AtomicU64,
+    log: Mutex<Vec<FaultEvent>>,
+}
+
+/// Handle threaded through the pipeline. Clones share counters and the
+/// event log. `FaultInjector::disabled()` (and `Default`) produce the
+/// zero-cost null injector.
+#[derive(Clone, Default)]
+pub struct FaultInjector {
+    inner: Option<Arc<Inner>>,
+}
+
+/// SplitMix64 finaliser — decision hashing.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a hash to [0, 1).
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultInjector {
+    /// The null injector: every probe returns "no fault" via an inlined
+    /// `None` check; no allocation, no atomics.
+    pub fn disabled() -> Self {
+        FaultInjector { inner: None }
+    }
+
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultInjector {
+            inner: Some(Arc::new(Inner {
+                cfg,
+                injected: Default::default(),
+                retries: AtomicU64::new(0),
+                retry_successes: AtomicU64::new(0),
+                degradations: AtomicU64::new(0),
+                stall_ms_total: AtomicU64::new(0),
+                pressure_probes: AtomicU64::new(0),
+                log: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Enabled injector with the given seed and the default
+    /// moderate-rate profile.
+    pub fn from_seed(seed: u64) -> Self {
+        FaultInjector::new(FaultConfig::profile(seed, FaultProfile::Moderate))
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    pub fn seed(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.cfg.seed)
+    }
+
+    pub fn config(&self) -> Option<&FaultConfig> {
+        self.inner.as_ref().map(|i| &i.cfg)
+    }
+
+    /// Stateless decision draw in [0, 1) for `(kind, key, attempt)`.
+    fn draw(&self, inner: &Inner, kind: FaultKind, key: u64, attempt: u32) -> f64 {
+        let h = mix(
+            inner
+                .cfg
+                .seed
+                .wrapping_add(mix(kind.index() as u64))
+                .wrapping_add(mix(key).rotate_left(17))
+                .wrapping_add(attempt as u64),
+        );
+        unit(h)
+    }
+
+    fn record(&self, inner: &Inner, kind: FaultKind, site: &'static str, key: u64, attempt: u32) {
+        inner.injected[kind.index()].fetch_add(1, Ordering::Relaxed);
+        let mut log = inner.log.lock().unwrap_or_else(|e| e.into_inner());
+        log.push(FaultEvent {
+            kind,
+            site,
+            key,
+            attempt,
+        });
+    }
+
+    /// Should the disk read for `(site, key)` on retry `attempt` fail
+    /// with an I/O error?
+    #[inline]
+    pub fn disk_error(&self, site: &'static str, key: u64, attempt: u32) -> bool {
+        let Some(inner) = self.inner.as_deref() else {
+            return false;
+        };
+        if self.draw(inner, FaultKind::DiskIo, key, attempt) < inner.cfg.disk_error_rate {
+            self.record(inner, FaultKind::DiskIo, site, key, attempt);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Should the disk read deliver only part of its payload? Returns
+    /// the surviving fraction in (0, 1).
+    #[inline]
+    pub fn torn_read(&self, site: &'static str, key: u64, attempt: u32) -> Option<f64> {
+        let inner = self.inner.as_deref()?;
+        if self.draw(inner, FaultKind::TornRead, key, attempt) < inner.cfg.torn_read_rate {
+            self.record(inner, FaultKind::TornRead, site, key, attempt);
+            // Second draw: where the read tears (5%..95% delivered).
+            let frac = 0.05 + 0.9 * self.draw(inner, FaultKind::TornRead, key ^ 0xA5A5, attempt);
+            Some(frac)
+        } else {
+            None
+        }
+    }
+
+    /// Effective bandwidth multiplier for window `key`, if the link is
+    /// degraded there (e.g. `Some(0.25)` = quarter speed).
+    #[inline]
+    pub fn bandwidth_factor(&self, site: &'static str, key: u64) -> Option<f64> {
+        let inner = self.inner.as_deref()?;
+        if self.draw(inner, FaultKind::LinkDegrade, key, 0) < inner.cfg.link_degrade_rate {
+            self.record(inner, FaultKind::LinkDegrade, site, key, 0);
+            Some(inner.cfg.link_degrade_factor)
+        } else {
+            None
+        }
+    }
+
+    /// Extra latency injected into transfer `key`, if it stalls.
+    #[inline]
+    pub fn transfer_stall(&self, site: &'static str, key: u64) -> Option<Duration> {
+        let inner = self.inner.as_deref()?;
+        if self.draw(inner, FaultKind::TransferStall, key, 0) < inner.cfg.stall_rate {
+            self.record(inner, FaultKind::TransferStall, site, key, 0);
+            inner
+                .stall_ms_total
+                .fetch_add(inner.cfg.stall_ms, Ordering::Relaxed);
+            Some(Duration::from_millis(inner.cfg.stall_ms))
+        } else {
+            None
+        }
+    }
+
+    /// Transient extra bytes squatting in the pool around operation
+    /// `key` (a pressure spike), if one fires.
+    #[inline]
+    pub fn pool_pressure(&self, site: &'static str, key: u64) -> Option<u64> {
+        let inner = self.inner.as_deref()?;
+        // A bounded burst models a pressure *episode*: probes past the
+        // burst see a pool that has recovered.
+        if inner.cfg.pool_pressure_burst != 0 {
+            let n = inner.pressure_probes.fetch_add(1, Ordering::Relaxed) + 1;
+            if n > inner.cfg.pool_pressure_burst {
+                return None;
+            }
+        }
+        if self.draw(inner, FaultKind::PoolPressure, key, 0) < inner.cfg.pool_pressure_rate {
+            self.record(inner, FaultKind::PoolPressure, site, key, 0);
+            Some(inner.cfg.pool_pressure_bytes)
+        } else {
+            None
+        }
+    }
+
+    /// Should the prefetched item for `key` be dropped before the
+    /// consumer sees it (forcing a demand re-load)?
+    #[inline]
+    pub fn prefetch_drop(&self, site: &'static str, key: u64) -> bool {
+        let Some(inner) = self.inner.as_deref() else {
+            return false;
+        };
+        if self.draw(inner, FaultKind::PrefetchDrop, key, 0) < inner.cfg.prefetch_drop_rate {
+            self.record(inner, FaultKind::PrefetchDrop, site, key, 0);
+            true
+        } else {
+            false
+        }
+    }
+
+    // ---- recovery accounting ----------------------------------------
+
+    /// Record one retry attempt (called by recovery wrappers).
+    pub fn note_retry(&self) {
+        if let Some(inner) = self.inner.as_deref() {
+            inner.retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record that a retried operation eventually succeeded.
+    pub fn note_retry_success(&self) {
+        if let Some(inner) = self.inner.as_deref() {
+            inner.retry_successes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a policy degradation decision.
+    pub fn note_degradation(&self) {
+        if let Some(inner) = self.inner.as_deref() {
+            inner.degradations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record simulator-side stall time (virtual, so not counted by
+    /// [`FaultInjector::transfer_stall`] itself).
+    pub fn note_stall_ms(&self, ms: u64) {
+        if let Some(inner) = self.inner.as_deref() {
+            inner.stall_ms_total.fetch_add(ms, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot all counters.
+    pub fn stats(&self) -> FaultStats {
+        let Some(inner) = self.inner.as_deref() else {
+            return FaultStats::default();
+        };
+        let get = |k: FaultKind| inner.injected[k.index()].load(Ordering::Relaxed);
+        FaultStats {
+            seed: inner.cfg.seed,
+            disk_io_faults: get(FaultKind::DiskIo),
+            torn_reads: get(FaultKind::TornRead),
+            link_degrades: get(FaultKind::LinkDegrade),
+            transfer_stalls: get(FaultKind::TransferStall),
+            pool_pressure_spikes: get(FaultKind::PoolPressure),
+            prefetch_drops: get(FaultKind::PrefetchDrop),
+            retries: inner.retries.load(Ordering::Relaxed),
+            retry_successes: inner.retry_successes.load(Ordering::Relaxed),
+            degradations: inner.degradations.load(Ordering::Relaxed),
+            stall_ms_total: inner.stall_ms_total.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Chronological injected-fault log (order within one site is the
+    /// site's operation order; cross-site order follows wall clock).
+    pub fn events(&self) -> Vec<FaultEvent> {
+        match self.inner.as_deref() {
+            Some(inner) => inner.log.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+            None => Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.inner.as_deref() {
+            Some(inner) => write!(f, "FaultInjector(seed={})", inner.cfg.seed),
+            None => write!(f, "FaultInjector(disabled)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_never_fires() {
+        let f = FaultInjector::disabled();
+        for k in 0..10_000 {
+            assert!(!f.disk_error("t", k, 0));
+            assert!(f.torn_read("t", k, 0).is_none());
+            assert!(f.bandwidth_factor("t", k).is_none());
+            assert!(f.transfer_stall("t", k).is_none());
+            assert!(f.pool_pressure("t", k).is_none());
+            assert!(!f.prefetch_drop("t", k));
+        }
+        assert_eq!(f.stats(), FaultStats::default());
+        assert!(f.events().is_empty());
+    }
+
+    #[test]
+    fn pressure_burst_bounds_the_episode() {
+        let f = FaultInjector::new(FaultConfig {
+            pool_pressure_rate: 1.0,
+            pool_pressure_bytes: 1 << 20,
+            pool_pressure_burst: 4,
+            ..FaultConfig::quiescent(9)
+        });
+        // The burst clock counts probes across all callers, so the key
+        // (a per-pool counter that would reset on engine rebuild) does
+        // not matter — only how many probes this injector has seen.
+        for i in 0..4 {
+            assert!(f.pool_pressure("t", 1).is_some(), "probe {i} inside burst");
+        }
+        for i in 4..100 {
+            assert!(f.pool_pressure("t", 1).is_none(), "probe {i} past burst");
+        }
+        assert_eq!(f.stats().pool_pressure_spikes, 4);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let a = FaultInjector::from_seed(42);
+        let b = FaultInjector::from_seed(42);
+        for k in 0..2_000 {
+            assert_eq!(a.disk_error("t", k, 0), b.disk_error("t", k, 0));
+            assert_eq!(a.torn_read("t", k, 1), b.torn_read("t", k, 1));
+            assert_eq!(a.pool_pressure("t", k), b.pool_pressure("t", k));
+        }
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultInjector::from_seed(1);
+        let b = FaultInjector::from_seed(2);
+        let fire_a: Vec<bool> = (0..4_000).map(|k| a.disk_error("t", k, 0)).collect();
+        let fire_b: Vec<bool> = (0..4_000).map(|k| b.disk_error("t", k, 0)).collect();
+        assert_ne!(fire_a, fire_b);
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let cfg = FaultConfig {
+            disk_error_rate: 0.2,
+            ..FaultConfig::profile(7, FaultProfile::Moderate)
+        };
+        let f = FaultInjector::new(cfg);
+        let n = 20_000u64;
+        let fired = (0..n).filter(|&k| f.disk_error("t", k, 0)).count() as f64;
+        let rate = fired / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "observed rate {rate}");
+    }
+
+    #[test]
+    fn attempts_are_independent_draws() {
+        // A key that fails at attempt 0 must be able to pass at a later
+        // attempt — that's what makes retry meaningful.
+        let f = FaultInjector::new(FaultConfig {
+            disk_error_rate: 0.5,
+            ..FaultConfig::profile(3, FaultProfile::Moderate)
+        });
+        let mut recovered = 0;
+        for k in 0..200 {
+            if f.disk_error("t", k, 0) && !f.disk_error("t", k, 1) {
+                recovered += 1;
+            }
+        }
+        assert!(recovered > 10, "retries never clear: {recovered}");
+    }
+
+    #[test]
+    fn counters_track_recovery_notes() {
+        let f = FaultInjector::from_seed(9);
+        f.note_retry();
+        f.note_retry();
+        f.note_retry_success();
+        f.note_degradation();
+        f.note_stall_ms(30);
+        let s = f.stats();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.retry_successes, 1);
+        assert_eq!(s.degradations, 1);
+        assert_eq!(s.stall_ms_total, 30);
+        assert_eq!(s.seed, 9);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let f = FaultInjector::from_seed(11);
+        let g = f.clone();
+        g.note_retry();
+        assert_eq!(f.stats().retries, 1);
+    }
+
+    #[test]
+    fn stats_serialise_round_trip() {
+        let f = FaultInjector::from_seed(5);
+        f.note_retry();
+        let s = f.stats();
+        let v = serde::Serialize::serialize(&s);
+        let back: FaultStats = serde::Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,137 @@
+//! Fault-plan configuration: which fault classes fire, how often, and
+//! how hard.
+
+use serde::{Deserialize, Serialize};
+
+/// Preset severity levels for quick wiring from CLI flags and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultProfile {
+    /// Rare, survivable faults — retries alone should absorb them.
+    Light,
+    /// Frequent-enough faults that retry, backpressure, and occasional
+    /// degradation all get exercised.
+    Moderate,
+    /// Sustained pressure: degradation is expected, not exceptional.
+    Severe,
+}
+
+/// Rates and magnitudes for every fault class. All rates are per-probe
+/// probabilities in [0, 1]; a class is disabled by setting its rate to
+/// zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed defining the entire fault pattern.
+    pub seed: u64,
+    /// P(disk read errors) per (key, attempt).
+    pub disk_error_rate: f64,
+    /// P(disk read is torn) per (key, attempt).
+    pub torn_read_rate: f64,
+    /// P(link degraded) per bandwidth window.
+    pub link_degrade_rate: f64,
+    /// Bandwidth multiplier while degraded (0 < f < 1).
+    pub link_degrade_factor: f64,
+    /// P(transfer stalls) per transfer.
+    pub stall_rate: f64,
+    /// Stall duration in milliseconds.
+    pub stall_ms: u64,
+    /// P(pool pressure spike) per probe.
+    pub pool_pressure_rate: f64,
+    /// Bytes transiently claimed by a pressure spike.
+    pub pool_pressure_bytes: u64,
+    /// Length of the pressure episode in allocation probes: spikes only
+    /// fire on the first `pool_pressure_burst` probes, modelling a
+    /// co-tenant's transient memory grab that later subsides. `0` means
+    /// no bound — pressure persists for the whole run.
+    pub pool_pressure_burst: u64,
+    /// P(prefetched item dropped) per item.
+    pub prefetch_drop_rate: f64,
+}
+
+impl FaultConfig {
+    /// A profile's standard rates with the given seed.
+    pub fn profile(seed: u64, profile: FaultProfile) -> Self {
+        match profile {
+            FaultProfile::Light => FaultConfig {
+                seed,
+                disk_error_rate: 0.02,
+                torn_read_rate: 0.01,
+                link_degrade_rate: 0.02,
+                link_degrade_factor: 0.5,
+                stall_rate: 0.01,
+                stall_ms: 2,
+                pool_pressure_rate: 0.01,
+                pool_pressure_bytes: 1 << 20,
+                pool_pressure_burst: 0,
+                prefetch_drop_rate: 0.01,
+            },
+            FaultProfile::Moderate => FaultConfig {
+                seed,
+                disk_error_rate: 0.10,
+                torn_read_rate: 0.05,
+                link_degrade_rate: 0.10,
+                link_degrade_factor: 0.25,
+                stall_rate: 0.05,
+                stall_ms: 5,
+                pool_pressure_rate: 0.05,
+                pool_pressure_bytes: 8 << 20,
+                pool_pressure_burst: 0,
+                prefetch_drop_rate: 0.05,
+            },
+            FaultProfile::Severe => FaultConfig {
+                seed,
+                disk_error_rate: 0.25,
+                torn_read_rate: 0.15,
+                link_degrade_rate: 0.35,
+                link_degrade_factor: 0.10,
+                stall_rate: 0.15,
+                stall_ms: 10,
+                pool_pressure_rate: 0.20,
+                pool_pressure_bytes: 32 << 20,
+                pool_pressure_burst: 0,
+                prefetch_drop_rate: 0.15,
+            },
+        }
+    }
+
+    /// All rates zero — an enabled injector that never fires (counters
+    /// and the event log still work; useful for tests of the plumbing).
+    pub fn quiescent(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            disk_error_rate: 0.0,
+            torn_read_rate: 0.0,
+            link_degrade_rate: 0.0,
+            link_degrade_factor: 1.0,
+            stall_rate: 0.0,
+            stall_ms: 0,
+            pool_pressure_rate: 0.0,
+            pool_pressure_bytes: 0,
+            pool_pressure_burst: 0,
+            prefetch_drop_rate: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_order_by_severity() {
+        let l = FaultConfig::profile(1, FaultProfile::Light);
+        let m = FaultConfig::profile(1, FaultProfile::Moderate);
+        let s = FaultConfig::profile(1, FaultProfile::Severe);
+        assert!(l.disk_error_rate < m.disk_error_rate);
+        assert!(m.disk_error_rate < s.disk_error_rate);
+        assert!(l.link_degrade_factor > m.link_degrade_factor);
+        assert!(m.link_degrade_factor > s.link_degrade_factor);
+    }
+
+    #[test]
+    fn config_serialises() {
+        let c = FaultConfig::profile(77, FaultProfile::Severe);
+        let v = serde::Serialize::serialize(&c);
+        let back: FaultConfig = serde::Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,211 @@
+//! Bounded retry with exponential backoff and a hard deadline.
+
+use std::time::{Duration, Instant};
+
+/// Outcome of a retried operation that never succeeded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetryError<E> {
+    /// Every allowed attempt failed; carries the last error.
+    AttemptsExhausted { attempts: u32, last: E },
+    /// The deadline elapsed before the next attempt could start;
+    /// carries the most recent error.
+    DeadlineExceeded { elapsed: Duration, last: E },
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for RetryError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetryError::AttemptsExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+            RetryError::DeadlineExceeded { elapsed, last } => {
+                write!(f, "deadline exceeded after {elapsed:?}: {last}")
+            }
+        }
+    }
+}
+
+impl<E: std::fmt::Debug + std::fmt::Display> std::error::Error for RetryError<E> {}
+
+impl<E> RetryError<E> {
+    pub fn into_last(self) -> E {
+        match self {
+            RetryError::AttemptsExhausted { last, .. } => last,
+            RetryError::DeadlineExceeded { last, .. } => last,
+        }
+    }
+}
+
+/// Retry policy: at most `max_attempts` tries, sleeping
+/// `base_backoff * multiplier^(attempt-1)` (capped at `max_backoff`)
+/// between them, never starting an attempt after `deadline` has
+/// elapsed since the first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    pub max_attempts: u32,
+    pub base_backoff: Duration,
+    pub multiplier: f64,
+    pub max_backoff: Duration,
+    pub deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(2),
+            multiplier: 2.0,
+            max_backoff: Duration::from_millis(50),
+            deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no sleeping).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            multiplier: 1.0,
+            max_backoff: Duration::ZERO,
+            deadline: Duration::MAX,
+        }
+    }
+
+    /// Tight policy for unit tests: fast backoff, short deadline.
+    pub fn fast_test() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_micros(100),
+            multiplier: 2.0,
+            max_backoff: Duration::from_millis(1),
+            deadline: Duration::from_secs(2),
+        }
+    }
+
+    /// Backoff before retry number `attempt` (1-based: the sleep taken
+    /// after the `attempt`-th failure).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = self.multiplier.powi(attempt.saturating_sub(1) as i32);
+        let nanos = self.base_backoff.as_nanos() as f64 * factor;
+        Duration::from_nanos(nanos as u64).min(self.max_backoff)
+    }
+
+    /// Run `op(attempt)` until it succeeds, attempts run out, or the
+    /// deadline passes. `on_retry` is invoked before each sleep (for
+    /// counters/logging).
+    pub fn run<T, E>(
+        &self,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+        mut on_retry: impl FnMut(u32, &E),
+    ) -> Result<T, RetryError<E>> {
+        assert!(self.max_attempts >= 1, "policy must allow one attempt");
+        let start = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    let next = attempt + 1;
+                    if next >= self.max_attempts {
+                        return Err(RetryError::AttemptsExhausted {
+                            attempts: next,
+                            last: e,
+                        });
+                    }
+                    let pause = self.backoff(next);
+                    if start.elapsed() + pause > self.deadline {
+                        return Err(RetryError::DeadlineExceeded {
+                            elapsed: start.elapsed(),
+                            last: e,
+                        });
+                    }
+                    on_retry(next, &e);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                    attempt = next;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succeeds_first_try_without_retries() {
+        let p = RetryPolicy::fast_test();
+        let mut retries = 0;
+        let r: Result<u32, RetryError<&str>> =
+            p.run(|_| Ok(7), |_, _| retries += 1);
+        assert_eq!(r.unwrap(), 7);
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn recovers_after_transient_failures() {
+        let p = RetryPolicy::fast_test();
+        let mut retries = 0;
+        let r: Result<u32, RetryError<String>> = p.run(
+            |attempt| {
+                if attempt < 3 {
+                    Err(format!("transient {attempt}"))
+                } else {
+                    Ok(attempt)
+                }
+            },
+            |_, _| retries += 1,
+        );
+        assert_eq!(r.unwrap(), 3);
+        assert_eq!(retries, 3);
+    }
+
+    #[test]
+    fn exhausts_attempts() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::fast_test()
+        };
+        let r: Result<(), RetryError<&str>> = p.run(|_| Err("always"), |_, _| {});
+        match r {
+            Err(RetryError::AttemptsExhausted { attempts, last }) => {
+                assert_eq!(attempts, 3);
+                assert_eq!(last, "always");
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_cuts_retries_short() {
+        let p = RetryPolicy {
+            max_attempts: 100,
+            base_backoff: Duration::from_millis(20),
+            multiplier: 1.0,
+            max_backoff: Duration::from_millis(20),
+            deadline: Duration::from_millis(30),
+        };
+        let r: Result<(), RetryError<&str>> = p.run(|_| Err("slow"), |_, _| {});
+        assert!(matches!(r, Err(RetryError::DeadlineExceeded { .. })));
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(2),
+            multiplier: 2.0,
+            max_backoff: Duration::from_millis(10),
+            deadline: Duration::from_secs(1),
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(2));
+        assert_eq!(p.backoff(2), Duration::from_millis(4));
+        assert_eq!(p.backoff(3), Duration::from_millis(8));
+        assert_eq!(p.backoff(4), Duration::from_millis(10)); // capped
+        assert_eq!(p.backoff(9), Duration::from_millis(10));
+    }
+}

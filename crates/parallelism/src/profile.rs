@@ -201,9 +201,16 @@ mod tests {
             }
         }
         // Bigger modelled ops must measure slower single-threaded (the
-        // projections dominate the concat).
+        // projections dominate the concat). A single wall-clock pass can
+        // catch a scheduler blip when the whole workspace's tests run in
+        // parallel, so allow a few re-measurements before failing.
         let concat = g.nodes.iter().position(|n| n.name == "kv_concat").unwrap();
         let proj = g.nodes.iter().position(|n| n.name == "q_proj").unwrap();
-        assert!(p.time(proj, 1) > p.time(concat, 1));
+        let ordered = p.time(proj, 1) > p.time(concat, 1)
+            || (0..4).any(|_| {
+                let p = ProfileTable::measure_burn(&g, 2, 1e-5);
+                p.time(proj, 1) > p.time(concat, 1)
+            });
+        assert!(ordered, "q_proj never measured slower than kv_concat");
     }
 }

@@ -8,6 +8,7 @@
 //! GPU count grows.
 
 use crate::tasks::CostProvider;
+use lm_fault::FaultInjector;
 use lm_models::Workload;
 use serde::{Deserialize, Serialize};
 
@@ -59,6 +60,39 @@ pub fn simulate_pipeline(
     num_gpus: u32,
     per_stage_threads: bool,
 ) -> PipelineReport {
+    pipeline_impl(provider, w, num_layers, num_gpus, per_stage_threads, None)
+}
+
+/// Like [`simulate_pipeline`], with an attached fault injector: per
+/// decode step, the stage links may run degraded (`"sim.h2d"` /
+/// `"sim.d2h"` sites, keyed by step) and the weight stream may stall.
+/// A disabled injector reproduces [`simulate_pipeline`] bit-for-bit.
+pub fn simulate_pipeline_faulted(
+    provider: &impl CostProvider,
+    w: &Workload,
+    num_layers: u32,
+    num_gpus: u32,
+    per_stage_threads: bool,
+    fault: &FaultInjector,
+) -> PipelineReport {
+    pipeline_impl(
+        provider,
+        w,
+        num_layers,
+        num_gpus,
+        per_stage_threads,
+        Some(fault),
+    )
+}
+
+fn pipeline_impl(
+    provider: &impl CostProvider,
+    w: &Workload,
+    num_layers: u32,
+    num_gpus: u32,
+    per_stage_threads: bool,
+    fault: Option<&FaultInjector>,
+) -> PipelineReport {
     assert!(num_gpus >= 1, "need at least one GPU");
     assert!(
         num_layers >= num_gpus,
@@ -75,14 +109,32 @@ pub fn simulate_pipeline(
     let bubble = (num_gpus as f64 - 1.0) / nb;
     let mut decode_time = 0.0;
     for i in 0..decode_steps {
+        // Injected link misbehaviour for this step (bit-identical no-op
+        // multipliers when faults are off).
+        let mut h2d_stretch = 1.0;
+        let mut d2h_stretch = 1.0;
+        let mut stall_s = 0.0;
+        if let Some(fi) = fault {
+            if let Some(factor) = fi.bandwidth_factor("sim.h2d", i) {
+                h2d_stretch = 1.0 / factor.max(1e-9);
+            }
+            if let Some(factor) = fi.bandwidth_factor("sim.d2h", i) {
+                d2h_stretch = 1.0 / factor.max(1e-9);
+            }
+            if let Some(stall) = fi.transfer_stall("sim.h2d", i) {
+                stall_s = stall.as_secs_f64();
+            }
+        }
         // Per-(layer, batch) task times; CPU-side tasks pay contention.
         // Every host-side task — offloaded attention *and* the transfer
         // staging copies feeding the links — contends for the shared CPU.
         let cpu_side = provider.compute_cpu(i) * contention;
-        let link_loads = (provider.load_cache(i) + provider.load_activation(i)) * contention;
-        let link_stores = (provider.store_cache(i) + provider.store_activation(i)) * contention;
+        let link_loads =
+            (provider.load_cache(i) + provider.load_activation(i)) * contention * h2d_stretch;
+        let link_stores =
+            (provider.store_cache(i) + provider.store_activation(i)) * contention * d2h_stretch;
         let gpu_side = provider.compute_gpu(i);
-        let weights = provider.load_weight(i) * contention;
+        let weights = provider.load_weight(i) * contention * h2d_stretch + stall_s;
         // Per-stage step time: per-batch tasks serialise over nb batches,
         // weights stream once per layer.
         let stage = layers_per_stage
@@ -189,6 +241,32 @@ mod tests {
         let r = simulate_pipeline(&m, &m.workload, m.model.num_layers, 1, true);
         assert_eq!(r.bubble_fraction, 0.0);
         assert_eq!(r.num_gpus, 1);
+    }
+
+    #[test]
+    fn faulted_pipeline_slows_and_disabled_matches_exactly() {
+        use lm_fault::{FaultConfig, FaultInjector};
+        let m = model(2);
+        let clean = simulate_pipeline(&m, &m.workload, m.model.num_layers, 2, true);
+        let off = simulate_pipeline_faulted(
+            &m,
+            &m.workload,
+            m.model.num_layers,
+            2,
+            true,
+            &FaultInjector::disabled(),
+        );
+        assert_eq!(clean.decode_time, off.decode_time);
+        assert_eq!(clean.throughput, off.throughput);
+        let fault = FaultInjector::new(FaultConfig {
+            link_degrade_rate: 0.5,
+            link_degrade_factor: 0.25,
+            ..FaultConfig::quiescent(23)
+        });
+        let degraded =
+            simulate_pipeline_faulted(&m, &m.workload, m.model.num_layers, 2, true, &fault);
+        assert!(degraded.decode_time > clean.decode_time);
+        assert!(fault.stats().link_degrades > 0);
     }
 
     #[test]

@@ -121,6 +121,66 @@ pub trait CostProvider {
     }
 }
 
+/// A [`CostProvider`] wrapper modelling a *persistently* degraded
+/// interconnect: transfer durations stretch by the inverse of the
+/// observed bandwidth multiplier while compute and prefill costs pass
+/// through untouched. The degradation controller scores fallback
+/// policies against this wrapper (equivalently: a platform whose link
+/// bandwidths are scaled by the observed factors) to pick the policy
+/// the analytic model ranks cheapest *on the degraded hardware*.
+#[derive(Debug, Clone)]
+pub struct DegradedLink<P> {
+    pub inner: P,
+    /// Effective H2D bandwidth multiplier in (0, 1].
+    pub h2d_factor: f64,
+    /// Effective D2H bandwidth multiplier in (0, 1].
+    pub d2h_factor: f64,
+}
+
+impl<P> DegradedLink<P> {
+    pub fn new(inner: P, h2d_factor: f64, d2h_factor: f64) -> Self {
+        assert!(
+            h2d_factor > 0.0 && h2d_factor <= 1.0 && d2h_factor > 0.0 && d2h_factor <= 1.0,
+            "bandwidth factors must be in (0, 1]"
+        );
+        DegradedLink {
+            inner,
+            h2d_factor,
+            d2h_factor,
+        }
+    }
+}
+
+impl<P: CostProvider> CostProvider for DegradedLink<P> {
+    fn load_weight(&self, token: u64) -> f64 {
+        self.inner.load_weight(token) / self.h2d_factor
+    }
+    fn load_cache(&self, token: u64) -> f64 {
+        self.inner.load_cache(token) / self.h2d_factor
+    }
+    fn load_activation(&self, token: u64) -> f64 {
+        self.inner.load_activation(token) / self.h2d_factor
+    }
+    fn store_cache(&self, token: u64) -> f64 {
+        self.inner.store_cache(token) / self.d2h_factor
+    }
+    fn store_activation(&self, token: u64) -> f64 {
+        self.inner.store_activation(token) / self.d2h_factor
+    }
+    fn compute_cpu(&self, token: u64) -> f64 {
+        self.inner.compute_cpu(token)
+    }
+    fn compute_gpu(&self, token: u64) -> f64 {
+        self.inner.compute_gpu(token)
+    }
+    fn prefill_layer(&self) -> f64 {
+        self.inner.prefill_layer()
+    }
+    fn init_time(&self) -> f64 {
+        self.inner.init_time()
+    }
+}
+
 /// Per-step analytic decode latency for one layer, Eq. 2:
 /// `T_gen = max(load_weight, load_cache, load_activation, store_cache,
 /// store_activation, compute)` — refined so that tasks sharing a physical
@@ -229,6 +289,30 @@ mod tests {
         }
         assert_eq!(Fixed.cost(TaskKind::LoadWeight, 0), 0.10);
         assert_eq!(Fixed.cost(TaskKind::ComputeCpu, 9), 0.004);
+    }
+
+    #[test]
+    fn degraded_link_stretches_transfers_only() {
+        let d = DegradedLink::new(Fixed, 0.5, 0.25);
+        assert!((d.load_weight(0) - 0.20).abs() < 1e-12);
+        assert!((d.load_cache(0) - 0.02).abs() < 1e-12);
+        assert!((d.store_cache(0) - 0.008).abs() < 1e-12);
+        assert_eq!(d.compute_cpu(0), Fixed.compute_cpu(0));
+        assert_eq!(d.compute_gpu(0), Fixed.compute_gpu(0));
+        assert_eq!(d.prefill_layer(), Fixed.prefill_layer());
+        // Identity factors pass everything through untouched.
+        let id = DegradedLink::new(Fixed, 1.0, 1.0);
+        for kind in TaskKind::ALL {
+            assert_eq!(id.cost(kind, 2), Fixed.cost(kind, 2));
+        }
+        // A degraded link raises the analytic step latency.
+        assert!(t_gen(&d, 0, 4) > t_gen(&Fixed, 0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth factors")]
+    fn degraded_link_rejects_zero_factor() {
+        let _ = DegradedLink::new(Fixed, 0.0, 1.0);
     }
 
     #[test]

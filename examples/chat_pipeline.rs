@@ -25,9 +25,9 @@ fn main() {
                   thermal thesis themes the theatre";
     let bpe = Bpe::train(corpus.as_bytes(), 384);
     println!(
-        "tokenizer: vocab {} ({}x compression on the corpus)",
+        "tokenizer: vocab {} ({:.1}x compression on the corpus)",
         bpe.vocab_size(),
-        format!("{:.1}", bpe.bytes_per_token(corpus.as_bytes()))
+        bpe.bytes_per_token(corpus.as_bytes())
     );
 
     // 2. Model sized to the tokenizer.

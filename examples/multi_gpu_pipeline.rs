@@ -11,7 +11,7 @@ use lm_offload::{run_pipeline, EngineConfig, Framework};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "OPT-13B".to_string());
-    let model = models::by_name(&name).unwrap_or_else(|| models::opt_13b());
+    let model = models::by_name(&name).unwrap_or_else(models::opt_13b);
     println!("weak scaling {} on the V100/POWER9 platform (s=256, n=64)", model.name);
     println!();
     println!(

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full verification gate: release build, workspace tests, lint-clean.
+# Run from anywhere; operates on the repo the script lives in.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -q -- -D warnings
+else
+    echo "==> clippy not installed; skipping lint"
+fi
+
+echo "verify: OK"

@@ -2,9 +2,11 @@
 //! must produce errors, never panics or huge allocations — the property
 //! that makes a disk tier safe to point at untrusted paths.
 
-use lm_engine::{write_checkpoint, Checkpoint};
+use lm_engine::{write_checkpoint, Checkpoint, CheckpointError};
+use lm_fault::{FaultConfig, FaultInjector, RetryPolicy};
 use lm_models::presets;
 use proptest::prelude::*;
+use std::time::Duration;
 
 fn tmp(tag: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("lmoffload-fuzz-{tag}-{}.ckpt", std::process::id()))
@@ -60,6 +62,110 @@ proptest! {
             Err(_) => prop_assert!(false, "reader panicked at {cut_pct}%"),
         }
     }
+}
+
+/// A fast retry policy so the flaky-reader tests don't sleep for real.
+fn quick_retry(max_attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts,
+        base_backoff: Duration::from_micros(50),
+        multiplier: 2.0,
+        max_backoff: Duration::from_millis(1),
+        deadline: Duration::from_secs(5),
+    }
+}
+
+#[test]
+fn flaky_reader_recovers_within_the_retry_budget() {
+    // A reader that fails a few times and then succeeds: injected I/O
+    // errors and torn reads on most first attempts, with a retry budget
+    // deep enough to get through. Fault decisions are deterministic per
+    // seed, so scan a few seeds until one exercises an actual retry
+    // (virtually the first one will).
+    let cfg = presets::tiny_test();
+    let path = tmp("flaky");
+    write_checkpoint(&cfg, 5, &path).unwrap();
+    let mut exercised = false;
+    for seed in 0..32 {
+        let fault = FaultInjector::new(FaultConfig {
+            disk_error_rate: 0.5,
+            torn_read_rate: 0.2,
+            ..FaultConfig::quiescent(seed)
+        });
+        let mut flaky = Checkpoint::open(&path).unwrap();
+        let mut clean = Checkpoint::open(&path).unwrap();
+        for i in 0..flaky.num_layers() {
+            let recovered = flaky
+                .load_layer_with_retry(i, &fault, &quick_retry(12))
+                .expect("retry budget must absorb a 50% flaky reader");
+            // Never a partial layer: a recovered read is identical to a
+            // clean one.
+            let reference = clean.load_layer(i).unwrap();
+            assert_eq!(recovered.ln1_gamma, reference.ln1_gamma);
+            assert_eq!(recovered.ln2_beta, reference.ln2_beta);
+            assert_eq!(recovered.mlp.len(), reference.mlp.len());
+        }
+        let s = fault.stats();
+        if s.retries > 0 {
+            assert!(s.retry_successes > 0, "recovered loads must be counted");
+            exercised = true;
+            break;
+        }
+    }
+    std::fs::remove_file(&path).ok();
+    assert!(exercised, "no seed in 0..32 exercised a retry");
+}
+
+#[test]
+fn hard_failure_exhausts_attempts_into_a_clean_error() {
+    // Rate 1.0: every attempt fails. The budget runs out and the caller
+    // gets the last I/O error — no panic, no partial layer.
+    let cfg = presets::tiny_test();
+    let path = tmp("hard");
+    write_checkpoint(&cfg, 5, &path).unwrap();
+    let fault = FaultInjector::new(FaultConfig {
+        disk_error_rate: 1.0,
+        ..FaultConfig::quiescent(3)
+    });
+    let mut ck = Checkpoint::open(&path).unwrap();
+    let err = ck
+        .load_layer_with_retry(0, &fault, &quick_retry(4))
+        .expect_err("a 100% failing reader cannot succeed");
+    assert!(matches!(err, CheckpointError::Io(_)), "{err:?}");
+    // Three retries after the first attempt, none successful.
+    assert_eq!(fault.stats().retries, 3);
+    assert_eq!(fault.stats().retry_successes, 0);
+    // The checkpoint object stays usable once the fault plan allows it.
+    assert!(ck.load_layer(0).is_ok());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn deadline_exceeded_is_a_timeout_error_not_a_panic() {
+    let cfg = presets::tiny_test();
+    let path = tmp("deadline");
+    write_checkpoint(&cfg, 5, &path).unwrap();
+    let fault = FaultInjector::new(FaultConfig {
+        disk_error_rate: 1.0,
+        ..FaultConfig::quiescent(3)
+    });
+    // Huge attempt budget but a deadline the backoff blows through.
+    let retry = RetryPolicy {
+        max_attempts: 1_000_000,
+        base_backoff: Duration::from_millis(2),
+        multiplier: 2.0,
+        max_backoff: Duration::from_millis(4),
+        deadline: Duration::from_millis(10),
+    };
+    let mut ck = Checkpoint::open(&path).unwrap();
+    let err = ck
+        .load_layer_with_retry(0, &fault, &retry)
+        .expect_err("deadline must cut the retry loop");
+    match err {
+        CheckpointError::Io(io) => assert_eq!(io.kind(), std::io::ErrorKind::TimedOut),
+        other => panic!("expected a timeout I/O error, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]

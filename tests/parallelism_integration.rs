@@ -41,16 +41,21 @@ fn plan_executes_on_real_cores_with_speedup() {
     let inter = analysis.max_concurrency().min(cores).max(2);
 
     let work = |u: usize, threads: usize| burn(graph.nodes[u].flops * 1e-3, threads);
-    let t_serial = {
-        let t0 = std::time::Instant::now();
-        Executor::new(1, 1).run(&graph, work);
-        t0.elapsed()
+    // Best-of-N: the minimum is robust to preemption by concurrently
+    // running test binaries, which otherwise flakes this comparison on
+    // small machines.
+    let best_of = |inter_op: usize| {
+        (0..3)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                Executor::new(inter_op, 1).run(&graph, work);
+                t0.elapsed()
+            })
+            .min()
+            .expect("nonzero trials")
     };
-    let t_tuned = {
-        let t0 = std::time::Instant::now();
-        Executor::new(inter, 1).run(&graph, work);
-        t0.elapsed()
-    };
+    let t_serial = best_of(1);
+    let t_tuned = best_of(inter);
     if cores >= 2 {
         assert!(
             t_tuned.as_secs_f64() < t_serial.as_secs_f64() * 1.05,
