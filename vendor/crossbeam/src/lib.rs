@@ -1,0 +1,308 @@
+//! Offline stand-in for `crossbeam` (see `vendor/README.md`).
+//!
+//! Provides the two pieces the workspace uses: MPMC `channel`s (with a
+//! true rendezvous at capacity 0 — the engine's double-buffered
+//! prefetcher depends on a zero-capacity hand-off to bound in-flight
+//! layers) and `scope` for borrowing scoped threads.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        /// Items popped over the channel's lifetime — lets a rendezvous
+        /// sender detect that *its* item was taken.
+        popped: u64,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        /// Capacity; `None` = unbounded, `Some(0)` = rendezvous.
+        cap: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Error returned by `send` on a channel with no receivers.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by `recv` on an empty channel with no senders.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.state.lock().unwrap();
+            // Wait for room (bounded channels only).
+            if let Some(cap) = self.shared.cap {
+                let effective = cap.max(1);
+                while st.queue.len() >= effective {
+                    if st.receivers == 0 {
+                        return Err(SendError(value));
+                    }
+                    st = self.shared.not_full.wait(st).unwrap();
+                }
+            }
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            let handoff_target = st.popped + 1;
+            self.shared.not_empty.notify_one();
+            if self.shared.cap == Some(0) {
+                // Rendezvous: block until a receiver takes the item (or
+                // every receiver disappears — then the send has failed,
+                // but the value is gone; crossbeam would return it, no
+                // caller in this workspace inspects the returned value).
+                while st.popped < handoff_target && st.receivers > 0 {
+                    st = self.shared.not_full.wait(st).unwrap();
+                }
+                if st.popped < handoff_target {
+                    // Receivers vanished with our item still queued.
+                    return Err(SendError(st.queue.pop_back().expect("item still queued")));
+                }
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if let Some(value) = st.queue.pop_front() {
+                    st.popped += 1;
+                    self.shared.not_full.notify_all();
+                    return Ok(value);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.not_empty.wait(st).unwrap();
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().unwrap();
+            match st.queue.pop_front() {
+                Some(value) => {
+                    st.popped += 1;
+                    self.shared.not_full.notify_all();
+                    Ok(value)
+                }
+                None => Err(RecvError),
+            }
+        }
+    }
+
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                popped: 0,
+                senders: 1,
+                receivers: 1,
+            }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// A bounded MPMC channel; capacity 0 gives rendezvous semantics
+    /// (`send` returns only after a `recv` has taken the item).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(Some(cap))
+    }
+
+    /// An unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+}
+
+/// Scoped threads in crossbeam's calling convention: the closure passed
+/// to [`Scope::spawn`] receives a scope handle again. Upstream that
+/// handle allows nested spawns; no call site in this workspace uses it
+/// (every spawned closure is `|_| ...`), so here it is the placeholder
+/// [`SpawnedScope`].
+pub struct Scope<'scope, 'env> {
+    /// Held by value: `&thread::Scope` is `Copy`, and `thread::Scope::
+    /// spawn` demands a receiver with exactly the `'scope` lifetime, so
+    /// the wrapper must not reborrow it through a shorter-lived `&self`.
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Placeholder handed to spawned closures in place of a nested scope.
+pub struct SpawnedScope {
+    _private: (),
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&SpawnedScope) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(&SpawnedScope { _private: () }))
+    }
+}
+
+/// Run `f` with a scope in which borrowed-data threads can be spawned.
+/// All spawned threads are joined before this returns. A panicking child
+/// propagates as a panic (upstream crossbeam reports it through the
+/// `Err` variant; every caller in this workspace `expect`s the result,
+/// so the observable behaviour — a panic — is the same).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_mpmc_delivers_everything() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        let total = 1000;
+        let seen = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                let rx = rx.clone();
+                let seen = &seen;
+                s.spawn(move |_| {
+                    while rx.recv().is_ok() {
+                        seen.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            for i in 0..total {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            drop(rx);
+        })
+        .unwrap();
+        assert_eq!(seen.load(Ordering::SeqCst), total);
+    }
+
+    #[test]
+    fn rendezvous_blocks_until_taken() {
+        // With capacity 0, the sender cannot run ahead: after send(i)
+        // returns, the receiver must already have taken item i.
+        let (tx, rx) = channel::bounded::<usize>(0);
+        let in_flight = std::sync::Arc::new(AtomicUsize::new(0));
+        let worst = std::sync::Arc::new(AtomicUsize::new(0));
+        let fi = std::sync::Arc::clone(&in_flight);
+        let fw = std::sync::Arc::clone(&worst);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                fi.fetch_add(1, Ordering::SeqCst);
+                tx.send(i).unwrap();
+                let now = fi.load(Ordering::SeqCst);
+                fw.fetch_max(now, Ordering::SeqCst);
+            }
+        });
+        for expect in 0..100 {
+            let got = rx.recv().unwrap();
+            in_flight.fetch_sub(1, Ordering::SeqCst);
+            assert_eq!(got, expect);
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        producer.join().unwrap();
+        // The producer may have *started* producing item i+1 while i is
+        // being consumed (that's double buffering), but never further.
+        assert!(worst.load(Ordering::SeqCst) <= 2);
+    }
+
+    #[test]
+    fn recv_errors_when_senders_gone() {
+        let (tx, rx) = channel::bounded::<u8>(4);
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn send_errors_when_receivers_gone() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(9).is_err());
+    }
+}

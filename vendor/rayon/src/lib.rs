@@ -1,0 +1,98 @@
+//! Offline stand-in for `rayon` (see `vendor/README.md`).
+//!
+//! The `par_*` entry points return ordinary sequential `std` iterators,
+//! so every adaptor (`map`, `zip`, `enumerate`, `for_each`, `collect`,
+//! …) keeps working with identical results. Parallel speed is traded
+//! for having no dependency; the call sites need no changes to swap the
+//! real rayon back in.
+
+pub mod prelude {
+    /// `par_iter` on shared slices.
+    pub trait IntoParallelRefIterator<'a> {
+        type Iter;
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    /// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+    pub trait ParallelSliceMut<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    /// `into_par_iter` on owned collections and ranges.
+    pub trait IntoParallelIterator {
+        type Iter;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    impl<T> ParallelSliceMut<T> for Vec<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = std::ops::Range<usize>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<u32> {
+        type Iter = std::ops::Range<u32>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adaptors_behave_like_std() {
+        let mut v = vec![1i32, 2, 3, 4, 5, 6];
+        v.par_iter_mut().for_each(|x| *x *= 2);
+        assert_eq!(v, vec![2, 4, 6, 8, 10, 12]);
+        let sums: Vec<i32> = v.par_chunks_mut(2).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![6, 14, 22]);
+        let total: i32 = v.par_iter().sum();
+        assert_eq!(total, 42);
+        let doubled: Vec<usize> = (0..4usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(doubled, vec![0, 2, 4, 6]);
+    }
+}

@@ -1,0 +1,404 @@
+//! Offline stand-in for `serde_json` (see `vendor/README.md`).
+//!
+//! Prints and parses the vendored serde [`Value`] tree. Floats are
+//! written with `{:?}` (shortest representation that round-trips, and
+//! keeps a trailing `.0` so a float never silently becomes an int).
+
+pub use serde::Value;
+
+/// Error from parsing or conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
+    value.serialize()
+}
+
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::deserialize(value).map_err(Error::from)
+}
+
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), None, 0);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), Some(2), 0);
+    Ok(out)
+}
+
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    T::deserialize(&value).map_err(Error::from)
+}
+
+// ---- printing --------------------------------------------------------
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        out.push_str(&format!("{f:?}"));
+    } else {
+        // JSON has no Inf/NaN; upstream serde_json writes null.
+        out.push_str("null");
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize, level: usize) {
+    out.push('\n');
+    for _ in 0..indent * level {
+        out.push(' ');
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, pretty: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::PosInt(u) => out.push_str(&u.to_string()),
+        Value::NegInt(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (idx, item) in items.iter().enumerate() {
+                if idx > 0 {
+                    out.push(',');
+                }
+                if let Some(ind) = pretty {
+                    newline_indent(out, ind, level + 1);
+                }
+                write_value(out, item, pretty, level + 1);
+            }
+            if let Some(ind) = pretty {
+                newline_indent(out, ind, level);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (idx, (k, item)) in map.iter().enumerate() {
+                if idx > 0 {
+                    out.push(',');
+                }
+                if let Some(ind) = pretty {
+                    newline_indent(out, ind, level + 1);
+                }
+                write_escaped(out, k);
+                out.push(':');
+                if pretty.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, pretty, level + 1);
+            }
+            if let Some(ind) = pretty {
+                newline_indent(out, ind, level);
+            }
+            out.push('}');
+        }
+    }
+}
+
+// ---- parsing ---------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(b) => Err(Error::new(format!(
+                "unexpected character '{}' at byte {}",
+                b as char, self.pos
+            ))),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::new("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("bad \\u escape"))?;
+                            // Surrogate pairs unsupported — no caller emits
+                            // non-BMP escapes (write_escaped only escapes
+                            // control characters).
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::new("bad escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one full UTF-8 character.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().expect("non-empty checked");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(i) = stripped.parse::<i64>() {
+                    return Ok(Value::NegInt(-i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::PosInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::new(format!("invalid number '{text}'")))
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = serde::Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::new(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_parse_round_trip() {
+        let mut m = serde::Map::new();
+        m.insert("name".into(), Value::String("opt-6.7b\n".into()));
+        m.insert("layers".into(), Value::PosInt(32));
+        m.insert("ratio".into(), Value::Float(0.25));
+        m.insert("neg".into(), Value::NegInt(-3));
+        m.insert(
+            "dims".into(),
+            Value::Array(vec![Value::PosInt(1), Value::PosInt(2)]),
+        );
+        let v = Value::Object(m);
+        let compact = to_string(&v).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(parse_value(&compact).unwrap(), v);
+        assert_eq!(parse_value(&pretty).unwrap(), v);
+        assert!(pretty.contains("\n  \"layers\": 32"));
+    }
+
+    #[test]
+    fn floats_keep_point_zero() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&0.1f64).unwrap(), "0.1");
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let xs: Vec<(u32, u32)> = vec![(1, 2), (3, 4)];
+        let s = to_string(&xs).unwrap();
+        let back: Vec<(u32, u32)> = from_str(&s).unwrap();
+        assert_eq!(back, xs);
+    }
+}
