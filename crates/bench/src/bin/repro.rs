@@ -1,14 +1,18 @@
 //! `repro` — regenerate every table and figure of the LM-Offload paper.
 //!
 //! Usage:
-//!   repro <experiment> [--fast] [--fault-seed N]
+//!   repro <experiment> [--fast] [--fault-seed N] [--tokens N]
 //!   repro all [--fast]
 //!
 //! Experiments: table1 table3 table4 table5 fig3 fig4 fig5 fig7 fig8 fig9
-//! whatif faults summary. `--fast` restricts Table-3-derived sweeps to two
-//! generation lengths; `--fault-seed N` sets the deterministic fault plan
-//! of the `faults` experiment. JSON results are written to
-//! `results/<experiment>.json`.
+//! whatif faults summary trace. `--fast` restricts Table-3-derived sweeps
+//! to two generation lengths; `--fault-seed N` sets the deterministic
+//! fault plan of the `faults` experiment; `--tokens N` sets the token
+//! count of the `trace` experiment. JSON results are written to
+//! `results/<experiment>.json`; `trace` additionally writes the engine
+//! timeline as Chrome/Perfetto trace JSON to `results/trace.json`
+//! (load it at https://ui.perfetto.dev) and the model-vs-measured drift
+//! report to `results/trace_drift.json`.
 
 use lm_bench::experiments::*;
 use lm_bench::table::{f, render};
@@ -354,10 +358,63 @@ fn run_faults(fault_seed: u64) {
     save("faults", &r);
 }
 
+fn run_trace(tokens: u64) {
+    println!("\n== Tracing & drift: lm-trace spans, Perfetto export, model-vs-measured ratios ({tokens} tokens) ==");
+    let (r, perfetto_json) = trace::run(tokens);
+    println!(
+        "sim: {} spans over {} decode steps ({:.3}s simulated decode)",
+        r.sim.spans, r.sim.steps, r.sim.decode_s
+    );
+    let rendered: Vec<Vec<String>> = r
+        .sim
+        .drift
+        .tasks
+        .iter()
+        .map(|t| {
+            vec![
+                t.task.clone(),
+                f(t.predicted_s, 4),
+                f(t.observed_s, 4),
+                t.ratio.map(|x| f(x, 4)).unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["task", "predicted (s)", "observed (s)", "obs/pred"], &rendered)
+    );
+    println!(
+        "max ratio error: {:.2e} (simulator replays the model: must be ~0)",
+        r.sim.drift.max_ratio_error
+    );
+    println!(
+        "engine: {} tokens, {} task spans + {} scopes, load_weight {:.4}s / compute {:.4}s busy",
+        r.engine.tokens_generated,
+        r.engine.spans,
+        r.engine.scopes,
+        r.engine.load_weight_s,
+        r.engine.compute_s
+    );
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_ok() {
+        let path = dir.join("trace.json");
+        match fs::write(&path, &perfetto_json) {
+            Ok(()) => println!(
+                "wrote {} ({} events; open at https://ui.perfetto.dev)",
+                path.display(),
+                r.engine.perfetto_events
+            ),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+    save("trace_drift", &r);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fast = false;
     let mut fault_seed = faults::DEFAULT_FAULT_SEED;
+    let mut tokens = trace::DEFAULT_TOKENS;
     let mut which: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -368,11 +425,25 @@ fn main() {
         } else {
             a.strip_prefix("--fault-seed=").map(String::from)
         };
+        let tokens_value = if a == "--tokens" {
+            i += 1;
+            Some(args.get(i).cloned().unwrap_or_default())
+        } else {
+            a.strip_prefix("--tokens=").map(String::from)
+        };
         if let Some(v) = seed_value {
             fault_seed = match v.parse() {
                 Ok(s) => s,
                 Err(_) => {
                     eprintln!("--fault-seed expects an integer, got '{v}'");
+                    std::process::exit(2);
+                }
+            };
+        } else if let Some(v) = tokens_value {
+            tokens = match v.parse::<u64>() {
+                Ok(t) if t >= 1 => t,
+                _ => {
+                    eprintln!("--tokens expects a positive integer, got '{v}'");
                     std::process::exit(2);
                 }
             };
@@ -403,6 +474,7 @@ fn main() {
         "fig9" => run_fig9(),
         "whatif" => run_whatif(),
         "faults" => run_faults(fault_seed),
+        "trace" => run_trace(tokens),
         "summary" => {
             let s = summary::run(lens);
             print_summary(&s);
@@ -421,10 +493,11 @@ fn main() {
             run_table5();
             run_fig9();
             run_faults(fault_seed);
+            run_trace(tokens);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose from: table1 table3 table4 table5 fig3 fig4 fig5 fig7 fig8 fig9 whatif faults summary all");
+            eprintln!("choose from: table1 table3 table4 table5 fig3 fig4 fig5 fig7 fig8 fig9 whatif faults summary trace all");
             std::process::exit(2);
         }
     }

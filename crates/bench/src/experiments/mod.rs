@@ -12,3 +12,4 @@ pub mod table1;
 pub mod table3;
 pub mod table4;
 pub mod table5;
+pub mod trace;

@@ -12,6 +12,7 @@ use crate::store::{FetchedLayer, OffloadStore, WeightsAtRest};
 use lm_fault::{FaultInjector, RetryPolicy};
 use lm_models::ModelConfig;
 use lm_tensor::{QuantConfig, Tensor};
+use lm_trace::{TaskKind, Tracer};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -42,6 +43,12 @@ pub struct EngineOptions {
     /// Recovery policy for transient faults (device-pool pressure on
     /// fetches, prefetch drops). Only consulted when `fault` is enabled.
     pub retry: RetryPolicy,
+    /// Span/metrics recorder. Disabled by default — every probe is an
+    /// inlined `None` check, like `fault`. When enabled, each decode
+    /// sweep emits one `load_weight` span per layer and one compute span
+    /// per (layer, batch), and the fault injector's event log is stamped
+    /// on the tracer's clock so faults align with spans in Perfetto.
+    pub tracer: Tracer,
 }
 
 impl Default for EngineOptions {
@@ -56,6 +63,7 @@ impl Default for EngineOptions {
             sampler: Sampler::Greedy,
             fault: FaultInjector::disabled(),
             retry: RetryPolicy::default(),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -162,6 +170,11 @@ impl Engine {
             Arc::clone(&device),
         )?;
         store.fault = options.fault.clone();
+        // One time base: fault events are stamped on the tracer's clock
+        // so injected faults line up with spans in the Perfetto view.
+        if let Some(clock) = options.tracer.clock() {
+            options.fault.set_clock(clock);
+        }
         Ok(Engine {
             cfg: cfg.clone(),
             store: Arc::new(store),
@@ -209,6 +222,9 @@ impl Engine {
             Arc::clone(&device),
         )?;
         store.fault = options.fault.clone();
+        if let Some(clock) = options.tracer.clock() {
+            options.fault.set_clock(clock);
+        }
         let bytes_read = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
         let engine = Engine {
             cfg: cfg.clone(),
@@ -254,15 +270,22 @@ impl Engine {
     }
 
     /// Run one layer-sweep over `f`, streaming weights with or without
-    /// the prefetcher.
-    fn sweep_layers<F>(&self, mut f: F) -> Result<(), EngineError>
+    /// the prefetcher. When a tracer is enabled and `step` names the
+    /// decode step, each layer fetch is recorded as a `load_weight` span
+    /// (on the loader thread's buffer when prefetching — the per-thread
+    /// trace buffers make that contention-free).
+    fn sweep_layers<F>(&self, step: Option<u64>, mut f: F) -> Result<(), EngineError>
     where
         F: FnMut(&FetchedLayer),
     {
         let l = self.store.num_layers() as u32;
         if !self.options.prefetch {
             for j in 0..l {
-                let fetched = self.fetch_layer(j)?;
+                let fetched = {
+                    let _span =
+                        step.map(|i| self.options.tracer.task_span(TaskKind::LoadWeight, i, j, None));
+                    self.fetch_layer(j)?
+                };
                 f(&fetched);
             }
             return Ok(());
@@ -274,13 +297,17 @@ impl Engine {
         let store = Arc::clone(&self.store);
         let fault = self.options.fault.clone();
         let retry = self.options.retry.clone();
+        let tracer = self.options.tracer.clone();
         let (tx, rx) = crossbeam::channel::bounded::<Result<FetchedLayer, PoolExhausted>>(0);
         let loader = std::thread::spawn(move || {
             for j in 0..l {
-                let fetched = if fault.is_enabled() {
-                    store.fetch_with_retry(j, &retry)
-                } else {
-                    store.fetch(j)
+                let fetched = {
+                    let _span = step.map(|i| tracer.task_span(TaskKind::LoadWeight, i, j, None));
+                    if fault.is_enabled() {
+                        store.fetch_with_retry(j, &retry)
+                    } else {
+                        store.fetch(j)
+                    }
                 };
                 let failed = fetched.is_err();
                 if tx.send(fetched).is_err() || failed {
@@ -297,7 +324,13 @@ impl Engine {
                     // refetch so the sweep still sees every layer once.
                     if self.options.fault.prefetch_drop("engine.prefetch", j as u64) {
                         drop(fetched);
-                        match self.fetch_layer(j) {
+                        let refetch = {
+                            let _span = step.map(|i| {
+                                self.options.tracer.task_span(TaskKind::LoadWeight, i, j, None)
+                            });
+                            self.fetch_layer(j)
+                        };
+                        match refetch {
                             Ok(refetched) => f(&refetched),
                             Err(e) => {
                                 result = Err(EngineError::Pool(e));
@@ -375,10 +408,11 @@ impl Engine {
             emb.reshape([b, s, h])
         };
         {
+            let _prefill = self.options.tracer.scope("prefill");
             let caches = &mut caches;
             let mut j = 0usize;
             let x_ref = &mut x;
-            self.sweep_layers(|fetched| {
+            self.sweep_layers(None, |fetched| {
                 *x_ref = caches[j]
                     .with_full(|c| fetched.weights.forward_prefill(x_ref, c, heads, 0));
                 j += 1;
@@ -395,6 +429,7 @@ impl Engine {
         };
 
         // ---- Decode -----------------------------------------------------
+        let _decode = self.options.tracer.scope("decode");
         let mut tokens: Vec<Vec<u32>> = vec![Vec::with_capacity(gen_len); b];
         for step in 0..gen_len {
             let logits = self.embedding.unembed(&last_hidden);
@@ -405,10 +440,13 @@ impl Engine {
             let pos = s + step;
             let mut xd = self.embedding.embed(&next, &vec![pos; b]);
             {
+                let tracer = &self.options.tracer;
                 let caches = &mut caches;
                 let mut j = 0usize;
                 let xd_ref = &mut xd;
-                self.sweep_layers(|fetched| {
+                self.sweep_layers(Some(step as u64), |fetched| {
+                    let _span =
+                        tracer.task_span(TaskKind::ComputeGpu, step as u64, j as u32, None);
                     *xd_ref = caches[j]
                         .with_full(|c| fetched.weights.forward_decode(xd_ref, c, heads, pos));
                     j += 1;
@@ -416,16 +454,19 @@ impl Engine {
             }
             last_hidden = xd;
         }
+        drop(_decode);
 
         let elapsed = start.elapsed().as_secs_f64();
-        Ok(Generation {
+        let generation = Generation {
             tokens,
             throughput: (b * gen_len) as f64 / elapsed.max(f64::MIN_POSITIVE),
             device_peak: self.device.peak(),
             host_peak: self.host.peak(),
             weight_bytes_streamed: self.store.total_fetched_bytes() - fetched_before,
             kv_bytes_at_rest: caches.iter().map(CacheStore::bytes).sum(),
-        })
+        };
+        self.record_run_metrics(&generation);
+        Ok(generation)
     }
 
     /// Generate with FlexGen's zig-zag block schedule (Algorithm 1): the
@@ -502,10 +543,11 @@ impl Engine {
             })
             .collect();
         {
+            let _prefill = self.options.tracer.scope("prefill");
             let mut j = 0usize;
             let caches = &mut caches;
             let xs = &mut xs;
-            self.sweep_layers(|fetched| {
+            self.sweep_layers(None, |fetched| {
                 for (k, x) in xs.iter_mut().enumerate() {
                     *x = caches[j][k]
                         .with_full(|c| fetched.weights.forward_prefill(x, c, heads, 0));
@@ -525,6 +567,7 @@ impl Engine {
             .collect();
 
         // ---- Decode: weights fetched once per (step, layer) ------------
+        let _decode = self.options.tracer.scope("decode");
         let mut tokens: Vec<Vec<u32>> = vec![Vec::with_capacity(gen_len); prompts.len()];
         for step in 0..gen_len {
             let pos = s + step;
@@ -538,11 +581,18 @@ impl Engine {
                 xds.push(self.embedding.embed(&next, &vec![pos; per]));
             }
             {
+                let tracer = &self.options.tracer;
                 let mut j = 0usize;
                 let caches = &mut caches;
                 let xds = &mut xds;
-                self.sweep_layers(|fetched| {
+                self.sweep_layers(Some(step as u64), |fetched| {
                     for (k, xd) in xds.iter_mut().enumerate() {
+                        let _span = tracer.task_span(
+                            TaskKind::ComputeGpu,
+                            step as u64,
+                            j as u32,
+                            Some(k as u32),
+                        );
                         *xd = caches[j][k]
                             .with_full(|c| fetched.weights.forward_decode(xd, c, heads, pos));
                     }
@@ -551,9 +601,10 @@ impl Engine {
             }
             last_hidden = xds;
         }
+        drop(_decode);
 
         let elapsed = start.elapsed().as_secs_f64();
-        Ok(Generation {
+        let generation = Generation {
             tokens,
             throughput: (prompts.len() * gen_len) as f64 / elapsed.max(f64::MIN_POSITIVE),
             device_peak: self.device.peak(),
@@ -564,7 +615,39 @@ impl Engine {
                 .flatten()
                 .map(CacheStore::bytes)
                 .sum(),
-        })
+        };
+        self.record_run_metrics(&generation);
+        Ok(generation)
+    }
+
+    /// Fold one run's headline numbers into the tracer's metrics
+    /// registry: pool occupancy, streamed fetch bytes, at-rest KV size
+    /// (the quantization saving when compression is on) and throughput.
+    fn record_run_metrics(&self, g: &Generation) {
+        let t = &self.options.tracer;
+        if !t.is_enabled() {
+            return;
+        }
+        t.counter_add(
+            "engine.tokens_generated",
+            g.tokens.iter().map(|r| r.len() as u64).sum(),
+        );
+        t.counter_add("engine.weight_bytes_streamed", g.weight_bytes_streamed);
+        t.gauge_set(
+            "engine.pool.device.peak_fraction",
+            g.device_peak as f64 / self.options.device_capacity.max(1) as f64,
+        );
+        t.gauge_set(
+            "engine.pool.host.peak_fraction",
+            g.host_peak as f64 / self.options.host_capacity.max(1) as f64,
+        );
+        t.gauge_set("engine.kv_bytes_at_rest", g.kv_bytes_at_rest as f64);
+        t.histogram_record("engine.run.throughput_tps", g.throughput);
+        if self.options.fault.is_enabled() {
+            let fs = self.options.fault.stats();
+            t.gauge_set("fault.injected_total", fs.total_faults() as f64);
+            t.gauge_set("fault.retries_total", fs.retries as f64);
+        }
     }
 }
 
@@ -739,6 +822,65 @@ mod tests {
         assert_eq!(gf.tokens[0][0], gq.tokens[0][0]);
         // And the host lease was smaller too.
         assert!(gq.host_peak < gf.host_peak);
+    }
+
+    #[test]
+    fn traced_generation_emits_spans_and_metrics() {
+        let cfg = presets::tiny_test();
+        let tracer = Tracer::new();
+        let e = Engine::new(
+            &cfg,
+            42,
+            EngineOptions {
+                tracer: tracer.clone(),
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        let gen_len = 3;
+        let g = e.generate_zigzag(&prompts(), gen_len, 2).unwrap();
+        let report = tracer.snapshot();
+        let l = cfg.num_layers as usize;
+        // One load_weight span per (token, layer); one compute span per
+        // (token, layer, batch). Prefill contributes scopes, not spans.
+        let lw = report
+            .spans
+            .iter()
+            .filter(|s| s.kind == TaskKind::LoadWeight)
+            .count();
+        let cg = report
+            .spans
+            .iter()
+            .filter(|s| s.kind == TaskKind::ComputeGpu)
+            .count();
+        assert_eq!(lw, gen_len * l);
+        assert_eq!(cg, gen_len * l * 2);
+        assert!(report
+            .spans
+            .iter()
+            .filter(|s| s.kind == TaskKind::ComputeGpu)
+            .all(|s| s.batch.is_some()));
+        // Scopes: one prefill + one decode.
+        assert_eq!(report.scopes.iter().filter(|s| s.name == "prefill").count(), 1);
+        assert_eq!(report.scopes.iter().filter(|s| s.name == "decode").count(), 1);
+        // Metrics folded in.
+        assert_eq!(
+            report.metrics.counters["engine.weight_bytes_streamed"],
+            g.weight_bytes_streamed
+        );
+        assert_eq!(
+            report.metrics.counters["engine.tokens_generated"],
+            (gen_len * prompts().len()) as u64
+        );
+        assert!(report.metrics.gauges["engine.pool.device.peak_fraction"] > 0.0);
+        assert_eq!(
+            report.metrics.histograms["task.load_weight.seconds"].count as usize,
+            lw
+        );
+        // Tracing must not perturb the tokens.
+        let clean = engine_with(256 << 20, true);
+        let untraced = clean.generate_zigzag(&prompts(), gen_len, 2).unwrap();
+        assert_eq!(g.tokens, untraced.tokens);
     }
 
     #[test]

@@ -79,8 +79,9 @@ impl FaultKind {
     }
 }
 
-/// One injected fault, for event-sequence assertions in tests.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// One injected fault, for event-sequence assertions in tests and for
+/// instant markers on trace timelines.
+#[derive(Debug, Clone)]
 pub struct FaultEvent {
     pub kind: FaultKind,
     /// Which injection point fired (e.g. `"engine.load_layer"`).
@@ -90,7 +91,26 @@ pub struct FaultEvent {
     pub key: u64,
     /// Retry attempt at the time of injection (0 for first tries).
     pub attempt: u32,
+    /// Microseconds since the attached [`lm_trace::TraceClock`] origin
+    /// (`None` when no clock is attached), so fault instants line up
+    /// with tracer spans in the Perfetto view.
+    pub t_us: Option<u64>,
 }
+
+/// Timestamps are excluded from equality: which faults fire where is
+/// deterministic by seed, *when* they fire is wall-clock noise. This is
+/// what lets determinism tests assert `a.events() == b.events()` across
+/// runs with clocks attached.
+impl PartialEq for FaultEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+            && self.site == other.site
+            && self.key == other.key
+            && self.attempt == other.attempt
+    }
+}
+
+impl Eq for FaultEvent {}
 
 /// Injected-fault and recovery counters, serialised into results JSON.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -137,6 +157,10 @@ struct Inner {
     /// a per-pool clock and re-enter the episode forever.
     pressure_probes: AtomicU64,
     log: Mutex<Vec<FaultEvent>>,
+    /// Run-origin clock stamping the event log (attached by the engine
+    /// when a tracer is active, so fault instants share the span time
+    /// base).
+    clock: Mutex<Option<lm_trace::TraceClock>>,
 }
 
 /// Handle threaded through the pipeline. Clones share counters and the
@@ -178,6 +202,7 @@ impl FaultInjector {
                 stall_ms_total: AtomicU64::new(0),
                 pressure_probes: AtomicU64::new(0),
                 log: Mutex::new(Vec::new()),
+                clock: Mutex::new(None),
             })),
         }
     }
@@ -216,13 +241,27 @@ impl FaultInjector {
 
     fn record(&self, inner: &Inner, kind: FaultKind, site: &'static str, key: u64, attempt: u32) {
         inner.injected[kind.index()].fetch_add(1, Ordering::Relaxed);
+        let t_us = inner
+            .clock
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map(|c| c.now_us());
         let mut log = inner.log.lock().unwrap_or_else(|e| e.into_inner());
         log.push(FaultEvent {
             kind,
             site,
             key,
             attempt,
+            t_us,
         });
+    }
+
+    /// Attach a run-origin clock; subsequent events get `t_us` stamps on
+    /// that time base. No-op on a disabled injector.
+    pub fn set_clock(&self, clock: lm_trace::TraceClock) {
+        if let Some(inner) = self.inner.as_deref() {
+            *inner.clock.lock().unwrap_or_else(|e| e.into_inner()) = Some(clock);
+        }
     }
 
     /// Should the disk read for `(site, key)` on retry `attempt` fail
@@ -503,6 +542,34 @@ mod tests {
         let g = f.clone();
         g.note_retry();
         assert_eq!(f.stats().retries, 1);
+    }
+
+    #[test]
+    fn clock_stamps_events_and_equality_ignores_timestamps() {
+        let cfg = FaultConfig {
+            disk_error_rate: 1.0,
+            ..FaultConfig::quiescent(3)
+        };
+        // No clock attached: events carry no timestamp.
+        let bare = FaultInjector::new(cfg.clone());
+        assert!(bare.disk_error("t", 0, 0));
+        assert_eq!(bare.events()[0].t_us, None);
+        // Clock attached: events are stamped, monotonically.
+        let stamped = FaultInjector::new(cfg.clone());
+        stamped.set_clock(lm_trace::TraceClock::start());
+        assert!(stamped.disk_error("t", 0, 0));
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(stamped.disk_error("t", 1, 0));
+        let ev = stamped.events();
+        let (a, b) = (ev[0].t_us.unwrap(), ev[1].t_us.unwrap());
+        assert!(b > a, "stamps must advance: {a} then {b}");
+        // Determinism assertions survive wall-clock stamps: same seed,
+        // different clocks, equal event logs.
+        let again = FaultInjector::new(cfg);
+        again.set_clock(lm_trace::TraceClock::start());
+        assert!(again.disk_error("t", 0, 0));
+        assert!(again.disk_error("t", 1, 0));
+        assert_eq!(stamped.events(), again.events());
     }
 
     #[test]

@@ -37,6 +37,17 @@ impl Executor {
     where
         F: Fn(usize, usize) + Sync,
     {
+        self.run_traced(graph, &lm_trace::Tracer::disabled(), work)
+    }
+
+    /// Like [`Executor::run`], recording one tracer scope per operator,
+    /// named after the node. The per-thread trace buffers assign each
+    /// worker its own track, so the Perfetto view shows which worker ran
+    /// which operator — the executor's thread-assignment picture.
+    pub fn run_traced<F>(&self, graph: &OpGraph, tracer: &lm_trace::Tracer, work: F) -> Vec<usize>
+    where
+        F: Fn(usize, usize) + Sync,
+    {
         let n = graph.len();
         if n == 0 {
             return Vec::new();
@@ -72,7 +83,10 @@ impl Executor {
                         if u == POISON {
                             break;
                         }
-                        work(u, self.intra_op);
+                        {
+                            let _op = tracer.scope(&graph.nodes[u].name);
+                            work(u, self.intra_op);
+                        }
                         order.lock().push(u);
                         for &v in &graph.edges[u] {
                             if indeg[v].fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -246,5 +260,29 @@ mod tests {
     #[should_panic(expected = "inter_op must be positive")]
     fn zero_workers_rejected() {
         Executor::new(0, 1);
+    }
+
+    #[test]
+    fn traced_run_scopes_every_op_with_worker_tracks() {
+        let g = attention_graph(4, 8, 32, 2);
+        let tracer = lm_trace::Tracer::new();
+        let order = Executor::new(3, 1).run_traced(&g, &tracer, |_, intra| burn(1e4, intra));
+        assert_eq!(order.len(), g.len());
+        let report = tracer.snapshot();
+        // One scope per operator, named after its node.
+        assert_eq!(report.scopes.len(), g.len());
+        let names: std::collections::HashSet<&str> =
+            report.scopes.iter().map(|s| s.name.as_str()).collect();
+        for node in &g.nodes {
+            assert!(names.contains(node.name.as_str()), "missing {}", node.name);
+        }
+        // Scopes are tagged with the executing worker's track, and no
+        // worker runs more ops than exist.
+        let tracks: std::collections::HashSet<u32> =
+            report.scopes.iter().map(|s| s.track).collect();
+        assert!(!tracks.is_empty() && tracks.len() <= 3);
+        // Tracing must not change execution semantics.
+        let untraced = Executor::new(3, 1).run(&g, |_, _| {});
+        assert_eq!(untraced.len(), g.len());
     }
 }

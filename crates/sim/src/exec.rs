@@ -114,6 +114,55 @@ pub fn simulate_traced(
     (report, spans)
 }
 
+/// Per-task busy seconds the analytic cost model predicts for the first
+/// `steps` decode steps — the "predicted" side of an `lm_trace`
+/// drift report against the spans from [`simulate_traced`]. The loop
+/// structure, zero-cost elisions and floating-point accumulation order
+/// mirror [`simulate`] exactly, so replaying the model against the
+/// simulator's own timeline yields drift ratios of 1.0 by construction
+/// (pinned by the drift golden test).
+pub fn predicted_task_totals(
+    provider: &impl CostProvider,
+    w: &Workload,
+    num_layers: u32,
+    steps: u64,
+) -> Vec<(TaskKind, f64)> {
+    let mut totals = [0.0f64; 7];
+    let decode_steps = w.gen_len.saturating_sub(1).min(steps);
+    for i in 0..decode_steps {
+        for _j in 0..num_layers {
+            totals[TaskKind::LoadWeight.index()] += provider.load_weight(i);
+            for _k in 0..w.num_batches {
+                let lc = provider.load_cache(i);
+                if lc > 0.0 {
+                    totals[TaskKind::LoadCache.index()] += lc;
+                }
+                let la = provider.load_activation(i);
+                if la > 0.0 {
+                    totals[TaskKind::LoadActivation.index()] += la;
+                }
+                let cc = provider.compute_cpu(i);
+                if cc > 0.0 {
+                    totals[TaskKind::ComputeCpu.index()] += cc;
+                }
+                totals[TaskKind::ComputeGpu.index()] += provider.compute_gpu(i);
+                let sc = provider.store_cache(i);
+                if sc > 0.0 {
+                    totals[TaskKind::StoreCache.index()] += sc;
+                }
+                let sa = provider.store_activation(i);
+                if sa > 0.0 {
+                    totals[TaskKind::StoreActivation.index()] += sa;
+                }
+            }
+        }
+    }
+    TaskKind::ALL
+        .iter()
+        .map(|&k| (k, totals[k.index()]))
+        .collect()
+}
+
 #[allow(unused_mut)]
 fn simulate_impl(
     provider: &impl CostProvider,
@@ -384,6 +433,29 @@ mod tests {
             spans.iter().map(|s| s.kind.name()).collect();
         for k in ["load_weight", "load_cache", "load_activation", "store_cache", "store_activation", "compute_gpu"] {
             assert!(kinds.contains(k), "missing {k}");
+        }
+    }
+
+    #[test]
+    fn predicted_totals_match_traced_spans_exactly() {
+        let w = Workload::new(16, 4, 8, 3);
+        let mut p = Policy::flexgen_default();
+        p.attention = AttentionPlacement::Gpu;
+        let m = BaseCostModel::new(&presets::single_gpu_a100(), &models::opt_30b(), &w, p);
+        let steps = 3;
+        let (_, spans) = simulate_traced(&m, &w, 6, steps);
+        let predicted = predicted_task_totals(&m, &w, 6, steps);
+        let mut observed = [0.0f64; 7];
+        for s in &spans {
+            observed[s.kind.index()] += s.duration();
+        }
+        for (kind, pred) in predicted {
+            let obs = observed[kind.index()];
+            assert!(
+                (obs - pred).abs() <= 1e-9 * pred.max(1.0),
+                "{}: predicted {pred} vs observed {obs}",
+                kind.name()
+            );
         }
     }
 

@@ -24,7 +24,9 @@ pub mod tasks;
 pub mod timeline;
 
 pub use analytic::{BaseCostModel, DISK_BW, TASK_OVERHEAD};
-pub use exec::{simulate, simulate_faulted, simulate_traced, SimReport, TaskBreakdown};
+pub use exec::{
+    predicted_task_totals, simulate, simulate_faulted, simulate_traced, SimReport, TaskBreakdown,
+};
 pub use timeline::{render_gantt, resource_overlaps, Span};
 pub use pipeline::{
     host_contention, simulate_pipeline, simulate_pipeline_faulted, PipelineReport,

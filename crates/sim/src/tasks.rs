@@ -9,45 +9,11 @@
 
 use serde::{Deserialize, Serialize};
 
-/// The decode-phase task kinds. `ComputeCpu`/`ComputeGpu` split the
-/// paper's `compute` task by device: offloaded attention runs on the CPU
-/// while projections/MLP (and attention, when not offloaded) run on GPU.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum TaskKind {
-    LoadWeight,
-    LoadCache,
-    LoadActivation,
-    StoreCache,
-    StoreActivation,
-    ComputeCpu,
-    ComputeGpu,
-}
-
-impl TaskKind {
-    /// All kinds, in reporting order (Fig. 8's x-axis plus the compute
-    /// split).
-    pub const ALL: [TaskKind; 7] = [
-        TaskKind::LoadWeight,
-        TaskKind::LoadCache,
-        TaskKind::LoadActivation,
-        TaskKind::StoreCache,
-        TaskKind::StoreActivation,
-        TaskKind::ComputeCpu,
-        TaskKind::ComputeGpu,
-    ];
-
-    pub fn name(self) -> &'static str {
-        match self {
-            TaskKind::LoadWeight => "load_weight",
-            TaskKind::LoadCache => "load_cache",
-            TaskKind::LoadActivation => "load_activation",
-            TaskKind::StoreCache => "store_cache",
-            TaskKind::StoreActivation => "store_activation",
-            TaskKind::ComputeCpu => "compute_cpu",
-            TaskKind::ComputeGpu => "compute_gpu",
-        }
-    }
-}
+/// The decode-phase task kinds — the shared vocabulary of the model, the
+/// simulator, the engine and the tracer. The definition lives in
+/// `lm-trace` (so tracing does not depend on the simulator); re-exported
+/// here unchanged for existing callers.
+pub use lm_trace::TaskKind;
 
 /// Additive per-task overheads in seconds — how quantization costs enter
 /// the six-task model (Eq. 4, 6, 7): `load_weight += dequan_wgt`,
@@ -313,12 +279,5 @@ mod tests {
     #[should_panic(expected = "bandwidth factors")]
     fn degraded_link_rejects_zero_factor() {
         let _ = DegradedLink::new(Fixed, 0.0, 1.0);
-    }
-
-    #[test]
-    fn kind_names_unique() {
-        let names: std::collections::HashSet<_> =
-            TaskKind::ALL.iter().map(|k| k.name()).collect();
-        assert_eq!(names.len(), TaskKind::ALL.len());
     }
 }

@@ -1,154 +1,9 @@
 //! Task timelines: per-task spans from the event-driven simulator, plus
 //! an ASCII Gantt renderer — the observability that makes the overlap
 //! structure of Algorithm 1 visible (which task hides behind which).
+//!
+//! The span types moved to `lm-trace` so the real engine and the
+//! simulator share one span format (and one Perfetto exporter); this
+//! module re-exports them unchanged for existing callers.
 
-use crate::tasks::TaskKind;
-use serde::{Deserialize, Serialize};
-
-/// One executed task instance.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
-pub struct Span {
-    pub kind: TaskKind,
-    /// Decode step (0-based).
-    pub step: u64,
-    /// Layer index.
-    pub layer: u32,
-    /// Batch index within the block (`None` for per-layer tasks).
-    pub batch: Option<u32>,
-    pub start: f64,
-    pub end: f64,
-}
-
-impl Span {
-    pub fn duration(&self) -> f64 {
-        self.end - self.start
-    }
-
-    /// The hardware resource this task occupies.
-    pub fn resource(&self) -> &'static str {
-        match self.kind {
-            TaskKind::LoadWeight | TaskKind::LoadCache | TaskKind::LoadActivation => "H2D",
-            TaskKind::StoreCache | TaskKind::StoreActivation => "D2H",
-            TaskKind::ComputeCpu => "CPU",
-            TaskKind::ComputeGpu => "GPU",
-        }
-    }
-}
-
-/// Check the physical invariant: spans on the same resource never overlap.
-pub fn resource_overlaps(spans: &[Span]) -> Vec<(Span, Span)> {
-    let mut by_resource: std::collections::HashMap<&str, Vec<Span>> = Default::default();
-    for &s in spans {
-        by_resource.entry(s.resource()).or_default().push(s);
-    }
-    let mut bad = Vec::new();
-    for list in by_resource.values_mut() {
-        list.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
-        for w in list.windows(2) {
-            if w[1].start < w[0].end - 1e-12 {
-                bad.push((w[0], w[1]));
-            }
-        }
-    }
-    bad
-}
-
-/// Render an ASCII Gantt chart of the spans: one row per resource, time
-/// binned into `width` columns over `[t0, t1]`.
-pub fn render_gantt(spans: &[Span], width: usize) -> String {
-    assert!(width >= 10, "need at least 10 columns");
-    if spans.is_empty() {
-        return String::from("(no spans)");
-    }
-    let t0 = spans.iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
-    let t1 = spans.iter().map(|s| s.end).fold(0.0f64, f64::max);
-    let dt = ((t1 - t0) / width as f64).max(f64::MIN_POSITIVE);
-
-    let glyph = |k: TaskKind| match k {
-        TaskKind::LoadWeight => 'W',
-        TaskKind::LoadCache => 'C',
-        TaskKind::LoadActivation => 'a',
-        TaskKind::StoreCache => 'c',
-        TaskKind::StoreActivation => 's',
-        TaskKind::ComputeCpu => '#',
-        TaskKind::ComputeGpu => '%',
-    };
-
-    let mut out = String::new();
-    out.push_str(&format!(
-        "t0 = {t0:.3}s, t1 = {t1:.3}s, column = {:.3}ms\n",
-        dt * 1e3
-    ));
-    for resource in ["H2D", "D2H", "CPU", "GPU"] {
-        let mut row = vec!['.'; width];
-        for s in spans.iter().filter(|s| s.resource() == resource) {
-            let a = (((s.start - t0) / dt) as usize).min(width - 1);
-            let b = (((s.end - t0) / dt).ceil() as usize).clamp(a + 1, width);
-            for cell in &mut row[a..b] {
-                *cell = glyph(s.kind);
-            }
-        }
-        out.push_str(&format!("{resource:>4} |{}|\n", row.iter().collect::<String>()));
-    }
-    out.push_str("     W=load_weight C=load_cache a=load_act c=store_cache s=store_act #=cpu %=gpu\n");
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn span(kind: TaskKind, start: f64, end: f64) -> Span {
-        Span {
-            kind,
-            step: 0,
-            layer: 0,
-            batch: None,
-            start,
-            end,
-        }
-    }
-
-    #[test]
-    fn resources_map_correctly() {
-        assert_eq!(span(TaskKind::LoadWeight, 0.0, 1.0).resource(), "H2D");
-        assert_eq!(span(TaskKind::StoreCache, 0.0, 1.0).resource(), "D2H");
-        assert_eq!(span(TaskKind::ComputeCpu, 0.0, 1.0).resource(), "CPU");
-        assert_eq!(span(TaskKind::ComputeGpu, 0.0, 1.0).resource(), "GPU");
-    }
-
-    #[test]
-    fn overlap_detection() {
-        let ok = vec![
-            span(TaskKind::LoadWeight, 0.0, 1.0),
-            span(TaskKind::LoadCache, 1.0, 2.0),
-            span(TaskKind::ComputeGpu, 0.5, 1.5), // different resource: fine
-        ];
-        assert!(resource_overlaps(&ok).is_empty());
-        let bad = vec![
-            span(TaskKind::LoadWeight, 0.0, 1.0),
-            span(TaskKind::LoadCache, 0.5, 1.5), // same H2D link
-        ];
-        assert_eq!(resource_overlaps(&bad).len(), 1);
-    }
-
-    #[test]
-    fn gantt_renders_all_rows() {
-        let spans = vec![
-            span(TaskKind::LoadWeight, 0.0, 0.5),
-            span(TaskKind::ComputeCpu, 0.5, 1.0),
-            span(TaskKind::ComputeGpu, 1.0, 1.2),
-        ];
-        let g = render_gantt(&spans, 40);
-        assert!(g.contains("H2D |"));
-        assert!(g.contains('W'));
-        assert!(g.contains('#'));
-        assert!(g.contains('%'));
-        assert_eq!(g.lines().count(), 6);
-    }
-
-    #[test]
-    fn empty_spans_handled() {
-        assert_eq!(render_gantt(&[], 40), "(no spans)");
-    }
-}
+pub use lm_trace::{render_gantt, resource_overlaps, Span};

@@ -1,0 +1,180 @@
+//! Model-vs-measured drift: replay the analytic cost model's predicted
+//! per-task busy time against a measured span timeline and report, per
+//! paper task, the observed/predicted ratio.
+//!
+//! A ratio of 1.0 means the performance model (Eq. 2's `max(...)` terms)
+//! matches what actually ran; against the event-driven simulator it must
+//! be exactly 1.0 (the simulator *is* the model), which the golden test
+//! in `tests/trace_observability.rs` pins. Against the real engine the
+//! ratio quantifies model error per task — the quantity Fig. 6 of the
+//! paper argues stays small.
+
+use crate::span::Span;
+use crate::task::TaskKind;
+use serde::{Deserialize, Serialize};
+
+/// Drift for one of the paper's six decode tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskDrift {
+    /// Paper task name (one of [`TaskKind::PAPER_TASKS`]).
+    pub task: String,
+    /// Model-predicted busy seconds.
+    pub predicted_s: f64,
+    /// Busy seconds summed from measured spans.
+    pub observed_s: f64,
+    /// `observed / predicted`; `None` when the model predicts zero
+    /// (ratio undefined — `abs_error_s` still carries the miss).
+    pub ratio: Option<f64>,
+    /// `observed - predicted`, always defined.
+    pub abs_error_s: f64,
+}
+
+/// Predicted-vs-observed drift across all six paper tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftReport {
+    pub tasks: Vec<TaskDrift>,
+    /// Max over tasks of `|ratio - 1|` (tasks with a defined ratio).
+    pub max_ratio_error: f64,
+}
+
+impl DriftReport {
+    /// True when every task with a defined ratio is within `eps` of 1.0
+    /// and no zero-predicted task observed more than `eps` seconds.
+    pub fn ok_within(&self, eps: f64) -> bool {
+        self.tasks.iter().all(|t| match t.ratio {
+            Some(r) => (r - 1.0).abs() <= eps,
+            None => t.observed_s.abs() <= eps,
+        })
+    }
+
+    /// The row for `task`, if present.
+    pub fn task(&self, task: &str) -> Option<&TaskDrift> {
+        self.tasks.iter().find(|t| t.task == task)
+    }
+}
+
+/// Build a drift report from per-kind predicted busy seconds and a
+/// measured span timeline. Both sides are grouped by
+/// [`TaskKind::paper_task`], merging the two compute halves, and every
+/// paper task gets a row (zeros when neither side saw it).
+pub fn drift_report(predicted: &[(TaskKind, f64)], spans: &[Span]) -> DriftReport {
+    let mut pred = [0.0f64; 6];
+    let mut obs = [0.0f64; 6];
+    let paper_index = |kind: TaskKind| -> usize {
+        TaskKind::PAPER_TASKS
+            .iter()
+            .position(|t| *t == kind.paper_task())
+            .unwrap_or(0)
+    };
+    for &(kind, s) in predicted {
+        pred[paper_index(kind)] += s;
+    }
+    for sp in spans {
+        obs[paper_index(sp.kind)] += sp.duration();
+    }
+
+    let mut tasks = Vec::with_capacity(6);
+    let mut max_ratio_error = 0.0f64;
+    for (i, name) in TaskKind::PAPER_TASKS.iter().enumerate() {
+        let ratio = if pred[i] > 0.0 {
+            let r = obs[i] / pred[i];
+            max_ratio_error = max_ratio_error.max((r - 1.0).abs());
+            Some(r)
+        } else {
+            None
+        };
+        tasks.push(TaskDrift {
+            task: (*name).to_string(),
+            predicted_s: pred[i],
+            observed_s: obs[i],
+            ratio,
+            abs_error_s: obs[i] - pred[i],
+        });
+    }
+    DriftReport {
+        tasks,
+        max_ratio_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(kind: TaskKind, start: f64, end: f64) -> Span {
+        Span {
+            kind,
+            step: 0,
+            layer: 0,
+            batch: None,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn perfect_match_gives_unit_ratios() {
+        let predicted = vec![(TaskKind::LoadWeight, 2.0), (TaskKind::ComputeGpu, 1.0)];
+        let spans = vec![
+            span(TaskKind::LoadWeight, 0.0, 1.5),
+            span(TaskKind::LoadWeight, 1.5, 2.0),
+            span(TaskKind::ComputeGpu, 2.0, 3.0),
+        ];
+        let r = drift_report(&predicted, &spans);
+        assert_eq!(r.tasks.len(), 6, "every paper task gets a row");
+        assert_eq!(r.task("load_weight").unwrap().ratio, Some(1.0));
+        assert_eq!(r.task("compute").unwrap().ratio, Some(1.0));
+        assert!(r.ok_within(1e-9));
+        assert_eq!(r.max_ratio_error, 0.0);
+    }
+
+    #[test]
+    fn compute_halves_merge() {
+        let predicted = vec![(TaskKind::ComputeCpu, 1.0), (TaskKind::ComputeGpu, 3.0)];
+        let spans = vec![
+            span(TaskKind::ComputeCpu, 0.0, 1.0),
+            span(TaskKind::ComputeGpu, 1.0, 4.0),
+        ];
+        let r = drift_report(&predicted, &spans);
+        let c = r.task("compute").unwrap();
+        assert_eq!(c.predicted_s, 4.0);
+        assert_eq!(c.observed_s, 4.0);
+        assert_eq!(c.ratio, Some(1.0));
+    }
+
+    #[test]
+    fn drift_is_reported() {
+        let predicted = vec![(TaskKind::LoadCache, 1.0)];
+        let spans = vec![span(TaskKind::LoadCache, 0.0, 1.3)];
+        let r = drift_report(&predicted, &spans);
+        let t = r.task("load_cache").unwrap();
+        assert!((t.ratio.unwrap() - 1.3).abs() < 1e-9);
+        assert!((t.abs_error_s - 0.3).abs() < 1e-9);
+        assert!((r.max_ratio_error - 0.3).abs() < 1e-9);
+        assert!(!r.ok_within(0.1));
+        assert!(r.ok_within(0.5));
+    }
+
+    #[test]
+    fn zero_predicted_with_observation_fails_ok_within() {
+        let spans = vec![span(TaskKind::StoreCache, 0.0, 0.5)];
+        let r = drift_report(&[], &spans);
+        let t = r.task("store_cache").unwrap();
+        assert_eq!(t.ratio, None);
+        assert_eq!(t.abs_error_s, 0.5);
+        assert!(!r.ok_within(0.1));
+        // Tasks absent on both sides stay within any epsilon.
+        assert_eq!(r.task("load_weight").unwrap().observed_s, 0.0);
+    }
+
+    #[test]
+    fn report_serde_round_trip() {
+        let r = drift_report(
+            &[(TaskKind::LoadWeight, 1.0)],
+            &[span(TaskKind::LoadWeight, 0.0, 1.1)],
+        );
+        let v = serde::Serialize::serialize(&r);
+        let back: DriftReport = serde::Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,130 @@
+//! The six decode-phase tasks of Algorithm 1 — the shared vocabulary of
+//! the analytic model, the simulator, the real engine and the tracer.
+//! (Moved here from `lm-sim::tasks` so tracing does not depend on the
+//! simulator; `lm-sim` re-exports it unchanged.)
+
+use serde::{Deserialize, Serialize};
+
+/// The decode-phase task kinds. `ComputeCpu`/`ComputeGpu` split the
+/// paper's `compute` task by device: offloaded attention runs on the CPU
+/// while projections/MLP (and attention, when not offloaded) run on GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    LoadWeight,
+    LoadCache,
+    LoadActivation,
+    StoreCache,
+    StoreActivation,
+    ComputeCpu,
+    ComputeGpu,
+}
+
+impl TaskKind {
+    /// All kinds, in reporting order (Fig. 8's x-axis plus the compute
+    /// split).
+    pub const ALL: [TaskKind; 7] = [
+        TaskKind::LoadWeight,
+        TaskKind::LoadCache,
+        TaskKind::LoadActivation,
+        TaskKind::StoreCache,
+        TaskKind::StoreActivation,
+        TaskKind::ComputeCpu,
+        TaskKind::ComputeGpu,
+    ];
+
+    /// The paper's six canonical decode tasks (Eq. 2's `max(...)` terms):
+    /// both compute halves report under `compute`.
+    pub const PAPER_TASKS: [&'static str; 6] = [
+        "load_weight",
+        "load_cache",
+        "load_activation",
+        "store_cache",
+        "store_activation",
+        "compute",
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskKind::LoadWeight => "load_weight",
+            TaskKind::LoadCache => "load_cache",
+            TaskKind::LoadActivation => "load_activation",
+            TaskKind::StoreCache => "store_cache",
+            TaskKind::StoreActivation => "store_activation",
+            TaskKind::ComputeCpu => "compute_cpu",
+            TaskKind::ComputeGpu => "compute_gpu",
+        }
+    }
+
+    /// The hardware resource this task occupies.
+    pub fn resource(self) -> &'static str {
+        match self {
+            TaskKind::LoadWeight | TaskKind::LoadCache | TaskKind::LoadActivation => "H2D",
+            TaskKind::StoreCache | TaskKind::StoreActivation => "D2H",
+            TaskKind::ComputeCpu => "CPU",
+            TaskKind::ComputeGpu => "GPU",
+        }
+    }
+
+    /// The paper task this kind reports under in drift reports: itself,
+    /// except the compute halves, which merge into `compute`.
+    pub fn paper_task(self) -> &'static str {
+        match self {
+            TaskKind::ComputeCpu | TaskKind::ComputeGpu => "compute",
+            other => other.name(),
+        }
+    }
+
+    /// Position in [`TaskKind::ALL`] — stable indexing for accumulators.
+    pub fn index(self) -> usize {
+        match self {
+            TaskKind::LoadWeight => 0,
+            TaskKind::LoadCache => 1,
+            TaskKind::LoadActivation => 2,
+            TaskKind::StoreCache => 3,
+            TaskKind::StoreActivation => 4,
+            TaskKind::ComputeCpu => 5,
+            TaskKind::ComputeGpu => 6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_unique() {
+        let names: std::collections::HashSet<_> = TaskKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), TaskKind::ALL.len());
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, k) in TaskKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn paper_tasks_cover_every_kind() {
+        for k in TaskKind::ALL {
+            assert!(
+                TaskKind::PAPER_TASKS.contains(&k.paper_task()),
+                "{} not a paper task",
+                k.paper_task()
+            );
+        }
+        assert_eq!(TaskKind::ComputeCpu.paper_task(), "compute");
+        assert_eq!(TaskKind::ComputeGpu.paper_task(), "compute");
+        assert_eq!(TaskKind::LoadWeight.paper_task(), "load_weight");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for k in TaskKind::ALL {
+            let v = serde::Serialize::serialize(&k);
+            let back: TaskKind = serde::Deserialize::deserialize(&v).unwrap();
+            assert_eq!(back, k);
+        }
+    }
+}

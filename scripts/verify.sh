@@ -17,4 +17,14 @@ else
     echo "==> clippy not installed; skipping lint"
 fi
 
+echo "==> repro trace --tokens 4 (observability gate)"
+cargo run --release -q -p lm-bench --bin repro -- trace --tokens 4
+for f in results/trace.json results/trace_drift.json; do
+    [ -s "$f" ] || { echo "verify: $f missing or empty" >&2; exit 1; }
+done
+grep -q '"traceEvents"' results/trace.json \
+    || { echo "verify: results/trace.json is not a Perfetto trace" >&2; exit 1; }
+grep -q '"max_ratio_error"' results/trace_drift.json \
+    || { echo "verify: results/trace_drift.json has no drift report" >&2; exit 1; }
+
 echo "verify: OK"
