@@ -1,0 +1,295 @@
+//! Diagnostic primitives: stable lint codes, severities, and the report
+//! container tooling consumes (JSON for `repro analyze`, programmatic
+//! access for strict engine construction).
+//!
+//! Code ranges are stable API:
+//!
+//! - `LMA0xx` — operator-graph structure lints;
+//! - `LMA1xx` — parallelism-plan and policy lints;
+//! - `LMA2xx` — cost-model (Eq. 1-24) consistency lints.
+//!
+//! A code, once shipped, keeps its meaning; retired codes are never
+//! reused.
+
+use serde::{Deserialize, Serialize};
+
+/// Stable identifiers of every lint the analyzer can emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LintCode {
+    /// Graph has a dependency cycle.
+    Lma001CyclicGraph,
+    /// Node unreachable from any source and feeding no sink (isolated).
+    Lma002OrphanNode,
+    /// The same edge is recorded more than once.
+    Lma003DuplicateEdge,
+    /// Compute node carries zero FLOPs *and* zero bytes.
+    Lma004ZeroCostNode,
+    /// An edge endpoint is not a node of the graph.
+    Lma005EdgeOutOfBounds,
+    /// A node depends on itself.
+    Lma006SelfEdge,
+    /// A `Transfer` node shares a wavefront with compute operators.
+    Lma007TransferOffBoundary,
+    /// Plan's inter-op parallelism exceeds the graph's Kahn width.
+    Lma101InterOpExceedsWidth,
+    /// Compute + transfer threads exceed the hardware thread budget.
+    Lma102ThreadBudgetExceeded,
+    /// Transfer-thread vector does not cover the five load/store tasks.
+    Lma103WrongTransferVector,
+    /// A transfer task was granted zero threads.
+    Lma104ZeroTransferThreads,
+    /// Thread grants invert the transfer-volume ordering.
+    Lma105DisproportionalTransfer,
+    /// `inter_op_total` ≠ compute inter-op + five transfer tasks.
+    Lma106InterOpTotalMismatch,
+    /// Step-time estimate is below the compute-time estimate.
+    Lma107StepBelowCompute,
+    /// Offloading policy fails validation (fractions, placement).
+    Lma108InvalidPolicy,
+    /// Memory plan exceeds a device or host pool capacity.
+    Lma109CapacityExceeded,
+    /// A bundled operator's working set exceeds the LLC capacity.
+    Lma110BundleExceedsCache,
+    /// A sampled task time disagrees with bytes / bandwidth dimensional
+    /// bounds.
+    Lma201DimensionalMismatch,
+    /// `T_gen` is not the max of the six task aggregates (Eq. 2).
+    Lma202TgenNotMax,
+    /// Quantized footprint exceeds the fp16 footprint.
+    Lma203QuantizedLargerThanF16,
+    /// A sampled quantity is negative, NaN or infinite.
+    Lma204NonFiniteQuantity,
+}
+
+impl LintCode {
+    /// The stable textual code, e.g. `"LMA001"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::Lma001CyclicGraph => "LMA001",
+            LintCode::Lma002OrphanNode => "LMA002",
+            LintCode::Lma003DuplicateEdge => "LMA003",
+            LintCode::Lma004ZeroCostNode => "LMA004",
+            LintCode::Lma005EdgeOutOfBounds => "LMA005",
+            LintCode::Lma006SelfEdge => "LMA006",
+            LintCode::Lma007TransferOffBoundary => "LMA007",
+            LintCode::Lma101InterOpExceedsWidth => "LMA101",
+            LintCode::Lma102ThreadBudgetExceeded => "LMA102",
+            LintCode::Lma103WrongTransferVector => "LMA103",
+            LintCode::Lma104ZeroTransferThreads => "LMA104",
+            LintCode::Lma105DisproportionalTransfer => "LMA105",
+            LintCode::Lma106InterOpTotalMismatch => "LMA106",
+            LintCode::Lma107StepBelowCompute => "LMA107",
+            LintCode::Lma108InvalidPolicy => "LMA108",
+            LintCode::Lma109CapacityExceeded => "LMA109",
+            LintCode::Lma110BundleExceedsCache => "LMA110",
+            LintCode::Lma201DimensionalMismatch => "LMA201",
+            LintCode::Lma202TgenNotMax => "LMA202",
+            LintCode::Lma203QuantizedLargerThanF16 => "LMA203",
+            LintCode::Lma204NonFiniteQuantity => "LMA204",
+        }
+    }
+
+    /// All codes, for enumeration in docs and coverage tests.
+    pub const ALL: [LintCode; 21] = [
+        LintCode::Lma001CyclicGraph,
+        LintCode::Lma002OrphanNode,
+        LintCode::Lma003DuplicateEdge,
+        LintCode::Lma004ZeroCostNode,
+        LintCode::Lma005EdgeOutOfBounds,
+        LintCode::Lma006SelfEdge,
+        LintCode::Lma007TransferOffBoundary,
+        LintCode::Lma101InterOpExceedsWidth,
+        LintCode::Lma102ThreadBudgetExceeded,
+        LintCode::Lma103WrongTransferVector,
+        LintCode::Lma104ZeroTransferThreads,
+        LintCode::Lma105DisproportionalTransfer,
+        LintCode::Lma106InterOpTotalMismatch,
+        LintCode::Lma107StepBelowCompute,
+        LintCode::Lma108InvalidPolicy,
+        LintCode::Lma109CapacityExceeded,
+        LintCode::Lma110BundleExceedsCache,
+        LintCode::Lma201DimensionalMismatch,
+        LintCode::Lma202TgenNotMax,
+        LintCode::Lma203QuantizedLargerThanF16,
+        LintCode::Lma204NonFiniteQuantity,
+    ];
+}
+
+/// How severe a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Suspicious but possibly intentional; does not block execution.
+    Warn,
+    /// A defect: running this configuration would hang, crash or produce
+    /// wrong estimates.
+    Error,
+}
+
+/// One finding.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Diagnostic {
+    pub code: LintCode,
+    pub severity: Severity,
+    /// What was inspected, e.g. `node 7 (softmax[2])` or `plan`.
+    pub subject: String,
+    /// Human-readable explanation with the offending values inline.
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn error(code: LintCode, subject: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            subject: subject.into(),
+            message: message.into(),
+        }
+    }
+
+    pub fn warn(code: LintCode, subject: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warn,
+            subject: subject.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warn => "warning",
+        };
+        write!(
+            f,
+            "{sev}[{}] {}: {}",
+            self.code.as_str(),
+            self.subject,
+            self.message
+        )
+    }
+}
+
+/// The outcome of an analysis pass.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    pub fn new(diagnostics: Vec<Diagnostic>) -> Self {
+        Report { diagnostics }
+    }
+
+    /// Merge another report's findings into this one.
+    pub fn extend(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+    }
+
+    pub fn error_count(&self) -> usize {
+        self.errors().count()
+    }
+
+    pub fn warning_count(&self) -> usize {
+        self.warnings().count()
+    }
+
+    /// No `Error`-level findings (warnings are allowed).
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Whether any finding carries `code`.
+    pub fn has(&self, code: LintCode) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Pretty JSON for `results/analyze.json`.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".into())
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(
+            f,
+            "{} error(s), {} warning(s)",
+            self.error_count(),
+            self.warning_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for code in LintCode::ALL {
+            let s = code.as_str();
+            assert!(s.starts_with("LMA") && s.len() == 6, "{s}");
+            assert!(seen.insert(s), "duplicate code {s}");
+        }
+        assert_eq!(seen.len(), LintCode::ALL.len());
+    }
+
+    #[test]
+    fn report_counts_and_cleanliness() {
+        let mut r = Report::default();
+        assert!(r.is_clean());
+        r.diagnostics
+            .push(Diagnostic::warn(LintCode::Lma002OrphanNode, "node 3", "isolated"));
+        assert!(r.is_clean());
+        assert!(r.has(LintCode::Lma002OrphanNode));
+        r.diagnostics.push(Diagnostic::error(
+            LintCode::Lma001CyclicGraph,
+            "graph",
+            "cycle 1 -> 2 -> 1",
+        ));
+        assert!(!r.is_clean());
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        let text = r.to_string();
+        assert!(text.contains("error[LMA001]") && text.contains("warning[LMA002]"), "{text}");
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = Report::new(vec![Diagnostic::error(
+            LintCode::Lma102ThreadBudgetExceeded,
+            "plan",
+            "7*16+9 > 112",
+        )]);
+        let json = r.to_json();
+        assert!(json.contains("Lma102ThreadBudgetExceeded"), "{json}");
+        let back: Report = serde_json::from_str(&json).expect("round trip");
+        assert_eq!(back.diagnostics.len(), 1);
+        assert_eq!(back.diagnostics[0].code, LintCode::Lma102ThreadBudgetExceeded);
+        assert_eq!(back.diagnostics[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn severity_orders_error_above_warn() {
+        assert!(Severity::Error > Severity::Warn);
+    }
+}

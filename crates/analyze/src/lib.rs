@@ -1,0 +1,72 @@
+//! # lm-analyze
+//!
+//! Static analysis for LM-Offload deployments: a diagnostics engine with
+//! stable lint codes over three families of checks (DESIGN.md §10):
+//!
+//! - [`graph_lints`] (`LMA0xx`): structural lints on operator dependency
+//!   graphs — cycles (with the witness path), orphan nodes, duplicate and
+//!   out-of-bounds edges, zero-cost compute nodes, transfers co-scheduled
+//!   with compute;
+//! - [`plan_lints`] (`LMA1xx`): Algorithm 3 outputs and offloading
+//!   policies — inter-op vs the Kahn width, the
+//!   `inter_op·intra_op + 5 ≤ threads` budget, volume-proportional
+//!   transfer grants, memory-capacity feasibility, bundle working sets vs
+//!   the LLC;
+//! - [`model_lints`] (`LMA2xx`): dimensional and structural consistency
+//!   of the analytic cost model (Eq. 1-24) via sampled [`ModelProbe`]
+//!   observations.
+//!
+//! Every finding carries a stable `LMAnnn` code (see [`LintCode`]) —
+//! codes keep their meaning across releases and retired codes are never
+//! reused — a severity, the inspected subject, and a message with the
+//! offending values inline. [`Report`] serialises to JSON for
+//! `repro analyze`.
+
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+pub mod diag;
+pub mod graph_lints;
+pub mod model_lints;
+pub mod plan_lints;
+
+pub use diag::{Diagnostic, LintCode, Report, Severity};
+pub use graph_lints::lint_graph;
+pub use model_lints::{lint_model, ModelProbe};
+pub use plan_lints::{lint_bundles, lint_plan, lint_policy};
+
+use lm_hardware::Platform;
+use lm_models::{ModelConfig, Workload};
+use lm_parallelism::{OpGraph, ParallelismPlan, SearchConfig, TransferTask};
+use lm_sim::Policy;
+
+/// Everything a full deployment analysis inspects. The caller (the
+/// controller, the bench harness, or strict engine construction) derives
+/// the plan; this crate only judges it.
+pub struct Deployment<'a> {
+    pub platform: &'a Platform,
+    pub model: &'a ModelConfig,
+    pub workload: &'a Workload,
+    pub policy: &'a Policy,
+    pub graph: &'a OpGraph,
+    pub cfg: &'a SearchConfig,
+    pub plan: &'a ParallelismPlan,
+    pub transfers: &'a [TransferTask],
+    /// FLOP threshold below which operators are bundling candidates.
+    pub bundle_min_flops: f64,
+}
+
+/// Run all three lint families over a deployment and merge the findings.
+pub fn analyze_deployment(d: &Deployment<'_>) -> Report {
+    let mut report = lint_graph(d.graph);
+    report.extend(lint_plan(d.plan, d.graph, d.cfg, d.transfers));
+    report.extend(lint_policy(d.policy, d.model, d.workload, d.platform));
+    report.extend(lint_bundles(d.graph, d.bundle_min_flops, d.platform));
+    let probe = ModelProbe::sample(
+        d.platform,
+        d.model,
+        d.workload,
+        d.policy,
+        d.workload.gen_len / 2,
+    );
+    report.extend(lint_model(&probe));
+    report
+}

@@ -1,0 +1,361 @@
+//! Mutation coverage: every stable lint code has a seeded defect that
+//! provably fires it — the analyzer's own regression harness. Each test
+//! starts from a known-clean artifact (shipped graph, searched plan,
+//! default policy, live model probe), injects exactly one defect, and
+//! asserts the expected `LMAnnn` code appears.
+
+#![allow(clippy::unwrap_used)]
+
+use lm_analyze::{
+    analyze_deployment, lint_bundles, lint_graph, lint_model, lint_plan, lint_policy, Deployment,
+    LintCode, ModelProbe, Report,
+};
+use lm_hardware::{presets, Platform};
+use lm_models::{presets as models, DType, ModelConfig, Workload};
+use lm_parallelism::{
+    attention_graph, try_find_optimal_parallelism, CpuScalingModel, OpGraph, OpKind,
+    ParallelismPlan, ProfileTable, SearchConfig, TransferTask,
+};
+use lm_sim::{AttentionPlacement, Policy};
+
+struct Fixture {
+    platform: Platform,
+    model: ModelConfig,
+    workload: Workload,
+    policy: Policy,
+    graph: OpGraph,
+    cfg: SearchConfig,
+    plan: ParallelismPlan,
+    transfers: Vec<TransferTask>,
+}
+
+fn fixture() -> Fixture {
+    let platform = presets::single_gpu_a100();
+    let model = models::opt_30b();
+    let workload = Workload::parallelism_study();
+    let policy = Policy::flexgen_default();
+    let graph = attention_graph(
+        workload.block_size(),
+        workload.prompt_len + workload.gen_len / 2,
+        model.hidden,
+        7,
+    );
+    let scaling = CpuScalingModel::from_cpu(&platform.cpu);
+    let profile = ProfileTable::synthesize(&graph, &scaling, 20e9, 12e9, platform.cpu.total_threads());
+    let cfg = SearchConfig::for_platform(&platform);
+    let transfers = vec![
+        TransferTask { name: "load_weight".into(), bytes: 550_000_000 },
+        TransferTask { name: "load_cache".into(), bytes: 0 },
+        TransferTask { name: "load_activation".into(), bytes: 9_000_000 },
+        TransferTask { name: "store_cache".into(), bytes: 18_000_000 },
+        TransferTask { name: "store_activation".into(), bytes: 9_000_000 },
+    ];
+    let plan = try_find_optimal_parallelism(&graph, &profile, &scaling, &cfg, &transfers).unwrap();
+    Fixture {
+        platform,
+        model,
+        workload,
+        policy,
+        graph,
+        cfg,
+        plan,
+        transfers,
+    }
+}
+
+fn probe(f: &Fixture) -> ModelProbe {
+    ModelProbe::sample(&f.platform, &f.model, &f.workload, &f.policy, 4)
+}
+
+/// The single mutated code must appear; the unmutated fixture must not
+/// produce it (proving the test observes the mutation, not noise).
+fn assert_fires(clean: &Report, mutated: &Report, code: LintCode) {
+    assert!(
+        !clean.has(code),
+        "{} already present before mutation:\n{clean}",
+        code.as_str()
+    );
+    assert!(
+        mutated.has(code),
+        "{} did not fire on the seeded defect:\n{mutated}",
+        code.as_str()
+    );
+}
+
+#[test]
+fn baseline_deployment_is_clean() {
+    let f = fixture();
+    let report = analyze_deployment(&Deployment {
+        platform: &f.platform,
+        model: &f.model,
+        workload: &f.workload,
+        policy: &f.policy,
+        graph: &f.graph,
+        cfg: &f.cfg,
+        plan: &f.plan,
+        transfers: &f.transfers,
+        bundle_min_flops: 1e7,
+    });
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn lma001_back_edge_makes_cycle() {
+    let f = fixture();
+    let clean = lint_graph(&f.graph);
+    let mut g = f.graph.clone();
+    let last = g.len() - 1;
+    g.depend(last, 0);
+    assert_fires(&clean, &lint_graph(&g), LintCode::Lma001CyclicGraph);
+}
+
+#[test]
+fn lma002_isolated_node() {
+    let f = fixture();
+    let clean = lint_graph(&f.graph);
+    let mut g = f.graph.clone();
+    g.add("stray", OpKind::Elementwise, 1.0, 1.0);
+    assert_fires(&clean, &lint_graph(&g), LintCode::Lma002OrphanNode);
+}
+
+#[test]
+fn lma003_duplicate_edge() {
+    let f = fixture();
+    let clean = lint_graph(&f.graph);
+    let mut g = f.graph.clone();
+    // The builder API deduplicates; a deserialized graph may not.
+    let to = g.edges[0][0];
+    g.edges[0].push(to);
+    assert_fires(&clean, &lint_graph(&g), LintCode::Lma003DuplicateEdge);
+}
+
+#[test]
+fn lma004_zero_cost_compute_node() {
+    let f = fixture();
+    let clean = lint_graph(&f.graph);
+    let mut g = f.graph.clone();
+    let dead = g.add("dead_bmm", OpKind::Bmm, 0.0, 0.0);
+    let last = g.len() - 2;
+    g.depend(0, dead);
+    g.depend(dead, last);
+    assert_fires(&clean, &lint_graph(&g), LintCode::Lma004ZeroCostNode);
+}
+
+#[test]
+fn lma005_edge_out_of_bounds() {
+    let f = fixture();
+    let clean = lint_graph(&f.graph);
+    let mut g = f.graph.clone();
+    let n = g.len();
+    g.edges[0].push(n + 3);
+    assert_fires(&clean, &lint_graph(&g), LintCode::Lma005EdgeOutOfBounds);
+}
+
+#[test]
+fn lma006_self_edge() {
+    let f = fixture();
+    let clean = lint_graph(&f.graph);
+    let mut g = f.graph.clone();
+    g.edges[2].push(2);
+    assert_fires(&clean, &lint_graph(&g), LintCode::Lma006SelfEdge);
+}
+
+#[test]
+fn lma007_transfer_in_compute_wavefront() {
+    let f = fixture();
+    let clean = lint_graph(&f.graph);
+    let mut g = f.graph.clone();
+    // kv_concat is node 3; its consumers (the per-group BMMs) form the
+    // next wavefront. A transfer hanging off the same producer lands in
+    // that compute wavefront.
+    let t = g.add("stage_copy", OpKind::Transfer, 0.0, 1e6);
+    g.depend(3, t);
+    let last = g.len() - 2;
+    g.depend(t, last);
+    assert_fires(&clean, &lint_graph(&g), LintCode::Lma007TransferOffBoundary);
+}
+
+#[test]
+fn lma101_inter_op_beyond_width() {
+    let f = fixture();
+    let clean = lint_plan(&f.plan, &f.graph, &f.cfg, &f.transfers);
+    let mut plan = f.plan.clone();
+    plan.inter_op_compute += 30;
+    plan.inter_op_total += 30;
+    let r = lint_plan(&plan, &f.graph, &f.cfg, &f.transfers);
+    assert_fires(&clean, &r, LintCode::Lma101InterOpExceedsWidth);
+}
+
+#[test]
+fn lma102_thread_budget_blown() {
+    let f = fixture();
+    let clean = lint_plan(&f.plan, &f.graph, &f.cfg, &f.transfers);
+    let mut plan = f.plan.clone();
+    plan.intra_op_compute = f.cfg.max_threads;
+    let r = lint_plan(&plan, &f.graph, &f.cfg, &f.transfers);
+    assert_fires(&clean, &r, LintCode::Lma102ThreadBudgetExceeded);
+}
+
+#[test]
+fn lma103_truncated_transfer_vector() {
+    let f = fixture();
+    let clean = lint_plan(&f.plan, &f.graph, &f.cfg, &f.transfers);
+    let mut plan = f.plan.clone();
+    plan.transfer_threads.pop();
+    let r = lint_plan(&plan, &f.graph, &f.cfg, &f.transfers);
+    assert_fires(&clean, &r, LintCode::Lma103WrongTransferVector);
+}
+
+#[test]
+fn lma104_starved_transfer_task() {
+    let f = fixture();
+    let clean = lint_plan(&f.plan, &f.graph, &f.cfg, &f.transfers);
+    let mut plan = f.plan.clone();
+    plan.transfer_threads[3] = 0;
+    let r = lint_plan(&plan, &f.graph, &f.cfg, &f.transfers);
+    assert_fires(&clean, &r, LintCode::Lma104ZeroTransferThreads);
+}
+
+#[test]
+fn lma105_inverted_transfer_grant() {
+    let f = fixture();
+    let clean = lint_plan(&f.plan, &f.graph, &f.cfg, &f.transfers);
+    let mut plan = f.plan.clone();
+    // load_weight moves by far the most bytes; hand it the minimum while
+    // a small task keeps a large grant.
+    plan.transfer_threads[0] = 1;
+    plan.transfer_threads[2] = 8;
+    let r = lint_plan(&plan, &f.graph, &f.cfg, &f.transfers);
+    assert_fires(&clean, &r, LintCode::Lma105DisproportionalTransfer);
+}
+
+#[test]
+fn lma106_total_bookkeeping_broken() {
+    let f = fixture();
+    let clean = lint_plan(&f.plan, &f.graph, &f.cfg, &f.transfers);
+    let mut plan = f.plan.clone();
+    plan.inter_op_total += 1;
+    let r = lint_plan(&plan, &f.graph, &f.cfg, &f.transfers);
+    assert_fires(&clean, &r, LintCode::Lma106InterOpTotalMismatch);
+}
+
+#[test]
+fn lma107_step_below_compute() {
+    let f = fixture();
+    let clean = lint_plan(&f.plan, &f.graph, &f.cfg, &f.transfers);
+    let mut plan = f.plan.clone();
+    plan.est_step_time = plan.est_compute_time * 0.5;
+    let r = lint_plan(&plan, &f.graph, &f.cfg, &f.transfers);
+    assert_fires(&clean, &r, LintCode::Lma107StepBelowCompute);
+}
+
+#[test]
+fn lma108_invalid_policy_fraction() {
+    let f = fixture();
+    let clean = lint_policy(&f.policy, &f.model, &f.workload, &f.platform);
+    let mut policy = f.policy;
+    policy.wg = 1.5;
+    let r = lint_policy(&policy, &f.model, &f.workload, &f.platform);
+    assert_fires(&clean, &r, LintCode::Lma108InvalidPolicy);
+}
+
+#[test]
+fn lma109_footprint_over_capacity() {
+    let f = fixture();
+    let clean = lint_policy(&f.policy, &f.model, &f.workload, &f.platform);
+    let all_gpu = Policy {
+        wg: 1.0,
+        cg: 1.0,
+        hg: 1.0,
+        weights_dtype: DType::F16,
+        kv_dtype: DType::F16,
+        attention: AttentionPlacement::Gpu,
+    };
+    let r = lint_policy(&all_gpu, &f.model, &Workload::motivation(), &f.platform);
+    assert_fires(&clean, &r, LintCode::Lma109CapacityExceeded);
+}
+
+#[test]
+fn lma110_bundle_blows_the_llc() {
+    let f = fixture();
+    // A chain of ops each holding 70% of the LLC: left unbundled they
+    // stream through the cache one at a time, but an over-eager bundling
+    // threshold merges them into one cache-thrashing super-operator.
+    let mut g = OpGraph::new();
+    let llc = f.platform.cpu.llc_bytes as f64;
+    let a = g.add("tiny_a", OpKind::Elementwise, 1.0, llc * 0.7);
+    let b = g.add("tiny_b", OpKind::Elementwise, 1.0, llc * 0.7);
+    g.depend(a, b);
+    let clean = lint_bundles(&g, 0.5, &f.platform); // below both: no merge
+    let r = lint_bundles(&g, 1e7, &f.platform); // merges the chain
+    assert_fires(&clean, &r, LintCode::Lma110BundleExceedsCache);
+}
+
+#[test]
+fn lma201_millisecond_units_slip() {
+    let f = fixture();
+    let mut p = probe(&f);
+    let clean = lint_model(&probe(&f));
+    p.load_weight_time /= 1000.0;
+    assert_fires(&clean, &lint_model(&p), LintCode::Lma201DimensionalMismatch);
+}
+
+#[test]
+fn lma202_tgen_not_the_max() {
+    let f = fixture();
+    let clean = lint_model(&probe(&f));
+    let mut p = probe(&f);
+    p.t_gen *= 0.5;
+    assert_fires(&clean, &lint_model(&p), LintCode::Lma202TgenNotMax);
+}
+
+#[test]
+fn lma203_quantized_footprint_grew() {
+    let f = fixture();
+    let clean = lint_model(&probe(&f));
+    let mut p = probe(&f);
+    p.weights_at_rest_bytes = p.weights_f16_bytes * 2.0;
+    assert_fires(&clean, &lint_model(&p), LintCode::Lma203QuantizedLargerThanF16);
+}
+
+#[test]
+fn lma204_nan_in_probe() {
+    let f = fixture();
+    let clean = lint_model(&probe(&f));
+    let mut p = probe(&f);
+    p.compute_cpu_time = f64::NAN;
+    assert_fires(&clean, &lint_model(&p), LintCode::Lma204NonFiniteQuantity);
+}
+
+#[test]
+fn every_shipped_code_has_mutation_coverage() {
+    // Guard against adding a code without a mutation test: the list of
+    // codes exercised above must cover LintCode::ALL. Kept by hand —
+    // update both when adding a lint.
+    let covered = [
+        LintCode::Lma001CyclicGraph,
+        LintCode::Lma002OrphanNode,
+        LintCode::Lma003DuplicateEdge,
+        LintCode::Lma004ZeroCostNode,
+        LintCode::Lma005EdgeOutOfBounds,
+        LintCode::Lma006SelfEdge,
+        LintCode::Lma007TransferOffBoundary,
+        LintCode::Lma101InterOpExceedsWidth,
+        LintCode::Lma102ThreadBudgetExceeded,
+        LintCode::Lma103WrongTransferVector,
+        LintCode::Lma104ZeroTransferThreads,
+        LintCode::Lma105DisproportionalTransfer,
+        LintCode::Lma106InterOpTotalMismatch,
+        LintCode::Lma107StepBelowCompute,
+        LintCode::Lma108InvalidPolicy,
+        LintCode::Lma109CapacityExceeded,
+        LintCode::Lma110BundleExceedsCache,
+        LintCode::Lma201DimensionalMismatch,
+        LintCode::Lma202TgenNotMax,
+        LintCode::Lma203QuantizedLargerThanF16,
+        LintCode::Lma204NonFiniteQuantity,
+    ];
+    for code in LintCode::ALL {
+        assert!(covered.contains(&code), "no mutation test for {}", code.as_str());
+    }
+}

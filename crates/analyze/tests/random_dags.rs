@@ -1,0 +1,120 @@
+//! Property: the graph-lint verdict agrees with Kahn's algorithm. A
+//! random graph built from forward edges only (producer index < consumer
+//! index) is acyclic by construction, so `kahn::analyze` succeeds and the
+//! lints must report no errors; closing any existing edge backwards makes
+//! a cycle, `analyze` fails, and `LMA001` must fire with a genuine
+//! witness walk.
+
+#![allow(clippy::unwrap_used)]
+
+use lm_analyze::{lint_graph, LintCode};
+use lm_parallelism::{kahn, OpGraph, OpKind};
+use proptest::prelude::*;
+
+/// Deterministic xorshift so a failing case replays from its seed.
+fn next(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Random forward-edge graph: every edge goes from a lower to a higher
+/// node index, so the graph is a DAG for any seed/density.
+fn random_dag(n: usize, seed: u64, density_pct: u64) -> OpGraph {
+    let mut g = OpGraph::new();
+    let kinds = [
+        OpKind::Addmm,
+        OpKind::Bmm,
+        OpKind::Softmax,
+        OpKind::Concat,
+        OpKind::Elementwise,
+    ];
+    let mut state = seed | 1;
+    for i in 0..n {
+        let kind = kinds[(next(&mut state) % kinds.len() as u64) as usize];
+        let flops = 1.0 + (next(&mut state) % 1000) as f64;
+        g.add(format!("n{i}"), kind, flops, flops * 8.0);
+    }
+    for from in 0..n {
+        for to in (from + 1)..n {
+            if next(&mut state) % 100 < density_pct {
+                g.depend(from, to);
+            }
+        }
+    }
+    g
+}
+
+proptest! {
+    #[test]
+    fn forward_edge_graphs_pass_error_lints(
+        n in 2usize..24,
+        seed in 1u64..500,
+        density in 10u64..80,
+    ) {
+        let g = random_dag(n, seed, density);
+        prop_assert!(kahn::analyze(&g).is_some(), "forward edges must be acyclic");
+        let r = lint_graph(&g);
+        prop_assert!(
+            r.is_clean(),
+            "lints disagree with Kahn on a DAG:\n{r}"
+        );
+        prop_assert!(!r.has(LintCode::Lma001CyclicGraph));
+    }
+
+    #[test]
+    fn reversing_an_edge_fires_lma001_iff_kahn_fails(
+        n in 3usize..24,
+        seed in 1u64..500,
+        density in 20u64..80,
+    ) {
+        let mut g = random_dag(n, seed, density);
+        // Close the first recorded edge backwards; if the graph has no
+        // edges the case degenerates to the DAG property above.
+        let back = (0..g.len()).find_map(|u| g.edges[u].first().map(|&v| (v, u)));
+        if let Some((from, to)) = back {
+            g.depend(from, to);
+            prop_assert!(kahn::analyze(&g).is_none(), "2-cycle must defeat Kahn");
+            let r = lint_graph(&g);
+            prop_assert!(r.has(LintCode::Lma001CyclicGraph), "{r}");
+            prop_assert!(!r.is_clean());
+            // The witness is a real closed walk over graph edges.
+            let cycle = kahn::find_cycle(&g).unwrap();
+            for w in cycle.windows(2) {
+                prop_assert!(g.edges[w[0]].contains(&w[1]), "{cycle:?}");
+            }
+            let (first, last) = (cycle[0], *cycle.last().unwrap());
+            prop_assert!(g.edges[last].contains(&first), "{cycle:?}");
+        }
+    }
+
+    #[test]
+    fn lint_verdict_matches_kahn_on_arbitrary_mutations(
+        n in 2usize..20,
+        seed in 1u64..300,
+        density in 10u64..70,
+        extra_from in 0usize..20,
+        extra_to in 0usize..20,
+    ) {
+        // An arbitrary extra edge (any direction, possibly cyclic) keeps
+        // the equivalence: errors present iff Kahn fails. Self-edges and
+        // out-of-range indices are excluded — they are separate lints
+        // (LMA005/006) that Kahn's counting cannot see.
+        let mut g = random_dag(n, seed, density);
+        let (from, to) = (extra_from % n, extra_to % n);
+        if from != to {
+            g.depend(from, to);
+        }
+        let kahn_ok = kahn::analyze(&g).is_some();
+        let r = lint_graph(&g);
+        prop_assert_eq!(
+            r.is_clean(),
+            kahn_ok,
+            "lint errors and Kahn disagree:\n{}",
+            r
+        );
+    }
+}

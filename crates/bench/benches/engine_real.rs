@@ -1,3 +1,7 @@
+//! Benches keep `unwrap` for fixture setup: a failed fixture should abort
+//! the bench run loudly.
+#![allow(clippy::unwrap_used)]
+
 //! Benchmarks of the *real* offloading engine: decode steps with and
 //! without the asynchronous weight prefetcher (the bundling-adjacent
 //! ablation: does overlapping load_weight with compute pay off on real

@@ -3,6 +3,7 @@
 //! and Figs. 7/9 run single representative cells here (the full sweeps
 //! run in the `repro` binary).
 
+#![allow(clippy::unwrap_used)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use lm_bench::experiments::*;
 use lm_models::presets as models;

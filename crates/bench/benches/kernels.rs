@@ -2,6 +2,7 @@
 //! (Algorithm 2), matmul, and attention — the kernels whose costs the §3
 //! performance models price.
 
+#![allow(clippy::unwrap_used)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lm_tensor::ops::matmul::{matmul, matmul_transb};
 use lm_tensor::{dequantize, mha_decode, quantize, KvCache, QuantConfig, Tensor};

@@ -3,6 +3,7 @@
 //! Algorithm 3's parallelism search, and Kahn analysis — plus the
 //! policy-granularity ablation called out in DESIGN.md §5.
 
+#![allow(clippy::unwrap_used)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lm_baselines::flexgen::{flexgen_evaluator, flexgen_search};
 use lm_baselines::search::{grid_search, SearchSpace};

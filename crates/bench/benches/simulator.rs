@@ -3,6 +3,7 @@
 //! the LLC contention simulator — plus the overlap-model ablation of
 //! DESIGN.md §5.
 
+#![allow(clippy::unwrap_used)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lm_cachesim::{run_contention, Access, ContentionConfig, Hierarchy, ThreadSetting};
 use lm_hardware::presets as hw;

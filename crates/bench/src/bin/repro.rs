@@ -4,8 +4,10 @@
 //!   repro <experiment> [--fast] [--fault-seed N] [--tokens N]
 //!   repro all [--fast]
 //!
-//! Experiments: table1 table3 table4 table5 fig3 fig4 fig5 fig7 fig8 fig9
-//! whatif faults summary trace. `--fast` restricts Table-3-derived sweeps
+//! Experiments: analyze table1 table3 table4 table5 fig3 fig4 fig5 fig7
+//! fig8 fig9 whatif faults summary trace. `analyze` runs the `lm-analyze`
+//! static linter over the shipped presets and exits non-zero on any
+//! `Error`-level diagnostic. `--fast` restricts Table-3-derived sweeps
 //! to two generation lengths; `--fault-seed N` sets the deterministic
 //! fault plan of the `faults` experiment; `--tokens N` sets the token
 //! count of the `trace` experiment. JSON results are written to
@@ -325,6 +327,40 @@ fn run_whatif() {
     save("whatif", &curves);
 }
 
+fn run_analyze() {
+    println!("\n== Static analysis: lm-analyze lints over the shipped presets ==");
+    let rows = analyze::run();
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.preset.clone(),
+                format!("{}/{}", r.inter_op_total, r.intra_op_compute),
+                r.errors.to_string(),
+                r.warnings.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["preset", "inter/intra", "errors", "warnings"], &rendered)
+    );
+    let mut all_clean = true;
+    for r in &rows {
+        for d in &r.diagnostics {
+            println!("  {}: {d}", r.preset);
+        }
+        all_clean &= r.errors == 0;
+    }
+    save("analyze", &rows);
+    if all_clean {
+        println!("all shipped presets are clean (zero error diagnostics)");
+    } else {
+        eprintln!("error: a shipped preset has error-level diagnostics");
+        std::process::exit(1);
+    }
+}
+
 fn run_faults(fault_seed: u64) {
     println!("\n== Fault injection: retry, backpressure, model-guided degradation (seed {fault_seed}) ==");
     let r = faults::run(fault_seed);
@@ -473,6 +509,7 @@ fn main() {
         "fig8" => run_fig8(),
         "fig9" => run_fig9(),
         "whatif" => run_whatif(),
+        "analyze" => run_analyze(),
         "faults" => run_faults(fault_seed),
         "trace" => run_trace(tokens),
         "summary" => {
@@ -481,6 +518,7 @@ fn main() {
             save("summary", &s);
         }
         "all" => {
+            run_analyze();
             run_table4();
             run_whatif();
             run_table1();
@@ -497,7 +535,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose from: table1 table3 table4 table5 fig3 fig4 fig5 fig7 fig8 fig9 whatif faults summary trace all");
+            eprintln!("choose from: analyze table1 table3 table4 table5 fig3 fig4 fig5 fig7 fig8 fig9 whatif faults summary trace all");
             std::process::exit(2);
         }
     }

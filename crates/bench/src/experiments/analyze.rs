@@ -1,0 +1,125 @@
+//! `repro analyze` — run the `lm-analyze` static linter over the shipped
+//! deployment presets: for each (platform, model, workload, policy)
+//! combination the harness derives the real parallelism plan with the
+//! controller, then lints the graph, the plan, the policy placements, the
+//! bundling decision and a sampled cost-model probe. Shipped presets must
+//! produce zero `Error` diagnostics; warnings are reported but allowed.
+
+use lm_analyze::{analyze_deployment, Deployment, Diagnostic};
+use lm_hardware::presets;
+use lm_models::{presets as models, ModelConfig, Workload};
+use lm_offload::{transfer_tasks, try_derive_plan, DEFAULT_HEAD_GROUPS};
+use lm_parallelism::{attention_graph, SearchConfig};
+use lm_sim::Policy;
+use serde::{Deserialize, Serialize};
+
+/// FLOP threshold for the bundling lint — the same order of magnitude the
+/// runtime uses to decide which operators are bundling candidates.
+pub const BUNDLE_MIN_FLOPS: f64 = 1e7;
+
+/// Analysis outcome for one shipped preset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalyzeRow {
+    pub preset: String,
+    /// Derived plan shape, for context next to the findings.
+    pub inter_op_total: u32,
+    pub intra_op_compute: u32,
+    pub errors: usize,
+    pub warnings: usize,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+fn preset_row(
+    name: &str,
+    model: &ModelConfig,
+    workload: &Workload,
+    policy: &Policy,
+) -> AnalyzeRow {
+    let platform = presets::single_gpu_a100();
+    let graph = attention_graph(
+        workload.block_size(),
+        workload.prompt_len + workload.gen_len / 2,
+        model.hidden,
+        DEFAULT_HEAD_GROUPS,
+    );
+    let cfg = SearchConfig::for_platform(&platform);
+    let transfers = transfer_tasks(&platform, model, workload, policy);
+    let out = try_derive_plan(&platform, model, workload, policy)
+        .unwrap_or_else(|e| panic!("preset '{name}' is infeasible: {e}"));
+    let report = analyze_deployment(&Deployment {
+        platform: &platform,
+        model,
+        workload,
+        policy,
+        graph: &graph,
+        cfg: &cfg,
+        plan: &out.plan,
+        transfers: &transfers,
+        bundle_min_flops: BUNDLE_MIN_FLOPS,
+    });
+    AnalyzeRow {
+        preset: name.to_string(),
+        inter_op_total: out.plan.inter_op_total,
+        intra_op_compute: out.plan.intra_op_compute,
+        errors: report.error_count(),
+        warnings: report.warning_count(),
+        diagnostics: report.diagnostics,
+    }
+}
+
+/// Lint every shipped preset configuration.
+pub fn run() -> Vec<AnalyzeRow> {
+    let flexgen = Policy::flexgen_default();
+    vec![
+        preset_row(
+            "opt-30b/parallelism-study/flexgen-default",
+            &models::opt_30b(),
+            &Workload::parallelism_study(),
+            &flexgen,
+        ),
+        preset_row(
+            "opt-30b/motivation/flexgen-default",
+            &models::opt_30b(),
+            &Workload::motivation(),
+            &flexgen,
+        ),
+        preset_row(
+            "opt-66b/parallelism-study/flexgen-default",
+            &models::opt_66b(),
+            &Workload::parallelism_study(),
+            &flexgen,
+        ),
+        preset_row(
+            "opt-13b/parallelism-study/flexgen-default",
+            &models::opt_13b(),
+            &Workload::parallelism_study(),
+            &flexgen,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_presets_have_zero_error_diagnostics() {
+        for row in run() {
+            assert_eq!(
+                row.errors, 0,
+                "preset '{}' has {} error diagnostics: {:?}",
+                row.preset, row.errors, row.diagnostics
+            );
+        }
+    }
+
+    #[test]
+    fn rows_cover_the_preset_matrix() {
+        let rows = run();
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(row.inter_op_total > 5, "{}", row.preset);
+            assert!(row.intra_op_compute >= 1, "{}", row.preset);
+        }
+    }
+}

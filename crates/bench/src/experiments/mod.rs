@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper's evaluation — the
 //! per-experiment index of DESIGN.md §4.
 
+pub mod analyze;
 pub mod faults;
 pub mod fig3;
 pub mod fig5;

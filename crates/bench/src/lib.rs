@@ -8,5 +8,6 @@
 //! Criterion microbenchmarks of the underlying kernels and searches live
 //! in `benches/`.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 pub mod experiments;
 pub mod table;

@@ -7,8 +7,8 @@
 use lm_hardware::Platform;
 use lm_models::{DType, ModelConfig, Workload};
 use lm_parallelism::{
-    attention_graph, find_optimal_parallelism, CpuScalingModel, ParallelismPlan, ProfileTable,
-    SearchConfig, TransferTask,
+    attention_graph, try_find_optimal_parallelism, CpuScalingModel, ParallelismPlan,
+    ProfileTable, SearchConfig, SearchError, TransferTask,
 };
 use lm_sim::{AttentionPlacement, BaseCostModel, Policy};
 
@@ -79,12 +79,28 @@ pub fn transfer_tasks(
 
 /// Run the controller: build the compute graph, synthesise the offline
 /// profile, and search for the optimal parallelism setting (Algorithm 3).
+/// Panics on an infeasible deployment; see [`try_derive_plan`].
 pub fn derive_plan(
     platform: &Platform,
     model: &ModelConfig,
     workload: &Workload,
     policy: &Policy,
 ) -> ControllerOutput {
+    match try_derive_plan(platform, model, workload, policy) {
+        Ok(out) => out,
+        Err(e) => panic!("parallelism search failed: {e}"),
+    }
+}
+
+/// Fallible [`derive_plan`]: an infeasible deployment (e.g. a platform
+/// with too few CPU threads for compute plus the five reserved transfer
+/// threads) is reported as a [`SearchError`] instead of a panic.
+pub fn try_derive_plan(
+    platform: &Platform,
+    model: &ModelConfig,
+    workload: &Workload,
+    policy: &Policy,
+) -> Result<ControllerOutput, SearchError> {
     let graph = attention_graph(
         workload.block_size(),
         workload.prompt_len + workload.gen_len / 2,
@@ -101,7 +117,7 @@ pub fn derive_plan(
     );
     let cfg = SearchConfig::for_platform(platform);
     let transfers = transfer_tasks(platform, model, workload, policy);
-    let plan = find_optimal_parallelism(&graph, &profile, &scaling, &cfg, &transfers);
+    let plan = try_find_optimal_parallelism(&graph, &profile, &scaling, &cfg, &transfers)?;
 
     // Score the PyTorch default for comparison: all hyperthreads inter-op,
     // all physical threads intra-op, transfers one thread each.
@@ -116,11 +132,11 @@ pub fn derive_plan(
         &[1; 5],
     );
 
-    ControllerOutput {
+    Ok(ControllerOutput {
         plan,
         default_step_time,
         default_compute_time,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -165,6 +181,27 @@ mod tests {
         );
         let step_gain = 1.0 - out.plan.est_step_time / out.default_step_time;
         assert!(step_gain > 0.10, "step gain only {:.0}%", step_gain * 100.0);
+    }
+
+    #[test]
+    fn try_derive_plan_rejects_thread_starved_platform() {
+        let mut platform = presets::single_gpu_a100();
+        // Shrink the host to fewer threads than compute + 5 reserved
+        // transfer threads can ever fit in.
+        platform.cpu.sockets = 1;
+        platform.cpu.cores_per_socket = 2;
+        platform.cpu.threads_per_core = 1;
+        let err = try_derive_plan(
+            &platform,
+            &models::opt_30b(),
+            &Workload::parallelism_study(),
+            &Policy::flexgen_default(),
+        )
+        .expect_err("2 threads cannot host the six tasks");
+        assert!(
+            matches!(err, SearchError::NoFeasibleSetting { max_threads: 2 }),
+            "{err}"
+        );
     }
 
     #[test]

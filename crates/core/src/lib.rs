@@ -46,6 +46,7 @@
 //! assert!(advisor.kv_quantization(base).beneficial);
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 pub mod advisor;
 pub mod controller;
 pub mod degrade;
@@ -58,7 +59,7 @@ pub mod traffic;
 pub mod whatif;
 
 pub use advisor::{Advisor, Verdict};
-pub use controller::{derive_plan, transfer_tasks, ControllerOutput, DEFAULT_HEAD_GROUPS};
+pub use controller::{derive_plan, transfer_tasks, try_derive_plan, ControllerOutput, DEFAULT_HEAD_GROUPS};
 pub use degrade::{
     engine_options_for_policy, generate_with_degradation, DegradationController,
     DegradationTrigger, DegradedGeneration, PolicySwitch,

@@ -49,6 +49,13 @@ pub struct EngineOptions {
     /// per (layer, batch), and the fault injector's event log is stamped
     /// on the tracer's clock so faults align with spans in Perfetto.
     pub tracer: Tracer,
+    /// Pre-flight static analysis at construction. When set, capacity
+    /// configurations that could only fail deep inside `generate` (a
+    /// device pool too small for one streamed layer, a host pool below
+    /// the at-rest footprint) are rejected up front with an
+    /// [`EngineError::Rejected`] carrying `LMA109` diagnostics, instead
+    /// of surfacing later as mid-run pool exhaustion.
+    pub strict: bool,
 }
 
 impl Default for EngineOptions {
@@ -64,6 +71,7 @@ impl Default for EngineOptions {
             fault: FaultInjector::disabled(),
             retry: RetryPolicy::default(),
             tracer: Tracer::disabled(),
+            strict: false,
         }
     }
 }
@@ -107,6 +115,9 @@ pub enum EngineError {
     /// Generation could not proceed at the requested policy and no
     /// feasible fallback existed (raised by degradation controllers).
     Degraded(String),
+    /// Strict-mode pre-flight analysis found `Error`-level diagnostics;
+    /// the report names each violated capacity with stable `LMA` codes.
+    Rejected(lm_analyze::Report),
 }
 
 impl std::fmt::Display for EngineError {
@@ -117,6 +128,9 @@ impl std::fmt::Display for EngineError {
             EngineError::Io(e) => write!(f, "engine I/O error: {e}"),
             EngineError::Timeout(m) => write!(f, "engine timeout: {m}"),
             EngineError::Degraded(m) => write!(f, "degradation failed: {m}"),
+            EngineError::Rejected(report) => {
+                write!(f, "strict pre-flight analysis rejected the engine:\n{report}")
+            }
         }
     }
 }
@@ -144,6 +158,56 @@ fn weights_at_rest(options: &EngineOptions) -> WeightsAtRest {
     }
 }
 
+/// Strict-mode pre-flight: check the pool budgets against hard lower
+/// bounds of the streaming layout before any allocation happens. The
+/// bounds are conservative (packed payload only, no per-group metadata),
+/// so every reported `Error` is a configuration that *must* fail later.
+fn preflight(cfg: &ModelConfig, options: &EngineOptions) -> Result<(), EngineError> {
+    use lm_analyze::{Diagnostic, LintCode, Report};
+    use lm_models::DType;
+
+    let mut findings = Vec::new();
+    // Fetched layers are dequantized to f32 on the device; prefetching
+    // double-buffers them.
+    let layer_f32 = DType::F32.bytes_for(cfg.weights_per_layer());
+    let inflight = if options.prefetch { 2 } else { 1 } * layer_f32;
+    if (options.device_capacity as u64) < inflight {
+        findings.push(Diagnostic::error(
+            LintCode::Lma109CapacityExceeded,
+            "options.device_capacity".to_string(),
+            format!(
+                "device pool {} B cannot hold the {inflight} B of in-flight \
+                 layer weights ({} buffered layer(s) at f32)",
+                options.device_capacity,
+                if options.prefetch { 2 } else { 1 },
+            ),
+        ));
+    }
+    let at_rest_dtype = match weights_at_rest(options) {
+        WeightsAtRest::F32 => DType::F32,
+        WeightsAtRest::F16 => DType::F16,
+        WeightsAtRest::Quantized(q) if q.bits == 4 => DType::Int4,
+        WeightsAtRest::Quantized(_) => DType::Int8,
+    };
+    let at_rest = lm_models::footprint::weights_bytes(cfg, at_rest_dtype);
+    if (options.host_capacity as u64) < at_rest {
+        findings.push(Diagnostic::error(
+            LintCode::Lma109CapacityExceeded,
+            "options.host_capacity".to_string(),
+            format!(
+                "host pool {} B below the {at_rest} B at-rest weight \
+                 footprint ({at_rest_dtype:?})",
+                options.host_capacity
+            ),
+        ));
+    }
+    if findings.is_empty() {
+        Ok(())
+    } else {
+        Err(EngineError::Rejected(Report::new(findings)))
+    }
+}
+
 /// The offloading inference engine.
 pub struct Engine {
     cfg: ModelConfig,
@@ -157,6 +221,9 @@ pub struct Engine {
 impl Engine {
     /// Build an engine with synthetic weights.
     pub fn new(cfg: &ModelConfig, seed: u64, options: EngineOptions) -> Result<Self, EngineError> {
+        if options.strict {
+            preflight(cfg, &options)?;
+        }
         let host = MemPool::new("host", options.host_capacity);
         let device = MemPool::new("device", options.device_capacity);
         // Pools see pressure spikes only on the *device* side: the device
@@ -194,6 +261,9 @@ impl Engine {
         path: &std::path::Path,
         options: EngineOptions,
     ) -> Result<(Self, InitReport), EngineError> {
+        if options.strict {
+            preflight(cfg, &options)?;
+        }
         let t0 = Instant::now();
         let mut ck = Checkpoint::open(path)?;
         if ck.num_layers() != cfg.num_layers as usize {
@@ -707,6 +777,40 @@ mod tests {
         let serial = engine_with(layer_bytes + 512, false);
         let out = serial.generate(&prompts(), 2).unwrap();
         assert!(out.device_peak <= layer_bytes + 512);
+    }
+
+    #[test]
+    fn strict_mode_rejects_undersized_pools_at_construction() {
+        let cfg = presets::tiny_test();
+        let tiny = EngineOptions {
+            device_capacity: 1024, // far below one f32 layer
+            ..EngineOptions::default()
+        };
+        // Non-strict: construction succeeds; the failure would surface
+        // later as pool exhaustion mid-generation.
+        assert!(Engine::new(&cfg, 7, tiny.clone()).is_ok());
+        // Strict: rejected up front with an LMA109 diagnostic.
+        let strict = EngineOptions { strict: true, ..tiny };
+        match Engine::new(&cfg, 7, strict) {
+            Err(EngineError::Rejected(report)) => {
+                assert!(report.has(lm_analyze::LintCode::Lma109CapacityExceeded), "{report}");
+                assert!(report.error_count() >= 1);
+            }
+            other => panic!("expected Rejected, got {:?}", other.is_ok()),
+        }
+    }
+
+    #[test]
+    fn strict_mode_accepts_the_default_budget() {
+        let cfg = presets::tiny_test();
+        let e = Engine::new(
+            &cfg,
+            7,
+            EngineOptions { strict: true, ..EngineOptions::default() },
+        )
+        .unwrap();
+        let out = e.generate(&prompts(), 3).unwrap();
+        assert_eq!(out.tokens[0].len(), 3);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! assert!(out.weight_bytes_streamed > 0); // every layer streamed per sweep
 //! ```
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod disk;
 pub mod generate;

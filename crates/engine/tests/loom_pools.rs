@@ -1,0 +1,147 @@
+//! Model-checking of the `MemPool` lease-accounting protocol
+//! (`cargo test -p lm-engine --features loom`).
+//!
+//! `src/pools.rs` guards `{used, peak, allocs}` with one mutex; leases
+//! release their bytes in `Drop`. The invariants the checker enumerates
+//! here over every interleaving: `used` never exceeds capacity, a
+//! rejected allocation leaves the state untouched, concurrent releases
+//! and grants never under- or over-count, and once every lease is dropped
+//! the pool drains to exactly zero. The pool itself uses `parking_lot`,
+//! which loom cannot instrument, so the test re-states the same
+//! lock-then-update protocol over loom's `Mutex`.
+
+#![cfg(feature = "loom")]
+#![allow(clippy::unwrap_used)]
+
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+
+/// `PoolState` from `src/pools.rs`.
+#[derive(Default)]
+struct PoolState {
+    used: usize,
+    peak: usize,
+    allocs: u64,
+}
+
+struct Pool {
+    capacity: usize,
+    inner: Mutex<PoolState>,
+}
+
+struct Lease {
+    pool: Arc<Pool>,
+    bytes: usize,
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        let mut st = self.pool.inner.lock();
+        assert!(st.used >= self.bytes, "pool accounting underflow");
+        st.used -= self.bytes;
+    }
+}
+
+impl Pool {
+    fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Pool {
+            capacity,
+            inner: Mutex::new(PoolState::default()),
+        })
+    }
+
+    /// `MemPool::alloc` without the fault-injection capacity shrink.
+    fn alloc(self: &Arc<Self>, bytes: usize) -> Option<Lease> {
+        let mut st = self.inner.lock();
+        if st.used + bytes > self.capacity {
+            return None;
+        }
+        st.used += bytes;
+        st.peak = st.peak.max(st.used);
+        st.allocs += 1;
+        Some(Lease {
+            pool: Arc::clone(self),
+            bytes,
+        })
+    }
+}
+
+#[test]
+fn concurrent_alloc_free_never_overcommits_and_drains_to_zero() {
+    loom::model(|| {
+        let pool = Pool::new(100);
+        let handles: Vec<_> = [60usize, 60]
+            .into_iter()
+            .map(|bytes| {
+                let pool = Arc::clone(&pool);
+                thread::spawn(move || {
+                    // 60 + 60 > 100: at most one grant can be live at a
+                    // time; alloc-drop-alloc must see freed bytes again.
+                    let first = pool.alloc(bytes).is_some();
+                    {
+                        let st = pool.inner.lock();
+                        assert!(st.used <= 100, "overcommit: {}", st.used);
+                    }
+                    // The lease (if granted) dropped above; retry must
+                    // succeed eventually in at least one interleaving —
+                    // here just check it never corrupts the books.
+                    let second = pool.alloc(bytes).is_some();
+                    (first, second)
+                })
+            })
+            .collect();
+        let grants: Vec<(bool, bool)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let st = pool.inner.lock();
+        assert_eq!(st.used, 0, "every lease must be released");
+        assert!(st.peak <= 100, "peak {} exceeded capacity", st.peak);
+        let granted: u64 = grants
+            .iter()
+            .map(|&(a, b)| u64::from(a) + u64::from(b))
+            .sum();
+        assert_eq!(st.allocs, granted, "grant count drifted");
+        // A request can fail only while the other thread's lease is live,
+        // so the very first grant (empty pool) always lands somewhere.
+        assert!(granted >= 1, "nobody got a grant from an empty pool");
+    });
+}
+
+#[test]
+fn rejected_alloc_leaves_state_untouched() {
+    loom::model(|| {
+        let pool = Pool::new(100);
+        let holder = pool.alloc(80).unwrap();
+        let t = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || pool.alloc(30).is_some())
+        };
+        let granted = t.join().unwrap();
+        assert!(!granted, "30 bytes cannot fit beside 80/100");
+        let st = pool.inner.lock();
+        assert_eq!(st.used, 80, "failed alloc must not leak");
+        assert_eq!(st.allocs, 1);
+        drop(st);
+        drop(holder);
+        assert_eq!(pool.inner.lock().used, 0);
+    });
+}
+
+#[test]
+fn lease_release_makes_bytes_reusable_across_threads() {
+    loom::model(|| {
+        let pool = Pool::new(64);
+        let lease = pool.alloc(64).unwrap();
+        let t = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || {
+                // Move the lease to another thread and free it there —
+                // the Drop path the engine exercises when a prefetched
+                // layer is released by the loader thread.
+                drop(lease);
+                pool.alloc(64).is_some()
+            })
+        };
+        assert!(t.join().unwrap(), "freed bytes must be grantable");
+        assert_eq!(pool.inner.lock().used, 0);
+    });
+}

@@ -10,13 +10,46 @@
 //! publishes a node to the queue — no locks on the hot path.
 
 use crate::graph::OpGraph;
+use crate::kahn;
 use crossbeam::channel;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Why an executor could not be built or could not run a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// `inter_op` or `intra_op` was zero.
+    ZeroParallelism { inter_op: usize, intra_op: usize },
+    /// The graph has a cycle; the nodes form a closed dependency walk.
+    /// Running it would block forever: the node releasing protocol only
+    /// publishes a node once its in-degree drains, which never happens
+    /// inside a cycle.
+    CyclicGraph { cycle: Vec<usize> },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::ZeroParallelism { inter_op, intra_op } => write!(
+                f,
+                "executor needs positive parallelism (inter_op={inter_op}, intra_op={intra_op})"
+            ),
+            ExecError::CyclicGraph { cycle } => {
+                write!(f, "cyclic graph: ")?;
+                for &u in cycle {
+                    write!(f, "{u} -> ")?;
+                }
+                write!(f, "{}", cycle.first().copied().unwrap_or(0))
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
 /// Executor configuration: how many operators co-run and how many threads
 /// each operator's inner loop uses.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Executor {
     pub inter_op: usize,
     pub intra_op: usize,
@@ -27,6 +60,15 @@ impl Executor {
         assert!(inter_op >= 1, "inter_op must be positive");
         assert!(intra_op >= 1, "intra_op must be positive");
         Executor { inter_op, intra_op }
+    }
+
+    /// Fallible constructor for configurations derived from untrusted
+    /// input (deserialized plans, sweep generators).
+    pub fn try_new(inter_op: usize, intra_op: usize) -> Result<Self, ExecError> {
+        if inter_op == 0 || intra_op == 0 {
+            return Err(ExecError::ZeroParallelism { inter_op, intra_op });
+        }
+        Ok(Executor { inter_op, intra_op })
     }
 
     /// Execute `graph`, calling `work(node_index, intra_op)` for every
@@ -40,6 +82,16 @@ impl Executor {
         self.run_traced(graph, &lm_trace::Tracer::disabled(), work)
     }
 
+    /// Fallible [`Executor::run`]: a cyclic graph is reported as
+    /// [`ExecError::CyclicGraph`] with the offending cycle instead of
+    /// wedging the worker pool.
+    pub fn try_run<F>(&self, graph: &OpGraph, work: F) -> Result<Vec<usize>, ExecError>
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        self.try_run_traced(graph, &lm_trace::Tracer::disabled(), work)
+    }
+
     /// Like [`Executor::run`], recording one tracer scope per operator,
     /// named after the node. The per-thread trace buffers assign each
     /// worker its own track, so the Perfetto view shows which worker ran
@@ -48,9 +100,32 @@ impl Executor {
     where
         F: Fn(usize, usize) + Sync,
     {
+        match self.try_run_traced(graph, tracer, work) {
+            Ok(order) => order,
+            Err(e) => panic!("cyclic graph: not all nodes can become ready ({e})"),
+        }
+    }
+
+    /// Fallible [`Executor::run_traced`]. Cycles are rejected *before*
+    /// any worker starts: without the pre-check, workers block in
+    /// `recv()` forever on a cyclic graph, because the final-node
+    /// completion that sends the shutdown sentinel is never reached.
+    pub fn try_run_traced<F>(
+        &self,
+        graph: &OpGraph,
+        tracer: &lm_trace::Tracer,
+        work: F,
+    ) -> Result<Vec<usize>, ExecError>
+    where
+        F: Fn(usize, usize) + Sync,
+    {
         let n = graph.len();
         if n == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
+        }
+        if kahn::analyze(graph).is_none() {
+            let cycle = kahn::find_cycle(graph).unwrap_or_default();
+            return Err(ExecError::CyclicGraph { cycle });
         }
         /// Shutdown sentinel: every worker holds a sender while blocked in
         /// `recv()`, so the channel can never close itself — the worker
@@ -109,8 +184,8 @@ impl Executor {
         .expect("worker panicked");
 
         let order = order.into_inner();
-        assert_eq!(order.len(), n, "cyclic graph: not all nodes became ready");
-        order
+        debug_assert_eq!(order.len(), n, "acyclic graph must complete fully");
+        Ok(order)
     }
 }
 
@@ -260,6 +335,60 @@ mod tests {
     #[should_panic(expected = "inter_op must be positive")]
     fn zero_workers_rejected() {
         Executor::new(0, 1);
+    }
+
+    #[test]
+    fn try_new_reports_zero_parallelism() {
+        assert_eq!(
+            Executor::try_new(0, 3),
+            Err(ExecError::ZeroParallelism { inter_op: 0, intra_op: 3 })
+        );
+        assert_eq!(
+            Executor::try_new(2, 0),
+            Err(ExecError::ZeroParallelism { inter_op: 2, intra_op: 0 })
+        );
+        assert!(Executor::try_new(2, 3).is_ok());
+    }
+
+    #[test]
+    fn cyclic_graph_is_rejected_not_hung() {
+        // Before the upfront cycle check, this case deadlocked the worker
+        // pool: the shutdown sentinel is only sent after the final node
+        // completes, which a cycle prevents.
+        let mut g = OpGraph::new();
+        let a = g.add("a", OpKind::Elementwise, 1.0, 0.0);
+        let b = g.add("b", OpKind::Elementwise, 1.0, 0.0);
+        let c = g.add("c", OpKind::Elementwise, 1.0, 0.0);
+        g.depend(a, b);
+        g.depend(b, c);
+        g.depend(c, b); // b <-> c cycle
+        let err = Executor::new(2, 1)
+            .try_run(&g, |_, _| {})
+            .expect_err("cycle must be rejected");
+        match &err {
+            ExecError::CyclicGraph { cycle } => {
+                // The reported walk is a genuine cycle over existing edges.
+                assert!(!cycle.is_empty());
+                for w in cycle.windows(2) {
+                    assert!(g.edges[w[0]].contains(&w[1]), "{err}");
+                }
+                let (first, last) = (cycle[0], *cycle.last().unwrap());
+                assert!(g.edges[last].contains(&first), "{err}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("cyclic graph"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cyclic graph")]
+    fn run_panics_on_cycle() {
+        let mut g = OpGraph::new();
+        let a = g.add("a", OpKind::Elementwise, 1.0, 0.0);
+        let b = g.add("b", OpKind::Elementwise, 1.0, 0.0);
+        g.depend(a, b);
+        g.depend(b, a);
+        Executor::new(2, 1).run(&g, |_, _| {});
     }
 
     #[test]

@@ -41,6 +41,28 @@ pub struct OpGraph {
     pub edges: Vec<Vec<usize>>,
 }
 
+/// A structurally invalid edge request on an [`OpGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint index is not a node of the graph.
+    IndexOutOfBounds { from: usize, to: usize, len: usize },
+    /// `from == to`: an operator cannot depend on its own output.
+    SelfEdge(usize),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::IndexOutOfBounds { from, to, len } => {
+                write!(f, "bad node index: edge {from}->{to} on a {len}-node graph")
+            }
+            GraphError::SelfEdge(n) => write!(f, "self-dependency on node {n}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 impl OpGraph {
     pub fn new() -> Self {
         OpGraph::default()
@@ -58,12 +80,37 @@ impl OpGraph {
         self.nodes.len() - 1
     }
 
-    /// Add a dependency: `to` consumes `from`'s output.
-    pub fn depend(&mut self, from: usize, to: usize) {
-        assert!(from < self.nodes.len() && to < self.nodes.len(), "bad node index");
-        assert_ne!(from, to, "self-dependency");
+    /// Add a dependency: `to` consumes `from`'s output. Rejects edges to
+    /// nonexistent nodes and self-edges instead of panicking — the entry
+    /// point for graphs assembled from untrusted input (deserialized
+    /// plans, generated sweeps).
+    pub fn try_depend(&mut self, from: usize, to: usize) -> Result<(), GraphError> {
+        if from >= self.nodes.len() || to >= self.nodes.len() {
+            return Err(GraphError::IndexOutOfBounds {
+                from,
+                to,
+                len: self.nodes.len(),
+            });
+        }
+        if from == to {
+            return Err(GraphError::SelfEdge(from));
+        }
         if !self.edges[from].contains(&to) {
             self.edges[from].push(to);
+        }
+        Ok(())
+    }
+
+    /// Add a dependency: `to` consumes `from`'s output.
+    ///
+    /// Panics on bad indices or self-edges; builders working with indices
+    /// they just created use this, everything else should prefer
+    /// [`OpGraph::try_depend`].
+    pub fn depend(&mut self, from: usize, to: usize) {
+        match self.try_depend(from, to) {
+            Ok(()) => {}
+            Err(GraphError::IndexOutOfBounds { .. }) => panic!("bad node index"),
+            Err(GraphError::SelfEdge(_)) => panic!("self-dependency"),
         }
     }
 
@@ -247,6 +294,23 @@ mod tests {
         let mut g = OpGraph::new();
         let a = g.add("a", OpKind::Bmm, 1.0, 1.0);
         g.depend(a, a);
+    }
+
+    #[test]
+    fn try_depend_reports_structured_errors() {
+        let mut g = OpGraph::new();
+        let a = g.add("a", OpKind::Bmm, 1.0, 1.0);
+        let b = g.add("b", OpKind::Bmm, 1.0, 1.0);
+        assert_eq!(g.try_depend(a, a), Err(GraphError::SelfEdge(a)));
+        assert_eq!(
+            g.try_depend(a, 7),
+            Err(GraphError::IndexOutOfBounds { from: a, to: 7, len: 2 })
+        );
+        assert!(g.try_depend(a, b).is_ok());
+        assert_eq!(g.edges[a], vec![b]);
+        // Errors render with enough context to act on.
+        let msg = GraphError::IndexOutOfBounds { from: 9, to: 1, len: 2 }.to_string();
+        assert!(msg.contains("9->1") && msg.contains("2-node"), "{msg}");
     }
 
     #[test]

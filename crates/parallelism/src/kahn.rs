@@ -65,6 +65,53 @@ pub fn analyze(g: &OpGraph) -> Option<KahnAnalysis> {
     })
 }
 
+/// Exhibit one concrete cycle when [`analyze`] fails: the returned node
+/// indices form a closed walk (`path[i] -> path[i+1]` are edges, and the
+/// last node links back to the first). Returns `None` for a DAG.
+///
+/// Kahn's algorithm alone only proves *that* a cycle exists; diagnostics
+/// need the witness, so this peels the acyclic fringe and then follows
+/// in-cycle predecessors until a node repeats.
+pub fn find_cycle(g: &OpGraph) -> Option<Vec<usize>> {
+    let n = g.len();
+    let mut indeg = g.in_degrees();
+    let mut frontier: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut remaining = n;
+    while let Some(u) = frontier.pop() {
+        remaining -= 1;
+        for &v in &g.edges[u] {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                frontier.push(v);
+            }
+        }
+    }
+    if remaining == 0 {
+        return None;
+    }
+    // Every node still holding in-degree sits on or downstream of a cycle
+    // (within the remaining subgraph every node has an in-cycle
+    // predecessor), so walking predecessors must revisit a node.
+    let preds = g.predecessors();
+    let start = (0..n).find(|&i| indeg[i] > 0)?;
+    let mut seen_at = vec![usize::MAX; n];
+    let mut walk = vec![start];
+    seen_at[start] = 0;
+    loop {
+        let u = *walk.last()?;
+        let p = *preds[u].iter().find(|&&q| indeg[q] > 0)?;
+        if seen_at[p] != usize::MAX {
+            // Closed the loop: the cycle is the walk from p's first visit,
+            // reversed so the indices follow edge direction.
+            let mut cycle: Vec<usize> = walk.split_off(seen_at[p]);
+            cycle.reverse();
+            return Some(cycle);
+        }
+        seen_at[p] = walk.len();
+        walk.push(p);
+    }
+}
+
 /// List-schedule the graph on `p` identical processors with per-node
 /// execution times, returning the makespan. Greedy earliest-finish
 /// assignment in topological order — the estimator Algorithm 3 uses for
@@ -90,7 +137,7 @@ pub fn makespan(g: &OpGraph, times: &[f64], p: usize) -> f64 {
         let (pi, &free) = proc_free
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .expect("p >= 1");
         let start = ready.max(free);
         finish[u] = start + times[u];
@@ -142,6 +189,49 @@ mod tests {
         let mut g = diamond();
         g.depend(3, 0); // close the cycle
         assert!(analyze(&g).is_none());
+    }
+
+    #[test]
+    fn find_cycle_exhibits_a_real_cycle() {
+        let mut g = diamond();
+        g.depend(3, 0); // a->b->d->a (and a->c->d->a)
+        let cycle = find_cycle(&g).expect("graph is cyclic");
+        assert!(cycle.len() >= 2);
+        for w in cycle.windows(2) {
+            assert!(g.edges[w[0]].contains(&w[1]), "{cycle:?}");
+        }
+        let (first, last) = (cycle[0], *cycle.last().unwrap());
+        assert!(g.edges[last].contains(&first), "{cycle:?}");
+        // No repeats within the cycle itself.
+        let uniq: std::collections::HashSet<_> = cycle.iter().collect();
+        assert_eq!(uniq.len(), cycle.len());
+    }
+
+    #[test]
+    fn find_cycle_none_on_dag() {
+        assert!(find_cycle(&diamond()).is_none());
+        assert!(find_cycle(&attention_graph(4, 8, 32, 3)).is_none());
+        assert!(find_cycle(&OpGraph::new()).is_none());
+    }
+
+    #[test]
+    fn find_cycle_skips_acyclic_fringe() {
+        // A long acyclic tail feeding a small cycle: the witness must
+        // contain only in-cycle nodes.
+        let mut g = OpGraph::new();
+        let t0 = g.add("t0", OpKind::Elementwise, 1.0, 0.0);
+        let t1 = g.add("t1", OpKind::Elementwise, 1.0, 0.0);
+        let c0 = g.add("c0", OpKind::Elementwise, 1.0, 0.0);
+        let c1 = g.add("c1", OpKind::Elementwise, 1.0, 0.0);
+        let c2 = g.add("c2", OpKind::Elementwise, 1.0, 0.0);
+        g.depend(t0, t1);
+        g.depend(t1, c0);
+        g.depend(c0, c1);
+        g.depend(c1, c2);
+        g.depend(c2, c0);
+        let cycle = find_cycle(&g).expect("cyclic");
+        let set: std::collections::HashSet<_> = cycle.iter().copied().collect();
+        assert_eq!(set, [c0, c1, c2].into_iter().collect());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! - [`executor`]: a real work-queue executor with explicit inter-op and
 //!   intra-op parallelism for running operator graphs on actual hardware.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 pub mod bundle;
 pub mod executor;
 pub mod graph;
@@ -28,12 +29,13 @@ pub mod scaling;
 pub mod search;
 
 pub use bundle::{bundle_small_ops, Bundled};
-pub use executor::{burn, split_work, Executor};
-pub use graph::{attention_block_graph, attention_graph, OpGraph, OpKind, OpNode};
-pub use kahn::{analyze, makespan, KahnAnalysis};
+pub use executor::{burn, split_work, ExecError, Executor};
+pub use graph::{attention_block_graph, attention_graph, GraphError, OpGraph, OpKind, OpNode};
+pub use kahn::{analyze, find_cycle, makespan, KahnAnalysis};
 pub use profile::ProfileTable;
 pub use scaling::CpuScalingModel;
 pub use search::{
-    assign_transfer_threads, estimate_step_time, find_optimal_parallelism, transfer_time,
-    ParallelismPlan, SearchConfig, TransferTask, NUM_TRANSFER_TASKS,
+    assign_transfer_threads, estimate_step_time, find_optimal_parallelism,
+    transfer_time, try_find_optimal_parallelism, ParallelismPlan, SearchConfig, SearchError,
+    TransferTask, NUM_TRANSFER_TASKS,
 };

@@ -99,7 +99,7 @@ pub fn assign_transfer_threads(free: u32, tasks: &[TransferTask]) -> Vec<u32> {
         .enumerate()
         .map(|(i, s)| (i, s - s.floor()))
         .collect();
-    rema.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    rema.sort_by(|a, b| b.1.total_cmp(&a.1));
     let mut k = 0;
     while assigned < free {
         grant[rema[k % rema.len()].0] += 1;
@@ -152,7 +152,43 @@ pub fn estimate_step_time(
     (compute, compute.max(slowest_transfer))
 }
 
+/// Why Algorithm 3 could not produce a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchError {
+    /// The transfer-task list does not match the decode loop's five
+    /// load/store tasks.
+    WrongTransferCount { got: usize },
+    /// The compute graph has a cycle (node indices of the closed walk).
+    CyclicGraph { cycle: Vec<usize> },
+    /// `max_threads` leaves no room for compute plus the five reserved
+    /// transfer threads, so the enumeration in line 3 is empty.
+    NoFeasibleSetting { max_threads: u32 },
+}
+
+impl std::fmt::Display for SearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchError::WrongTransferCount { got } => write!(
+                f,
+                "expected {NUM_TRANSFER_TASKS} transfer tasks, got {got}"
+            ),
+            SearchError::CyclicGraph { cycle } => {
+                write!(f, "compute graph must be acyclic, found cycle {cycle:?}")
+            }
+            SearchError::NoFeasibleSetting { max_threads } => write!(
+                f,
+                "no feasible parallelism setting: max_threads={max_threads} cannot cover \
+                 compute plus {NUM_TRANSFER_TASKS} reserved transfer threads"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
 /// Algorithm 3: find the best parallelism setting for the six tasks.
+/// Panicking wrapper over [`try_find_optimal_parallelism`] for callers
+/// with known-good inputs.
 pub fn find_optimal_parallelism(
     graph: &OpGraph,
     profile: &ProfileTable,
@@ -160,12 +196,36 @@ pub fn find_optimal_parallelism(
     cfg: &SearchConfig,
     transfers: &[TransferTask],
 ) -> ParallelismPlan {
-    assert_eq!(
-        transfers.len(),
-        NUM_TRANSFER_TASKS,
-        "the decode loop has exactly five load/store tasks"
-    );
-    let analysis = analyze(graph).expect("compute graph must be acyclic");
+    match try_find_optimal_parallelism(graph, profile, model, cfg, transfers) {
+        Ok(plan) => plan,
+        Err(SearchError::WrongTransferCount { got }) => panic!(
+            "the decode loop has exactly five load/store tasks (got {got})"
+        ),
+        Err(SearchError::CyclicGraph { .. }) => panic!("compute graph must be acyclic"),
+        Err(SearchError::NoFeasibleSetting { .. }) => {
+            panic!("search space non-empty for max_threads > 5")
+        }
+    }
+}
+
+/// Fallible Algorithm 3 for configurations assembled from untrusted input
+/// (CLI sweeps, deserialized platform specs).
+pub fn try_find_optimal_parallelism(
+    graph: &OpGraph,
+    profile: &ProfileTable,
+    model: &CpuScalingModel,
+    cfg: &SearchConfig,
+    transfers: &[TransferTask],
+) -> Result<ParallelismPlan, SearchError> {
+    if transfers.len() != NUM_TRANSFER_TASKS {
+        return Err(SearchError::WrongTransferCount {
+            got: transfers.len(),
+        });
+    }
+    let Some(analysis) = analyze(graph) else {
+        let cycle = crate::kahn::find_cycle(graph).unwrap_or_default();
+        return Err(SearchError::CyclicGraph { cycle });
+    };
     // Line 4: inter-op parallelism of the compute task = max concurrency.
     let inter_comp = analysis.max_concurrency().max(1) as u32;
 
@@ -203,7 +263,9 @@ pub fn find_optimal_parallelism(
             best = Some(plan);
         }
     }
-    best.expect("search space non-empty for max_threads > 5")
+    best.ok_or(SearchError::NoFeasibleSetting {
+        max_threads: cfg.max_threads,
+    })
 }
 
 #[cfg(test)]
@@ -313,6 +375,37 @@ mod tests {
     #[should_panic(expected = "at least one thread per transfer task")]
     fn insufficient_free_threads_rejected() {
         assign_transfer_threads(3, &transfers());
+    }
+
+    #[test]
+    fn try_search_reports_structured_errors() {
+        let (g, p, m, cfg) = setup(3);
+        // Wrong transfer count.
+        let err = try_find_optimal_parallelism(&g, &p, &m, &cfg, &[]).unwrap_err();
+        assert_eq!(err, SearchError::WrongTransferCount { got: 0 });
+        // Too few threads for compute + 5 reserved transfer threads.
+        let tiny = SearchConfig {
+            max_threads: 5,
+            ..cfg.clone()
+        };
+        let err = try_find_optimal_parallelism(&g, &p, &m, &tiny, &transfers()).unwrap_err();
+        assert_eq!(err, SearchError::NoFeasibleSetting { max_threads: 5 });
+        assert!(err.to_string().contains("max_threads=5"), "{err}");
+        // Cyclic compute graph carries the witness cycle.
+        let mut cyclic = g.clone();
+        let last = cyclic.len() - 1;
+        cyclic.depend(last, 0);
+        let err =
+            try_find_optimal_parallelism(&cyclic, &p, &m, &cfg, &transfers()).unwrap_err();
+        match err {
+            SearchError::CyclicGraph { cycle } => assert!(!cycle.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Good inputs agree with the panicking entry point.
+        let a = try_find_optimal_parallelism(&g, &p, &m, &cfg, &transfers()).unwrap();
+        let b = find_optimal_parallelism(&g, &p, &m, &cfg, &transfers());
+        assert_eq!(a.intra_op_compute, b.intra_op_compute);
+        assert_eq!(a.inter_op_total, b.inter_op_total);
     }
 
     #[test]

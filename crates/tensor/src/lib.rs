@@ -22,6 +22,7 @@
 //! assert!(weights.max_abs_diff(&restored) <= q.error_bound() + 1e-6);
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 pub mod f16;
 pub mod ops;
 pub mod quant;

@@ -13,6 +13,7 @@
 //! assert!(ids.len() < "the theatre".len()); // merges compress
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 pub mod bpe;
 
 pub use bpe::Bpe;

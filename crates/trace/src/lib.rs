@@ -40,6 +40,7 @@
 //! assert_eq!(report.scopes[0].name, "decode");
 //! ```
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod clock;
 pub mod drift;

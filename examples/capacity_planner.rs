@@ -4,6 +4,7 @@
 //!
 //! Run with: `cargo run --release --example capacity_planner`
 
+#![allow(clippy::unwrap_used)]
 use lm_hardware::presets as hw;
 use lm_models::{presets as models, DType, Footprint, Workload};
 use lm_sim::{fits, max_gpu_batch, AttentionPlacement, Policy};

@@ -4,6 +4,7 @@
 //!
 //! Run with: `cargo run --release --example chat_pipeline [prompt text]`
 
+#![allow(clippy::unwrap_used)]
 use lm_engine::{write_checkpoint, Engine, EngineOptions, Sampler};
 use lm_models::presets;
 use lm_text::Bpe;

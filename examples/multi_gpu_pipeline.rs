@@ -5,6 +5,7 @@
 //!
 //! Run with: `cargo run --release --example multi_gpu_pipeline [model]`
 
+#![allow(clippy::unwrap_used)]
 use lm_hardware::presets as hw;
 use lm_models::presets as models;
 use lm_offload::{run_pipeline, EngineConfig, Framework};

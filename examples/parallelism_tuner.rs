@@ -5,6 +5,7 @@
 //!
 //! Run with: `cargo run --release --example parallelism_tuner`
 
+#![allow(clippy::unwrap_used)]
 use lm_hardware::presets as hw;
 use lm_models::{presets as models, Workload};
 use lm_offload::{derive_plan, transfer_tasks};

@@ -6,6 +6,7 @@
 //!
 //! Run with: `cargo run --release --example policy_explorer [model-name]`
 
+#![allow(clippy::unwrap_used)]
 use lm_hardware::presets as hw;
 use lm_models::{presets as models, Workload};
 use lm_offload::{

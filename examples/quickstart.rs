@@ -4,6 +4,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+#![allow(clippy::unwrap_used)]
 use lm_engine::{Engine, EngineOptions, Sampler};
 use lm_models::presets;
 use lm_tensor::QuantConfig;

@@ -17,6 +17,30 @@ else
     echo "==> clippy not installed; skipping lint"
 fi
 
+echo "==> repro analyze (static-analysis gate)"
+cargo run --release -q -p lm-bench --bin repro -- analyze
+[ -s results/analyze.json ] \
+    || { echo "verify: results/analyze.json missing or empty" >&2; exit 1; }
+grep -q '"diagnostics"' results/analyze.json \
+    || { echo "verify: results/analyze.json has no diagnostics array" >&2; exit 1; }
+
+if [ "${LOOM:-0}" = "1" ]; then
+    echo "==> loom model checking (LOOM=1)"
+    cargo test -q -p lm-parallelism --features loom --test loom_executor
+    cargo test -q -p lm-engine --features loom --test loom_pools
+fi
+
+if [ "${MIRI:-0}" = "1" ]; then
+    if cargo miri --version >/dev/null 2>&1; then
+        echo "==> cargo miri test -p lm-parallelism executor (MIRI=1)"
+        MIRIFLAGS="${MIRIFLAGS:--Zmiri-disable-isolation}" \
+            cargo miri test -p lm-parallelism executor
+    else
+        echo "==> MIRI=1 requested but cargo-miri is not installed" >&2
+        exit 1
+    fi
+fi
+
 echo "==> repro trace --tokens 4 (observability gate)"
 cargo run --release -q -p lm-bench --bin repro -- trace --tokens 4
 for f in results/trace.json results/trace_drift.json; do

@@ -3,6 +3,7 @@
 //! in `examples/` can span them. See README.md for the tour and DESIGN.md
 //! for the system inventory.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 pub use lm_baselines as baselines;
 pub use lm_bench as bench;
 pub use lm_cachesim as cachesim;

@@ -2,6 +2,7 @@
 //! must produce errors, never panics or huge allocations — the property
 //! that makes a disk tier safe to point at untrusted paths.
 
+#![allow(clippy::unwrap_used)]
 use lm_engine::{write_checkpoint, Checkpoint, CheckpointError};
 use lm_fault::{FaultConfig, FaultInjector, RetryPolicy};
 use lm_models::presets;

@@ -2,6 +2,7 @@
 //! into host memory (`T_init`), then generated from — with identical
 //! outputs to an in-memory engine built from the same weights.
 
+#![allow(clippy::unwrap_used)]
 use lm_engine::{write_checkpoint, Engine, EngineOptions};
 use lm_models::presets;
 

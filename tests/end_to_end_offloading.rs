@@ -2,6 +2,7 @@
 //! tokens under tight device budgets, at-rest quantization shrinks the
 //! footprint, and pool accounting holds end to end.
 
+#![allow(clippy::unwrap_used)]
 use lm_engine::{Engine, EngineOptions, Sampler};
 use lm_models::presets;
 use lm_tensor::QuantConfig;

@@ -2,6 +2,7 @@
 //! regenerates, produces non-degenerate rows, and serialises. The deeper
 //! shape assertions live next to each runner in `lm-bench`.
 
+#![allow(clippy::unwrap_used)]
 use lm_bench::experiments::*;
 
 #[test]

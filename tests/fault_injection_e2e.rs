@@ -9,6 +9,7 @@
 //! - Unrecoverable pressure must degrade — the controller re-scores the
 //!   fallback ladder with the analytic model — and still finish.
 
+#![allow(clippy::unwrap_used)]
 use lm_engine::{Engine, EngineOptions};
 use lm_fault::{FaultConfig, FaultInjector, FaultProfile, RetryPolicy};
 use lm_hardware::presets as hw;

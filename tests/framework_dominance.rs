@@ -1,6 +1,7 @@
 //! Cross-crate integration: the paper's headline comparative claims,
 //! checked through the full search→simulate pipeline.
 
+#![allow(clippy::unwrap_used)]
 use lm_hardware::presets as hw;
 use lm_models::presets as models;
 use lm_offload::{run_framework, run_pipeline, EngineConfig, Framework};

@@ -3,6 +3,7 @@
 //! policy searches optimise, the simulator is what scores deployments, so
 //! a drift between them would let a framework game its own evaluator.
 
+#![allow(clippy::unwrap_used)]
 use lm_hardware::presets as hw;
 use lm_models::{presets as models, DType, Workload};
 use lm_offload::{quant_aware_provider, QuantCostParams, ThreadFactors};

@@ -2,6 +2,7 @@
 //! plan → real executor, plus the LLC contention model it is meant to
 //! relieve.
 
+#![allow(clippy::unwrap_used)]
 use lm_cachesim::{run_contention, ContentionConfig, ThreadSetting};
 use lm_hardware::presets as hw;
 use lm_models::{presets as models, Workload};

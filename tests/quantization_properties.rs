@@ -1,6 +1,7 @@
 //! Property-based integration tests spanning the tensor-level
 //! quantization kernels and the cost models that price them.
 
+#![allow(clippy::unwrap_used)]
 use lm_hardware::presets as hw;
 use lm_models::{presets as models, Workload};
 use lm_offload::{QuantCostParams, QuantModel};

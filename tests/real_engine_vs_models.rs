@@ -3,6 +3,7 @@
 //! math in `lm-models` predicts — the bridge that justifies simulating
 //! the large models from shapes alone (DESIGN.md §2).
 
+#![allow(clippy::unwrap_used)]
 use lm_engine::{Engine, EngineOptions};
 use lm_models::{footprint, presets, DType, Workload};
 use lm_tensor::QuantConfig;

@@ -2,6 +2,7 @@
 //! user would persist (platforms, models, policies, plans, reports) must
 //! round-trip through serde, and the preset surfaces must stay coherent.
 
+#![allow(clippy::unwrap_used)]
 use lm_hardware::{presets as hw, Platform};
 use lm_models::{presets as models, ModelConfig, Workload};
 use lm_offload::{derive_plan, run_framework, EngineConfig, Framework, Table3Row};

@@ -11,6 +11,7 @@
 //! - Fault events are stamped on the tracer's clock, so instants and
 //!   spans land on one timeline.
 
+#![allow(clippy::unwrap_used)]
 use lm_engine::{Engine, EngineOptions};
 use lm_fault::{FaultConfig, FaultInjector};
 use lm_models::{presets, Workload};

@@ -3,6 +3,7 @@
 //! is amortised across the block — FlexGen's core mechanism, demonstrated
 //! with actual byte accounting rather than a model.
 
+#![allow(clippy::unwrap_used)]
 use lm_engine::{Engine, EngineOptions};
 use lm_models::presets;
 

@@ -1,0 +1,391 @@
+//! The serializing scheduler and its depth-first exploration driver.
+//!
+//! One logical thread is *active* at a time. Every instrumented operation
+//! calls into [`Scheduler::yield_point`] (or one of the blocking variants),
+//! which consults the recorded decision path: prefixes are replayed, the
+//! first fresh decision point takes its lowest-numbered option, and after
+//! the execution finishes the path is advanced like an odometer until the
+//! whole (preemption-bounded) tree has been visited.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Payload used to unwind parked threads when an execution is abandoned
+/// (deadlock detected or a user assertion failed on another thread).
+pub(crate) const ABORT_PAYLOAD: &str = "__loom_abort__";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    Blocked,
+    Finished,
+}
+
+/// One recorded scheduling decision: which of `total` options was taken.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Branch {
+    chosen: usize,
+    total: usize,
+}
+
+#[derive(Debug)]
+struct Inner {
+    states: Vec<Run>,
+    /// Joiners waiting for thread `i` to finish.
+    join_waiters: Vec<Vec<usize>>,
+    /// Currently active logical thread (`usize::MAX` = none).
+    active: usize,
+    /// Involuntary context switches still allowed in this execution.
+    preemptions_left: usize,
+    path: Vec<Branch>,
+    /// Next decision index (replay cursor into `path`).
+    depth: usize,
+    aborting: bool,
+    failure: Option<String>,
+    /// Threads not yet `Finished`.
+    live: usize,
+}
+
+pub(crate) struct Scheduler {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl Scheduler {
+    fn new(path: Vec<Branch>, preemption_bound: usize) -> Self {
+        Scheduler {
+            inner: Mutex::new(Inner {
+                states: Vec::new(),
+                join_waiters: Vec::new(),
+                active: usize::MAX,
+                preemptions_left: preemption_bound,
+                path,
+                depth: 0,
+                aborting: false,
+                failure: None,
+                live: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut g = self.lock();
+        g.states.push(Run::Runnable);
+        g.join_waiters.push(Vec::new());
+        g.live += 1;
+        g.states.len() - 1
+    }
+
+    /// Resolve one scheduling decision. `options` must be non-empty and
+    /// deterministically ordered; returns the chosen element.
+    fn decide(&self, g: &mut Inner, options: &[usize]) -> usize {
+        debug_assert!(!options.is_empty());
+        if options.len() == 1 {
+            return options[0];
+        }
+        let chosen = if g.depth < g.path.len() {
+            // Replay. Clamp defensively: the tree is deterministic, so a
+            // mismatch would indicate an instrumentation bug.
+            debug_assert_eq!(g.path[g.depth].total, options.len());
+            g.path[g.depth].chosen.min(options.len() - 1)
+        } else {
+            g.path.push(Branch {
+                chosen: 0,
+                total: options.len(),
+            });
+            0
+        };
+        g.depth += 1;
+        options[chosen]
+    }
+
+    /// Pick and publish the next active thread, given that `my` has just
+    /// yielded (and may or may not still be runnable).
+    fn schedule(&self, g: &mut Inner, my: usize) {
+        if g.aborting {
+            self.cv.notify_all();
+            return;
+        }
+        let runnable: Vec<usize> = (0..g.states.len())
+            .filter(|&t| g.states[t] == Run::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            if g.live > 0 {
+                let blocked: Vec<usize> = (0..g.states.len())
+                    .filter(|&t| g.states[t] == Run::Blocked)
+                    .collect();
+                g.failure = Some(format!(
+                    "deadlock: all live threads blocked (threads {blocked:?})"
+                ));
+                g.aborting = true;
+            }
+            g.active = usize::MAX;
+            self.cv.notify_all();
+            return;
+        }
+        let i_am_runnable = my < g.states.len() && g.states[my] == Run::Runnable;
+        let next = if i_am_runnable {
+            if g.preemptions_left == 0 {
+                my
+            } else {
+                // Option 0: keep running; options 1..: preempt.
+                let mut options = Vec::with_capacity(runnable.len());
+                options.push(my);
+                options.extend(runnable.iter().copied().filter(|&t| t != my));
+                let chosen = self.decide(g, &options);
+                if chosen != my {
+                    g.preemptions_left -= 1;
+                }
+                chosen
+            }
+        } else {
+            // Voluntary switch (blocked or finished): costs no preemption.
+            self.decide(g, &runnable)
+        };
+        g.active = next;
+        self.cv.notify_all();
+    }
+
+    fn park_until_active(&self, mut g: std::sync::MutexGuard<'_, Inner>, my: usize) {
+        loop {
+            if g.aborting {
+                drop(g);
+                std::panic::panic_any(ABORT_PAYLOAD);
+            }
+            if g.active == my {
+                return;
+            }
+            g = match self.cv.wait(g) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// A preemption opportunity: the calling thread stays runnable but the
+    /// scheduler may switch to another thread here.
+    pub(crate) fn yield_point(&self, my: usize) {
+        let mut g = self.lock();
+        if g.aborting {
+            drop(g);
+            std::panic::panic_any(ABORT_PAYLOAD);
+        }
+        self.schedule(&mut g, my);
+        self.park_until_active(g, my);
+    }
+
+    /// Block the calling thread until another thread marks it runnable
+    /// (via [`Scheduler::make_runnable`]) and the scheduler picks it.
+    pub(crate) fn block_current(&self, my: usize) {
+        let mut g = self.lock();
+        if g.aborting {
+            drop(g);
+            std::panic::panic_any(ABORT_PAYLOAD);
+        }
+        g.states[my] = Run::Blocked;
+        self.schedule(&mut g, my);
+        self.park_until_active(g, my);
+    }
+
+    /// Mark `tid` runnable again (wake from a mutex/condvar wait). The
+    /// caller keeps running; the woken thread competes at the next
+    /// scheduling point.
+    pub(crate) fn make_runnable(&self, tid: usize) {
+        let mut g = self.lock();
+        if g.states[tid] == Run::Blocked {
+            g.states[tid] = Run::Runnable;
+        }
+    }
+
+    /// Park a freshly spawned thread until the scheduler first picks it.
+    pub(crate) fn wait_until_scheduled(&self, my: usize) {
+        let g = self.lock();
+        self.park_until_active(g, my);
+    }
+
+    /// Block until `child` finishes (no-op if it already has).
+    pub(crate) fn join_wait(&self, my: usize, child: usize) {
+        loop {
+            let mut g = self.lock();
+            if g.aborting {
+                drop(g);
+                std::panic::panic_any(ABORT_PAYLOAD);
+            }
+            if g.states[child] == Run::Finished {
+                return;
+            }
+            g.join_waiters[child].push(my);
+            g.states[my] = Run::Blocked;
+            self.schedule(&mut g, my);
+            self.park_until_active(g, my);
+        }
+    }
+
+    /// Record a user panic so the exploration driver can report it.
+    pub(crate) fn record_failure(&self, msg: String) {
+        let mut g = self.lock();
+        if g.failure.is_none() {
+            g.failure = Some(msg);
+        }
+        g.aborting = true;
+        self.cv.notify_all();
+    }
+
+    /// Mark the calling thread finished and hand control onwards.
+    pub(crate) fn finish_thread(&self, my: usize) {
+        let mut g = self.lock();
+        g.states[my] = Run::Finished;
+        g.live -= 1;
+        let waiters = std::mem::take(&mut g.join_waiters[my]);
+        for w in waiters {
+            if g.states[w] == Run::Blocked {
+                g.states[w] = Run::Runnable;
+            }
+        }
+        self.schedule(&mut g, my);
+        self.cv.notify_all();
+    }
+
+    /// Wait (from outside the model) for every logical thread to finish.
+    fn wait_all_done(&self) {
+        let mut g = self.lock();
+        while g.live > 0 {
+            g = match self.cv.wait(g) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Scheduler>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+pub(crate) fn set_ctx(sched: Arc<Scheduler>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((sched, tid)));
+}
+
+fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// The scheduler context of the calling thread, if it is a model thread.
+pub(crate) fn ctx() -> Option<(Arc<Scheduler>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Instrument one operation of the calling thread: outside a model this is
+/// free; inside it is a scheduling decision point.
+pub(crate) fn instrument() {
+    if let Some((sched, my)) = ctx() {
+        sched.yield_point(my);
+    }
+}
+
+pub(crate) fn payload_is_abort(p: &(dyn std::any::Any + Send)) -> bool {
+    p.downcast_ref::<&str>() == Some(&ABORT_PAYLOAD)
+}
+
+pub(crate) fn payload_to_string(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Advance the decision path odometer-style; `false` when exhausted.
+fn advance(path: &mut Vec<Branch>) -> bool {
+    while let Some(last) = path.last_mut() {
+        if last.chosen + 1 < last.total {
+            last.chosen += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+/// Explore the closure under every schedule the bounded search reaches.
+///
+/// Panics (with the first failing thread's message) if any execution
+/// panics, deadlocks, or trips an assertion.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let preemption_bound = env_usize("LOOM_PREEMPTION_BOUND", 2);
+    let max_iterations = env_usize("LOOM_MAX_ITERATIONS", 20_000);
+    let mut path: Vec<Branch> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let sched = Arc::new(Scheduler::new(std::mem::take(&mut path), preemption_bound));
+        let root_tid = sched.register_thread();
+        {
+            let mut g = sched.lock();
+            g.active = root_tid;
+        }
+        let root = {
+            let sched = Arc::clone(&sched);
+            let f = Arc::clone(&f);
+            std::thread::spawn(move || {
+                set_ctx(Arc::clone(&sched), root_tid);
+                let result = catch_unwind(AssertUnwindSafe(|| f()));
+                if let Err(p) = result {
+                    if !payload_is_abort(p.as_ref()) {
+                        sched.record_failure(payload_to_string(p.as_ref()));
+                    }
+                }
+                sched.finish_thread(root_tid);
+                clear_ctx();
+            })
+        };
+        sched.wait_all_done();
+        let _ = root.join();
+        let mut g = sched.lock();
+        if let Some(msg) = g.failure.take() {
+            let decisions = g.depth;
+            drop(g);
+            panic!(
+                "loom: model check failed on execution {iterations} \
+                 (after {decisions} scheduling decisions): {msg}"
+            );
+        }
+        path = std::mem::take(&mut g.path);
+        drop(g);
+        if !advance(&mut path) {
+            break;
+        }
+        if iterations >= max_iterations {
+            eprintln!(
+                "loom: stopping after {iterations} executions \
+                 (LOOM_MAX_ITERATIONS cap); coverage is partial"
+            );
+            break;
+        }
+    }
+    if std::env::var("LOOM_LOG").is_ok() {
+        eprintln!("loom: explored {iterations} executions");
+    }
+}

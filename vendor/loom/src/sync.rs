@@ -1,0 +1,276 @@
+//! Instrumented synchronization primitives.
+//!
+//! Outside a `loom::model` run these degrade to their `std` behaviour, so
+//! code written against them stays usable in ordinary tests. Inside a
+//! model run every operation is a scheduling decision point and blocking
+//! is mediated by the serializing scheduler (real OS blocking never
+//! happens on the model's hot path).
+
+use crate::sched::{ctx, instrument};
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    //! Seq-cst instrumented atomics (the ordering argument is accepted
+    //! for API compatibility and intentionally ignored).
+
+    use super::instrument;
+    use std::sync::atomic::Ordering as StdOrdering;
+
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! atomic_int {
+        ($name:ident, $raw:ty, $std:ty) => {
+            /// Instrumented atomic integer.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                v: $std,
+            }
+
+            impl $name {
+                pub fn new(v: $raw) -> Self {
+                    Self { v: <$std>::new(v) }
+                }
+
+                pub fn load(&self, _order: Ordering) -> $raw {
+                    instrument();
+                    self.v.load(StdOrdering::SeqCst)
+                }
+
+                pub fn store(&self, val: $raw, _order: Ordering) {
+                    instrument();
+                    self.v.store(val, StdOrdering::SeqCst)
+                }
+
+                pub fn swap(&self, val: $raw, _order: Ordering) -> $raw {
+                    instrument();
+                    self.v.swap(val, StdOrdering::SeqCst)
+                }
+
+                pub fn fetch_add(&self, val: $raw, _order: Ordering) -> $raw {
+                    instrument();
+                    self.v.fetch_add(val, StdOrdering::SeqCst)
+                }
+
+                pub fn fetch_sub(&self, val: $raw, _order: Ordering) -> $raw {
+                    instrument();
+                    self.v.fetch_sub(val, StdOrdering::SeqCst)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $raw,
+                    new: $raw,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$raw, $raw> {
+                    instrument();
+                    self.v
+                        .compare_exchange(current, new, StdOrdering::SeqCst, StdOrdering::SeqCst)
+                }
+
+                /// Non-instrumented read for assertions after all threads
+                /// joined (loom's `unsync_load` analogue).
+                pub fn unsync_load(&self) -> $raw {
+                    self.v.load(StdOrdering::SeqCst)
+                }
+            }
+        };
+    }
+
+    atomic_int!(AtomicUsize, usize, std::sync::atomic::AtomicUsize);
+    atomic_int!(AtomicU64, u64, std::sync::atomic::AtomicU64);
+    atomic_int!(AtomicU32, u32, std::sync::atomic::AtomicU32);
+
+    /// Instrumented atomic boolean.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        v: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub fn new(v: bool) -> Self {
+            Self {
+                v: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        pub fn load(&self, _order: Ordering) -> bool {
+            instrument();
+            self.v.load(StdOrdering::SeqCst)
+        }
+
+        pub fn store(&self, val: bool, _order: Ordering) {
+            instrument();
+            self.v.store(val, StdOrdering::SeqCst)
+        }
+
+        pub fn swap(&self, val: bool, _order: Ordering) -> bool {
+            instrument();
+            self.v.swap(val, StdOrdering::SeqCst)
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct MutexCtl {
+    /// Owning logical thread, if any.
+    owner: Option<usize>,
+    /// Logical threads parked on this mutex.
+    waiters: Vec<usize>,
+}
+
+/// A mutex whose contention is resolved by the model scheduler.
+///
+/// The API follows `parking_lot` (`lock()` returns the guard directly);
+/// the real loom exposes the `std` poisoning API, but nothing in this
+/// workspace relies on poisoning.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    data: std::sync::Mutex<T>,
+    ctl: std::sync::Mutex<MutexCtl>,
+}
+
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(t: T) -> Self {
+        Mutex {
+            data: std::sync::Mutex::new(t),
+            ctl: std::sync::Mutex::new(MutexCtl::default()),
+        }
+    }
+
+    fn ctl(&self) -> std::sync::MutexGuard<'_, MutexCtl> {
+        match self.ctl.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    fn data_guard(&self) -> std::sync::MutexGuard<'_, T> {
+        match self.data.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if let Some((sched, my)) = ctx() {
+            sched.yield_point(my);
+            loop {
+                {
+                    let mut ctl = self.ctl();
+                    if ctl.owner.is_none() {
+                        ctl.owner = Some(my);
+                        break;
+                    }
+                    ctl.waiters.push(my);
+                }
+                sched.block_current(my);
+            }
+        }
+        MutexGuard {
+            lock: self,
+            inner: Some(self.data_guard()),
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the storage lock before publishing availability.
+        self.inner = None;
+        if let Some((sched, _my)) = ctx() {
+            let waiters = {
+                let mut ctl = self.lock.ctl();
+                ctl.owner = None;
+                std::mem::take(&mut ctl.waiters)
+            };
+            for w in waiters {
+                sched.make_runnable(w);
+            }
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard live")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard live")
+    }
+}
+
+/// A condition variable mediated by the model scheduler. Signals are
+/// edge-triggered like the real thing: a `notify_all` with no waiters is
+/// lost, so lost-wakeup protocol bugs surface as model deadlocks.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    waiters: std::sync::Mutex<Vec<usize>>,
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar::default()
+    }
+
+    fn waiters(&self) -> std::sync::MutexGuard<'_, Vec<usize>> {
+        match self.waiters.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Atomically release `guard`, wait for a notification, and
+    /// re-acquire the mutex.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let mutex = guard.lock;
+        if let Some((sched, my)) = ctx() {
+            self.waiters().push(my);
+            drop(guard);
+            sched.block_current(my);
+            mutex.lock()
+        } else {
+            // Outside a model there is no scheduler to wake us; treat the
+            // wait as spurious (callers loop on their predicate).
+            drop(guard);
+            mutex.lock()
+        }
+    }
+
+    pub fn notify_all(&self) {
+        if let Some((sched, my)) = ctx() {
+            let ws = std::mem::take(&mut *self.waiters());
+            for w in ws {
+                sched.make_runnable(w);
+            }
+            sched.yield_point(my);
+        }
+    }
+
+    pub fn notify_one(&self) {
+        if let Some((sched, my)) = ctx() {
+            let w = {
+                let mut ws = self.waiters();
+                if ws.is_empty() {
+                    None
+                } else {
+                    Some(ws.remove(0))
+                }
+            };
+            if let Some(w) = w {
+                sched.make_runnable(w);
+            }
+            sched.yield_point(my);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Model-controlled threads.
+
+use crate::sched::{
+    ctx, payload_is_abort, payload_to_string, set_ctx, Scheduler,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    os: Option<std::thread::JoinHandle<()>>,
+    sched: Option<Arc<Scheduler>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish, returning its result (std-style:
+    /// `Err` carries the panic payload).
+    pub fn join(mut self) -> std::thread::Result<T> {
+        if let (Some(sched), Some((_, my))) = (self.sched.take(), ctx()) {
+            sched.join_wait(my, self.tid);
+        }
+        if let Some(os) = self.os.take() {
+            let _ = os.join();
+        }
+        let taken = match self.result.lock() {
+            Ok(mut g) => g.take(),
+            Err(p) => p.into_inner().take(),
+        };
+        taken.unwrap_or_else(|| Err(Box::new("loom: thread produced no result")))
+    }
+}
+
+/// Spawn a logical thread under the current model (or a plain OS thread
+/// outside of one).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+    let result2 = Arc::clone(&result);
+    if let Some((sched, my)) = ctx() {
+        let tid = sched.register_thread();
+        let sched2 = Arc::clone(&sched);
+        let os = std::thread::spawn(move || {
+            set_ctx(Arc::clone(&sched2), tid);
+            sched2.wait_until_scheduled(tid);
+            let r = catch_unwind(AssertUnwindSafe(f));
+            if let Err(p) = &r {
+                if !payload_is_abort(p.as_ref()) {
+                    sched2.record_failure(payload_to_string(p.as_ref()));
+                }
+            }
+            match result2.lock() {
+                Ok(mut g) => *g = Some(r),
+                Err(poisoned) => *poisoned.into_inner() = Some(r),
+            }
+            sched2.finish_thread(tid);
+        });
+        // The spawn itself is a decision point: the child may run first.
+        sched.yield_point(my);
+        JoinHandle {
+            tid,
+            result,
+            os: Some(os),
+            sched: Some(sched),
+        }
+    } else {
+        let os = std::thread::spawn(move || {
+            let r = catch_unwind(AssertUnwindSafe(f));
+            match result2.lock() {
+                Ok(mut g) => *g = Some(r),
+                Err(poisoned) => *poisoned.into_inner() = Some(r),
+            }
+        });
+        JoinHandle {
+            tid: usize::MAX,
+            result,
+            os: Some(os),
+            sched: None,
+        }
+    }
+}
+
+/// A voluntary preemption point.
+pub fn yield_now() {
+    if let Some((sched, my)) = ctx() {
+        sched.yield_point(my);
+    } else {
+        std::thread::yield_now();
+    }
+}
