@@ -6,7 +6,8 @@
 //!
 //! - `LMA0xx` — operator-graph structure lints;
 //! - `LMA1xx` — parallelism-plan and policy lints;
-//! - `LMA2xx` — cost-model (Eq. 1-24) consistency lints.
+//! - `LMA20x` — cost-model (Eq. 1-24) consistency lints;
+//! - `LMA25x` — serving-configuration lints (`lm-serve` slot plans).
 //!
 //! A code, once shipped, keeps its meaning; retired codes are never
 //! reused.
@@ -59,6 +60,12 @@ pub enum LintCode {
     Lma203QuantizedLargerThanF16,
     /// A sampled quantity is negative, NaN or infinite.
     Lma204NonFiniteQuantity,
+    /// Serve plan leases more KV bytes than its pool holds.
+    Lma250SlotsExceedPool,
+    /// Serve block size exceeds the Kahn width bound of its block graph.
+    Lma251BlockExceedsWidth,
+    /// Serve plan leaves most of the KV pool idle (underutilization).
+    Lma252SlotsUnderutilizePool,
 }
 
 impl LintCode {
@@ -86,11 +93,14 @@ impl LintCode {
             LintCode::Lma202TgenNotMax => "LMA202",
             LintCode::Lma203QuantizedLargerThanF16 => "LMA203",
             LintCode::Lma204NonFiniteQuantity => "LMA204",
+            LintCode::Lma250SlotsExceedPool => "LMA250",
+            LintCode::Lma251BlockExceedsWidth => "LMA251",
+            LintCode::Lma252SlotsUnderutilizePool => "LMA252",
         }
     }
 
     /// All codes, for enumeration in docs and coverage tests.
-    pub const ALL: [LintCode; 21] = [
+    pub const ALL: [LintCode; 24] = [
         LintCode::Lma001CyclicGraph,
         LintCode::Lma002OrphanNode,
         LintCode::Lma003DuplicateEdge,
@@ -112,6 +122,9 @@ impl LintCode {
         LintCode::Lma202TgenNotMax,
         LintCode::Lma203QuantizedLargerThanF16,
         LintCode::Lma204NonFiniteQuantity,
+        LintCode::Lma250SlotsExceedPool,
+        LintCode::Lma251BlockExceedsWidth,
+        LintCode::Lma252SlotsUnderutilizePool,
     ];
 }
 

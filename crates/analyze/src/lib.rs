@@ -12,9 +12,12 @@
 //!   `inter_op·intra_op + 5 ≤ threads` budget, volume-proportional
 //!   transfer grants, memory-capacity feasibility, bundle working sets vs
 //!   the LLC;
-//! - [`model_lints`] (`LMA2xx`): dimensional and structural consistency
+//! - [`model_lints`] (`LMA20x`): dimensional and structural consistency
 //!   of the analytic cost model (Eq. 1-24) via sampled [`ModelProbe`]
-//!   observations.
+//!   observations;
+//! - [`serve_lints`] (`LMA25x`): `lm-serve` slot plans — leased KV bytes
+//!   vs pool capacity, block size vs the block graph's Kahn width, and
+//!   pool underutilization — via sampled [`ServeProbe`] observations.
 //!
 //! Every finding carries a stable `LMAnnn` code (see [`LintCode`]) —
 //! codes keep their meaning across releases and retired codes are never
@@ -27,11 +30,13 @@ pub mod diag;
 pub mod graph_lints;
 pub mod model_lints;
 pub mod plan_lints;
+pub mod serve_lints;
 
 pub use diag::{Diagnostic, LintCode, Report, Severity};
 pub use graph_lints::lint_graph;
 pub use model_lints::{lint_model, ModelProbe};
 pub use plan_lints::{lint_bundles, lint_plan, lint_policy};
+pub use serve_lints::{lint_serve, ServeProbe};
 
 use lm_hardware::Platform;
 use lm_models::{ModelConfig, Workload};

@@ -1,0 +1,175 @@
+//! Serving-configuration lints (`LMA25x`).
+//!
+//! The `lm-serve` admission controller turns a request queue into a slot
+//! plan: how many concurrent sequences hold KV leases, how many compose
+//! one engine block, and how much of the KV pool that claims. A bad plan
+//! does not crash immediately — it either deadlocks admission (leases
+//! that can never all be granted) or quietly serves below capacity. These
+//! lints judge a sampled [`ServeProbe`] the same way `model_lints` judges
+//! a [`ModelProbe`](crate::ModelProbe):
+//!
+//! - the leased bytes must fit the pool (`LMA250`: a plan whose slots
+//!   cannot all hold a lease at once stalls at the block boundary);
+//! - the per-block batch must not exceed the block graph's Kahn width
+//!   (`LMA251`: scheduling more sequences per step than the dependency
+//!   structure admits just serialises them with extra padding);
+//! - a plan that leaves more than half of the pool idle while another
+//!   slot would fit is flagged (`LMA252`, warning: throughput left on
+//!   the table).
+//!
+//! The probe is a plain value: `lm-serve` samples it from a live plan,
+//! mutation tests corrupt fields directly, and `repro analyze` checks the
+//! default serving configuration — all without this crate depending on
+//! the serving crate.
+
+use crate::diag::{Diagnostic, LintCode, Report};
+use serde::{Deserialize, Serialize};
+
+/// Observations sampled from one `lm-serve` slot plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeProbe {
+    /// Concurrent sequences the plan admits (each holds one KV lease).
+    pub slots: u64,
+    /// Worst-case KV bytes one slot leases (prompt + full generation).
+    pub kv_bytes_per_slot: u64,
+    /// Capacity of the serve-owned KV `MemPool`, bytes.
+    pub kv_pool_bytes: u64,
+    /// Sequences composed into one engine block step.
+    pub block_size: u64,
+    /// Kahn width (max concurrency) of the block-level operator graph.
+    pub kahn_width: u64,
+}
+
+/// Run every serving lint over a sampled probe.
+pub fn lint_serve(probe: &ServeProbe) -> Report {
+    let mut out = Vec::new();
+
+    // LMA250: every slot must be able to hold its lease simultaneously —
+    // the scheduler retires leases only at block boundaries, so a plan
+    // that oversubscribes the pool stalls with slots waiting on bytes
+    // that are never coming back mid-block.
+    let leased = probe.slots.saturating_mul(probe.kv_bytes_per_slot);
+    if leased > probe.kv_pool_bytes {
+        out.push(Diagnostic::error(
+            LintCode::Lma250SlotsExceedPool,
+            "plan.slots".to_string(),
+            format!(
+                "{} slots x {} B/slot = {leased} B exceed the {} B KV pool",
+                probe.slots, probe.kv_bytes_per_slot, probe.kv_pool_bytes
+            ),
+        ));
+    }
+
+    // LMA251: the block-level graph bounds how many sequences one step
+    // can actually run concurrently (Algorithm 3's width argument applied
+    // to the serving block). A larger batch only adds padding.
+    if probe.block_size > probe.kahn_width {
+        out.push(Diagnostic::error(
+            LintCode::Lma251BlockExceedsWidth,
+            "plan.block_size".to_string(),
+            format!(
+                "block of {} sequences exceeds the block graph's Kahn \
+                 width {}",
+                probe.block_size, probe.kahn_width
+            ),
+        ));
+    }
+
+    // LMA252: the dual of LMA250 — admission chose so few slots that more
+    // than half the pool sits idle even though at least one more lease
+    // would fit. Not an error (the operator may be reserving headroom for
+    // longer contexts), but worth surfacing.
+    if probe.kv_bytes_per_slot > 0
+        && leased <= probe.kv_pool_bytes
+        && leased < probe.kv_pool_bytes / 2
+        && probe.kv_pool_bytes - leased >= probe.kv_bytes_per_slot
+    {
+        out.push(Diagnostic::warn(
+            LintCode::Lma252SlotsUnderutilizePool,
+            "plan.slots".to_string(),
+            format!(
+                "{} slots lease {leased} B of a {} B pool (< 50%) while \
+                 another {} B slot would fit",
+                probe.slots, probe.kv_pool_bytes, probe.kv_bytes_per_slot
+            ),
+        ));
+    }
+
+    Report::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sound() -> ServeProbe {
+        ServeProbe {
+            slots: 8,
+            kv_bytes_per_slot: 1 << 20,
+            kv_pool_bytes: 10 << 20,
+            block_size: 8,
+            kahn_width: 8,
+        }
+    }
+
+    #[test]
+    fn sound_plan_is_clean() {
+        let r = lint_serve(&sound());
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.warning_count(), 0, "{r}");
+    }
+
+    #[test]
+    fn oversubscribed_pool_caught() {
+        let mut p = sound();
+        p.slots = 11;
+        let r = lint_serve(&p);
+        assert!(r.has(LintCode::Lma250SlotsExceedPool), "{r}");
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn block_beyond_kahn_width_caught() {
+        let mut p = sound();
+        p.kahn_width = 4;
+        let r = lint_serve(&p);
+        assert!(r.has(LintCode::Lma251BlockExceedsWidth), "{r}");
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn idle_pool_warned_but_not_fatal() {
+        let mut p = sound();
+        p.slots = 2;
+        p.block_size = 2;
+        let r = lint_serve(&p);
+        assert!(r.has(LintCode::Lma252SlotsUnderutilizePool), "{r}");
+        assert!(r.is_clean(), "underutilization is a warning: {r}");
+    }
+
+    #[test]
+    fn tight_fit_is_not_underutilization() {
+        // 5 slots of a 10-slot pool is exactly 50% — below the warning
+        // threshold's strict inequality, no finding.
+        let mut p = sound();
+        p.slots = 5;
+        p.block_size = 5;
+        let r = lint_serve(&p);
+        assert!(!r.has(LintCode::Lma252SlotsUnderutilizePool), "{r}");
+    }
+
+    #[test]
+    fn saturating_lease_math_does_not_wrap() {
+        let mut p = sound();
+        p.slots = u64::MAX;
+        p.kv_bytes_per_slot = u64::MAX;
+        let r = lint_serve(&p);
+        assert!(r.has(LintCode::Lma250SlotsExceedPool), "{r}");
+    }
+
+    #[test]
+    fn probe_serializes() {
+        let json = serde_json::to_string(&sound()).expect("serialize");
+        assert!(json.contains("kahn_width"), "{json}");
+    }
+}

@@ -7,8 +7,8 @@
 #![allow(clippy::unwrap_used)]
 
 use lm_analyze::{
-    analyze_deployment, lint_bundles, lint_graph, lint_model, lint_plan, lint_policy, Deployment,
-    LintCode, ModelProbe, Report,
+    analyze_deployment, lint_bundles, lint_graph, lint_model, lint_plan, lint_policy, lint_serve,
+    Deployment, LintCode, ModelProbe, Report, ServeProbe,
 };
 use lm_hardware::{presets, Platform};
 use lm_models::{presets as models, DType, ModelConfig, Workload};
@@ -327,6 +327,41 @@ fn lma204_nan_in_probe() {
     assert_fires(&clean, &lint_model(&p), LintCode::Lma204NonFiniteQuantity);
 }
 
+fn serve_probe() -> ServeProbe {
+    ServeProbe {
+        slots: 6,
+        kv_bytes_per_slot: 4 << 20,
+        kv_pool_bytes: 32 << 20,
+        block_size: 6,
+        kahn_width: 6,
+    }
+}
+
+#[test]
+fn lma250_slots_oversubscribe_pool() {
+    let clean = lint_serve(&serve_probe());
+    let mut p = serve_probe();
+    p.slots = 9;
+    assert_fires(&clean, &lint_serve(&p), LintCode::Lma250SlotsExceedPool);
+}
+
+#[test]
+fn lma251_block_beyond_kahn_width() {
+    let clean = lint_serve(&serve_probe());
+    let mut p = serve_probe();
+    p.kahn_width = 3;
+    assert_fires(&clean, &lint_serve(&p), LintCode::Lma251BlockExceedsWidth);
+}
+
+#[test]
+fn lma252_pool_left_idle() {
+    let clean = lint_serve(&serve_probe());
+    let mut p = serve_probe();
+    p.slots = 2;
+    p.block_size = 2;
+    assert_fires(&clean, &lint_serve(&p), LintCode::Lma252SlotsUnderutilizePool);
+}
+
 #[test]
 fn every_shipped_code_has_mutation_coverage() {
     // Guard against adding a code without a mutation test: the list of
@@ -354,6 +389,9 @@ fn every_shipped_code_has_mutation_coverage() {
         LintCode::Lma202TgenNotMax,
         LintCode::Lma203QuantizedLargerThanF16,
         LintCode::Lma204NonFiniteQuantity,
+        LintCode::Lma250SlotsExceedPool,
+        LintCode::Lma251BlockExceedsWidth,
+        LintCode::Lma252SlotsUnderutilizePool,
     ];
     for code in LintCode::ALL {
         assert!(covered.contains(&code), "no mutation test for {}", code.as_str());

@@ -8,7 +8,7 @@
 //! hardware?), and the operator-bundling ablation on the real executor.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lm_engine::{Engine, EngineOptions};
+use lm_engine::{Engine, EngineOptions, GenerateRequest};
 use lm_models::presets;
 use lm_parallelism::{attention_graph, bundle_small_ops, burn, Executor};
 use lm_tensor::QuantConfig;
@@ -29,7 +29,7 @@ fn bench_engine_decode(c: &mut Criterion) {
         )
         .unwrap();
         g.bench_function(name, |b| {
-            b.iter(|| engine.generate(&prompts, 4).unwrap())
+            b.iter(|| engine.run(&GenerateRequest::new(prompts.to_vec(), 4)).unwrap())
         });
     }
     // Quantized at rest: dequant-on-fetch cost vs smaller host footprint.
@@ -43,7 +43,7 @@ fn bench_engine_decode(c: &mut Criterion) {
     )
     .unwrap();
     g.bench_function("int4_at_rest", |b| {
-        b.iter(|| engine.generate(&prompts, 4).unwrap())
+        b.iter(|| engine.run(&GenerateRequest::new(prompts.to_vec(), 4)).unwrap())
     });
     g.finish();
 }

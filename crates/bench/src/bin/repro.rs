@@ -2,19 +2,24 @@
 //!
 //! Usage:
 //!   repro <experiment> [--fast] [--fault-seed N] [--tokens N]
+//!                      [--rps R] [--requests N] [--seed S]
 //!   repro all [--fast]
 //!
 //! Experiments: analyze table1 table3 table4 table5 fig3 fig4 fig5 fig7
-//! fig8 fig9 whatif faults summary trace. `analyze` runs the `lm-analyze`
-//! static linter over the shipped presets and exits non-zero on any
-//! `Error`-level diagnostic. `--fast` restricts Table-3-derived sweeps
-//! to two generation lengths; `--fault-seed N` sets the deterministic
-//! fault plan of the `faults` experiment; `--tokens N` sets the token
-//! count of the `trace` experiment. JSON results are written to
-//! `results/<experiment>.json`; `trace` additionally writes the engine
-//! timeline as Chrome/Perfetto trace JSON to `results/trace.json`
-//! (load it at https://ui.perfetto.dev) and the model-vs-measured drift
-//! report to `results/trace_drift.json`.
+//! fig8 fig9 whatif faults summary trace serve. `analyze` runs the
+//! `lm-analyze` static linter over the shipped presets (plus the default
+//! serving plan) and exits non-zero on any `Error`-level diagnostic.
+//! `serve` replays a seeded traffic trace through the continuous-batching
+//! scheduler and both baselines (`--rps`, `--requests`, `--seed`) and
+//! exits non-zero unless continuous batching dominates. `--fast`
+//! restricts Table-3-derived sweeps to two generation lengths;
+//! `--fault-seed N` sets the deterministic fault plan of the `faults`
+//! experiment; `--tokens N` sets the token count of the `trace`
+//! experiment. JSON results are written to `results/<experiment>.json`;
+//! `trace` additionally writes the engine timeline as Chrome/Perfetto
+//! trace JSON to `results/trace.json` (load it at
+//! https://ui.perfetto.dev) and the model-vs-measured drift report to
+//! `results/trace_drift.json`.
 
 use lm_bench::experiments::*;
 use lm_bench::table::{f, render};
@@ -446,11 +451,65 @@ fn run_trace(tokens: u64) {
     save("trace_drift", &r);
 }
 
+fn run_serve(seed: u64, rps: f64, requests: usize) {
+    println!(
+        "\n== Serving: continuous batching vs baselines (OPT-30B, {requests} requests @ {rps} rps, seed {seed}) =="
+    );
+    let r = serve::run(seed, rps, requests);
+    println!(
+        "plan: {} slots x {} ctx, {:.1} MiB/slot lease, pool {:.1} MiB, kahn width {}, est {:.1} tok/s",
+        r.plan.slots,
+        r.plan.slot_context,
+        r.plan.kv_bytes_per_slot as f64 / (1 << 20) as f64,
+        r.plan.kv_pool_bytes as f64 / (1 << 20) as f64,
+        r.plan.kahn_width,
+        r.plan.est_tokens_per_s
+    );
+    let rendered: Vec<Vec<String>> = r
+        .modes
+        .iter()
+        .map(|m| {
+            vec![
+                m.mode.clone(),
+                format!("{}/{}", m.completed, m.completed + m.rejected),
+                f(m.sim_seconds, 1),
+                f(m.tokens_per_s, 2),
+                f(m.ttft.p50_s, 1),
+                f(m.ttft.p95_s, 1),
+                f(m.ttft.p99_s, 1),
+                f(m.latency.p95_s, 1),
+                m.padding_tokens.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["mode", "done", "sim (s)", "tok/s", "ttft p50", "p95", "p99", "lat p95", "pad"],
+            &rendered
+        )
+    );
+    println!(
+        "speedup: {:.2}x vs sequential (floor {:.1}x), {:.2}x vs static",
+        r.speedup_vs_sequential,
+        serve::MIN_SPEEDUP_VS_SEQUENTIAL,
+        r.speedup_vs_static
+    );
+    save("serve", &r);
+    if !r.dominance_ok {
+        eprintln!("error: continuous batching failed to dominate the baselines");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fast = false;
     let mut fault_seed = faults::DEFAULT_FAULT_SEED;
     let mut tokens = trace::DEFAULT_TOKENS;
+    let mut rps = serve::DEFAULT_RPS;
+    let mut requests = serve::DEFAULT_REQUESTS;
+    let mut serve_seed = serve::DEFAULT_SEED;
     let mut which: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -467,7 +526,49 @@ fn main() {
         } else {
             a.strip_prefix("--tokens=").map(String::from)
         };
-        if let Some(v) = seed_value {
+        let rps_value = if a == "--rps" {
+            i += 1;
+            Some(args.get(i).cloned().unwrap_or_default())
+        } else {
+            a.strip_prefix("--rps=").map(String::from)
+        };
+        let requests_value = if a == "--requests" {
+            i += 1;
+            Some(args.get(i).cloned().unwrap_or_default())
+        } else {
+            a.strip_prefix("--requests=").map(String::from)
+        };
+        let serve_seed_value = if a == "--seed" {
+            i += 1;
+            Some(args.get(i).cloned().unwrap_or_default())
+        } else {
+            a.strip_prefix("--seed=").map(String::from)
+        };
+        if let Some(v) = rps_value {
+            rps = match v.parse::<f64>() {
+                Ok(r) if r > 0.0 && r.is_finite() => r,
+                _ => {
+                    eprintln!("--rps expects a positive number, got '{v}'");
+                    std::process::exit(2);
+                }
+            };
+        } else if let Some(v) = requests_value {
+            requests = match v.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!("--requests expects a positive integer, got '{v}'");
+                    std::process::exit(2);
+                }
+            };
+        } else if let Some(v) = serve_seed_value {
+            serve_seed = match v.parse() {
+                Ok(s) => s,
+                Err(_) => {
+                    eprintln!("--seed expects an integer, got '{v}'");
+                    std::process::exit(2);
+                }
+            };
+        } else if let Some(v) = seed_value {
             fault_seed = match v.parse() {
                 Ok(s) => s,
                 Err(_) => {
@@ -512,6 +613,7 @@ fn main() {
         "analyze" => run_analyze(),
         "faults" => run_faults(fault_seed),
         "trace" => run_trace(tokens),
+        "serve" => run_serve(serve_seed, rps, requests),
         "summary" => {
             let s = summary::run(lens);
             print_summary(&s);
@@ -532,10 +634,11 @@ fn main() {
             run_fig9();
             run_faults(fault_seed);
             run_trace(tokens);
+            run_serve(serve_seed, rps, requests);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose from: analyze table1 table3 table4 table5 fig3 fig4 fig5 fig7 fig8 fig9 whatif faults summary trace all");
+            eprintln!("choose from: analyze table1 table3 table4 table5 fig3 fig4 fig5 fig7 fig8 fig9 whatif faults summary trace serve all");
             std::process::exit(2);
         }
     }

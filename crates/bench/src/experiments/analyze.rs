@@ -2,10 +2,11 @@
 //! deployment presets: for each (platform, model, workload, policy)
 //! combination the harness derives the real parallelism plan with the
 //! controller, then lints the graph, the plan, the policy placements, the
-//! bundling decision and a sampled cost-model probe. Shipped presets must
+//! bundling decision and a sampled cost-model probe. The default serving
+//! plan rides along under the `LMA25x` family. Shipped presets must
 //! produce zero `Error` diagnostics; warnings are reported but allowed.
 
-use lm_analyze::{analyze_deployment, Deployment, Diagnostic};
+use lm_analyze::{analyze_deployment, lint_serve, Deployment, Diagnostic};
 use lm_hardware::presets;
 use lm_models::{presets as models, ModelConfig, Workload};
 use lm_offload::{transfer_tasks, try_derive_plan, DEFAULT_HEAD_GROUPS};
@@ -67,7 +68,33 @@ fn preset_row(
     }
 }
 
-/// Lint every shipped preset configuration.
+/// Lint the default serving plan with the `LMA25x` family. The plan
+/// shape reuses the row columns: `inter_op_total` carries the block
+/// graph's Kahn width, `intra_op_compute` the slot count.
+fn serve_plan_row() -> AnalyzeRow {
+    use lm_serve::{plan_admission, AnalyticBackend, ServeConfig, ServeError};
+    let backend = AnalyticBackend::opt_30b();
+    let (width, slots, report) = match plan_admission(&backend, &ServeConfig::default()) {
+        Ok(plan) => (
+            plan.kahn_width as u32,
+            plan.slots as u32,
+            lint_serve(&plan.probe()),
+        ),
+        // An infeasible default plan surfaces its LMA25x report as rows.
+        Err(ServeError::Plan(report)) => (0, 0, report),
+        Err(e) => panic!("default serve plan failed outside analysis: {e}"),
+    };
+    AnalyzeRow {
+        preset: "opt-30b/serve/default-plan".to_string(),
+        inter_op_total: width,
+        intra_op_compute: slots,
+        errors: report.error_count(),
+        warnings: report.warning_count(),
+        diagnostics: report.diagnostics,
+    }
+}
+
+/// Lint every shipped preset configuration plus the default serve plan.
 pub fn run() -> Vec<AnalyzeRow> {
     let flexgen = Policy::flexgen_default();
     vec![
@@ -95,6 +122,7 @@ pub fn run() -> Vec<AnalyzeRow> {
             &Workload::parallelism_study(),
             &flexgen,
         ),
+        serve_plan_row(),
     ]
 }
 
@@ -116,7 +144,7 @@ mod tests {
     #[test]
     fn rows_cover_the_preset_matrix() {
         let rows = run();
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), 5);
         for row in &rows {
             assert!(row.inter_op_total > 5, "{}", row.preset);
             assert!(row.intra_op_compute >= 1, "{}", row.preset);

@@ -8,6 +8,7 @@ pub mod fig5;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod serve;
 pub mod summary;
 pub mod table1;
 pub mod table3;

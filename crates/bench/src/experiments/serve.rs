@@ -1,0 +1,200 @@
+//! `repro serve` — the continuous-batching serving experiment: the same
+//! seeded OPT-30B traffic trace is served three ways (continuous
+//! batching, one-call-per-request, naive static batching) on the
+//! analytic backend's virtual clock, and continuous batching must
+//! dominate both baselines. TTFT and end-to-end latency percentiles come
+//! from each run's own `lm-trace` histogram snapshot.
+
+use lm_serve::{
+    serve_continuous, serve_sequential, serve_static, synth_traffic, AnalyticBackend,
+    ServeConfig, ServeOutcome, ServePlan,
+};
+use lm_trace::Tracer;
+use serde::{Deserialize, Serialize};
+
+pub const DEFAULT_RPS: f64 = 4.0;
+pub const DEFAULT_REQUESTS: usize = 32;
+pub const DEFAULT_SEED: u64 = 7;
+
+/// The dominance bar the experiment (and the verify gate) enforces:
+/// continuous batching must deliver at least this multiple of the
+/// sequential baseline's throughput, and strictly beat static batching.
+pub const MIN_SPEEDUP_VS_SEQUENTIAL: f64 = 1.3;
+
+/// Latency percentiles of one serving mode, seconds (from the
+/// `serve.ttft_s` / `serve.latency_s` trace histograms).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyStats {
+    pub count: u64,
+    pub p50_s: f64,
+    pub p95_s: f64,
+    pub p99_s: f64,
+    pub max_s: f64,
+}
+
+impl LatencyStats {
+    fn empty() -> Self {
+        LatencyStats {
+            count: 0,
+            p50_s: 0.0,
+            p95_s: 0.0,
+            p99_s: 0.0,
+            max_s: 0.0,
+        }
+    }
+}
+
+/// One serving mode's results over the shared traffic trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModeRow {
+    pub mode: String,
+    pub completed: usize,
+    pub rejected: usize,
+    pub sim_seconds: f64,
+    pub tokens_per_s: f64,
+    pub generated_tokens: u64,
+    pub padding_tokens: u64,
+    pub kv_peak_bytes: u64,
+    pub ttft: LatencyStats,
+    pub latency: LatencyStats,
+}
+
+/// Everything `repro serve` writes to `results/serve.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeReport {
+    pub seed: u64,
+    pub rps: f64,
+    pub requests: usize,
+    /// The `LMA25x`-linted admission plan every mode shares.
+    pub plan: ServePlan,
+    pub modes: Vec<ModeRow>,
+    pub speedup_vs_sequential: f64,
+    pub speedup_vs_static: f64,
+    /// Continuous ≥ 1.3× sequential and > static — the verify.sh gate.
+    pub dominance_ok: bool,
+}
+
+fn histogram(tracer: &Tracer, name: &str) -> LatencyStats {
+    tracer
+        .snapshot()
+        .metrics
+        .histograms
+        .get(name)
+        .map(|h| LatencyStats {
+            count: h.count,
+            p50_s: h.p50,
+            p95_s: h.p95,
+            p99_s: h.p99,
+            max_s: h.max,
+        })
+        .unwrap_or_else(LatencyStats::empty)
+}
+
+fn mode_row(mode: &str, tracer: &Tracer, out: &ServeOutcome) -> ModeRow {
+    ModeRow {
+        mode: mode.to_string(),
+        completed: out.responses.len(),
+        rejected: out.rejections.len(),
+        sim_seconds: out.sim_seconds,
+        tokens_per_s: out.tokens_per_s(),
+        generated_tokens: out.generated_tokens,
+        padding_tokens: out.padding_tokens,
+        kv_peak_bytes: out.kv_peak_bytes as u64,
+        ttft: histogram(tracer, "serve.ttft_s"),
+        latency: histogram(tracer, "serve.latency_s"),
+    }
+}
+
+/// Serve `n` seeded requests at `rps` through all three schedulers.
+pub fn run(seed: u64, rps: f64, n: usize) -> ServeReport {
+    let backend = AnalyticBackend::opt_30b();
+    let traffic = synth_traffic(seed, rps, n, lm_serve::ServeBackend::model(&backend));
+
+    let cont_tracer = Tracer::new();
+    let cfg = ServeConfig {
+        tracer: cont_tracer.clone(),
+        ..ServeConfig::default()
+    };
+    let (plan, cont) = serve_continuous(&backend, &cfg, traffic.clone())
+        .unwrap_or_else(|e| panic!("continuous serving failed: {e}"));
+
+    let seq_tracer = Tracer::new();
+    let seq_cfg = ServeConfig {
+        tracer: seq_tracer.clone(),
+        ..ServeConfig::default()
+    };
+    let seq = serve_sequential(&backend, &seq_cfg, traffic.clone())
+        .unwrap_or_else(|e| panic!("sequential baseline failed: {e}"));
+
+    let stat_tracer = Tracer::new();
+    let stat_cfg = ServeConfig {
+        tracer: stat_tracer.clone(),
+        ..ServeConfig::default()
+    };
+    let stat = serve_static(&backend, &stat_cfg, plan.slots, traffic)
+        .unwrap_or_else(|e| panic!("static baseline failed: {e}"));
+
+    let speedup_vs_sequential = if seq.tokens_per_s() > 0.0 {
+        cont.tokens_per_s() / seq.tokens_per_s()
+    } else {
+        0.0
+    };
+    let speedup_vs_static = if stat.tokens_per_s() > 0.0 {
+        cont.tokens_per_s() / stat.tokens_per_s()
+    } else {
+        0.0
+    };
+    let dominance_ok = speedup_vs_sequential >= MIN_SPEEDUP_VS_SEQUENTIAL
+        && cont.tokens_per_s() > stat.tokens_per_s();
+
+    ServeReport {
+        seed,
+        rps,
+        requests: n,
+        plan,
+        modes: vec![
+            mode_row("continuous", &cont_tracer, &cont),
+            mode_row("sequential", &seq_tracer, &seq),
+            mode_row("static", &stat_tracer, &stat),
+        ],
+        speedup_vs_sequential,
+        speedup_vs_static,
+        dominance_ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_experiment_shows_dominance() {
+        let r = run(DEFAULT_SEED, DEFAULT_RPS, DEFAULT_REQUESTS);
+        assert!(
+            r.dominance_ok,
+            "continuous must dominate: vs seq {:.2}x, vs static {:.2}x",
+            r.speedup_vs_sequential, r.speedup_vs_static
+        );
+        assert_eq!(r.modes.len(), 3);
+        let cont = &r.modes[0];
+        assert!(cont.completed > 0);
+        assert_eq!(
+            cont.ttft.count as usize, cont.completed,
+            "every completed request records a TTFT sample"
+        );
+        assert!(cont.ttft.p50_s <= cont.ttft.p99_s);
+        assert!(cont.latency.p50_s >= cont.ttft.p50_s);
+    }
+
+    #[test]
+    fn experiment_is_deterministic() {
+        let a = run(DEFAULT_SEED, DEFAULT_RPS, 16);
+        let b = run(DEFAULT_SEED, DEFAULT_RPS, 16);
+        assert_eq!(
+            a.modes[0].tokens_per_s.to_bits(),
+            b.modes[0].tokens_per_s.to_bits()
+        );
+        assert_eq!(a.modes[0].sim_seconds.to_bits(), b.modes[0].sim_seconds.to_bits());
+        assert_eq!(a.modes[0].generated_tokens, b.modes[0].generated_tokens);
+    }
+}

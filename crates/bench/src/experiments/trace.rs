@@ -19,7 +19,7 @@
 //!    compute spans per (step, layer, batch), prefill/decode scopes, and
 //!    the run's metrics snapshot.
 
-use lm_engine::{Engine, EngineOptions};
+use lm_engine::{Engine, EngineOptions, GenerateRequest};
 use lm_models::{presets as models, Workload};
 use lm_sim::policy::{AttentionPlacement, Policy};
 use lm_sim::{predicted_task_totals, simulate_traced, BaseCostModel};
@@ -101,7 +101,7 @@ pub fn engine_trace(tokens: u64) -> (EngineTracePhase, String) {
     .expect("engine construction");
     let prompts = vec![vec![1, 2, 3, 4], vec![9, 8, 7, 6]];
     let g = e
-        .generate_zigzag(&prompts, tokens as usize, 2)
+        .run(&GenerateRequest::new(prompts, tokens as usize).with_batches(2))
         .expect("traced generation");
     let report = tracer.snapshot();
     let totals = report.observed_task_totals();

@@ -19,7 +19,7 @@
 use crate::policy_search::lm_offload_evaluator;
 use crate::provider::ThreadFactors;
 use crate::quant_model::QuantCostParams;
-use lm_engine::{Engine, EngineError, EngineOptions, Generation};
+use lm_engine::{Engine, EngineError, EngineOptions, GenerateRequest, Generation};
 use lm_hardware::Platform;
 use lm_models::{DType, ModelConfig, Workload};
 use lm_sim::{AttentionPlacement, Policy};
@@ -260,7 +260,7 @@ pub fn generate_with_degradation(
     let max_attempts = controller.fallback_ladder(&initial_policy).len() + 1;
     for _ in 0..max_attempts {
         let engine = Engine::new(cfg, seed, options.clone())?;
-        match engine.generate(prompts, gen_len) {
+        match engine.run(&GenerateRequest::new(prompts.to_vec(), gen_len)) {
             Ok(generation) => {
                 return Ok(DegradedGeneration {
                     generation,

@@ -7,6 +7,7 @@ use crate::disk::{Checkpoint, CheckpointError};
 use crate::kvquant::CacheStore;
 use crate::model::Embedding;
 use crate::pools::{MemPool, PoolExhausted};
+use crate::request::GenerateRequest;
 use crate::sampler::Sampler;
 use crate::store::{FetchedLayer, OffloadStore, WeightsAtRest};
 use lm_fault::{FaultInjector, RetryPolicy};
@@ -106,6 +107,11 @@ pub struct InitReport {
 /// Errors from engine construction and generation.
 #[derive(Debug)]
 pub enum EngineError {
+    /// The request failed the shared validation checker
+    /// ([`crate::request::validate_request`]): empty batch, empty or
+    /// ragged prompts, context overflow, or a non-dividing batch count.
+    /// Malformed serving traffic surfaces here instead of panicking.
+    InvalidRequest { reason: String },
     Pool(PoolExhausted),
     Checkpoint(CheckpointError),
     /// An I/O-level failure that survived the retry budget.
@@ -123,6 +129,7 @@ pub enum EngineError {
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            EngineError::InvalidRequest { reason } => write!(f, "invalid request: {reason}"),
             EngineError::Pool(e) => write!(f, "{e}"),
             EngineError::Checkpoint(e) => write!(f, "{e}"),
             EngineError::Io(e) => write!(f, "engine I/O error: {e}"),
@@ -424,155 +431,70 @@ impl Engine {
         result
     }
 
-    /// Generate `gen_len` tokens for a batch of equal-length prompts
-    /// (single-batch block; see [`Self::generate_zigzag`] for the
-    /// multi-batch schedule).
+    /// Validate `request` against this engine's model without running it
+    /// — the same checker the `lm-serve` admission controller consults.
+    pub fn validate(&self, request: &GenerateRequest) -> Result<(), EngineError> {
+        request.validate_for(&self.cfg)
+    }
+
+    /// The unified generation entry point: validate the request with the
+    /// shared checker, then execute the zig-zag block schedule
+    /// (Algorithm 1). `num_batches == 1` is the plain single-batch
+    /// schedule; `num_batches > 1` splits the prompts into GPU batches
+    /// that traverse each layer *together*, so every layer's weights are
+    /// fetched once per decode step for the whole block — the bandwidth
+    /// amortisation at the heart of the paper's Eq. 2.
+    ///
+    /// Outputs are identical to running each batch independently (the
+    /// batches share no state); only the weight traffic changes, which
+    /// [`Generation::weight_bytes_streamed`] exposes. Malformed requests
+    /// return [`EngineError::InvalidRequest`] instead of panicking.
+    pub fn run(&self, request: &GenerateRequest) -> Result<Generation, EngineError> {
+        self.validate(request)?;
+        self.run_block(&request.prompts, request.gen_len, request.num_batches)
+    }
+
+    /// Generate `gen_len` tokens for a batch of equal-length prompts.
+    ///
+    /// Thin shim over [`Self::run`]; byte-identical outputs.
+    #[deprecated(since = "0.1.0", note = "use Engine::run(&GenerateRequest::new(...))")]
     pub fn generate(
         &self,
         prompts: &[Vec<u32>],
         gen_len: usize,
     ) -> Result<Generation, EngineError> {
-        assert!(!prompts.is_empty(), "empty batch");
-        let s = prompts[0].len();
-        assert!(s > 0, "empty prompt");
-        assert!(
-            prompts.iter().all(|p| p.len() == s),
-            "prompts must share a length (pad upstream)"
-        );
-        assert!(
-            (s + gen_len) as u64 <= self.cfg.max_seq_len,
-            "context {} + {gen_len} exceeds max_seq_len {}",
-            s,
-            self.cfg.max_seq_len
-        );
-        let b = prompts.len();
-        let h = self.cfg.hidden as usize;
-        let heads = self.cfg.num_heads as usize;
-        let l = self.store.num_layers();
-
-        // KV caches live in host memory ("CPU"), one per layer. With
-        // at-rest compression the lease shrinks to the packed size (plus
-        // per-group metadata slack).
-        let capacity = s + gen_len;
-        let full_kv_bytes = 2 * b * capacity * h * std::mem::size_of::<f32>() * l;
-        let kv_bytes = match self.options.kv_quantize_at_rest {
-            None => full_kv_bytes,
-            Some(q) => full_kv_bytes * q.bits as usize / 32 * 5 / 4,
-        };
-        let _kv_lease = self.host.alloc(kv_bytes)?;
-        let mut caches: Vec<CacheStore> = (0..l)
-            .map(|_| match self.options.kv_quantize_at_rest {
-                None => CacheStore::new_full(b, h, capacity),
-                Some(q) => CacheStore::new_quantized(b, h, capacity, q),
-            })
-            .collect();
-
-        let start = Instant::now();
-        let fetched_before = self.store.total_fetched_bytes();
-
-        // ---- Prefill ----------------------------------------------------
-        let flat: Vec<u32> = prompts.iter().flatten().copied().collect();
-        let positions: Vec<usize> = (0..b).flat_map(|_| 0..s).collect();
-        let mut x = {
-            let emb = self.embedding.embed(&flat, &positions);
-            emb.reshape([b, s, h])
-        };
-        {
-            let _prefill = self.options.tracer.scope("prefill");
-            let caches = &mut caches;
-            let mut j = 0usize;
-            let x_ref = &mut x;
-            self.sweep_layers(None, |fetched| {
-                *x_ref = caches[j]
-                    .with_full(|c| fetched.weights.forward_prefill(x_ref, c, heads, 0));
-                j += 1;
-            })?;
-        }
-
-        // Last position hidden state per batch row.
-        let mut last_hidden = {
-            let mut data = Vec::with_capacity(b * h);
-            for bi in 0..b {
-                data.extend_from_slice(&x.data()[(bi * s + (s - 1)) * h..][..h]);
-            }
-            Tensor::from_vec([b, h], data)
-        };
-
-        // ---- Decode -----------------------------------------------------
-        let _decode = self.options.tracer.scope("decode");
-        let mut tokens: Vec<Vec<u32>> = vec![Vec::with_capacity(gen_len); b];
-        for step in 0..gen_len {
-            let logits = self.embedding.unembed(&last_hidden);
-            let next = self.options.sampler.sample(&logits);
-            for (row, &t) in tokens.iter_mut().zip(&next) {
-                row.push(t);
-            }
-            let pos = s + step;
-            let mut xd = self.embedding.embed(&next, &vec![pos; b]);
-            {
-                let tracer = &self.options.tracer;
-                let caches = &mut caches;
-                let mut j = 0usize;
-                let xd_ref = &mut xd;
-                self.sweep_layers(Some(step as u64), |fetched| {
-                    let _span =
-                        tracer.task_span(TaskKind::ComputeGpu, step as u64, j as u32, None);
-                    *xd_ref = caches[j]
-                        .with_full(|c| fetched.weights.forward_decode(xd_ref, c, heads, pos));
-                    j += 1;
-                })?;
-            }
-            last_hidden = xd;
-        }
-        drop(_decode);
-
-        let elapsed = start.elapsed().as_secs_f64();
-        let generation = Generation {
-            tokens,
-            throughput: (b * gen_len) as f64 / elapsed.max(f64::MIN_POSITIVE),
-            device_peak: self.device.peak(),
-            host_peak: self.host.peak(),
-            weight_bytes_streamed: self.store.total_fetched_bytes() - fetched_before,
-            kv_bytes_at_rest: caches.iter().map(CacheStore::bytes).sum(),
-        };
-        self.record_run_metrics(&generation);
-        Ok(generation)
+        self.run(&GenerateRequest::new(prompts.to_vec(), gen_len))
     }
 
-    /// Generate with FlexGen's zig-zag block schedule (Algorithm 1): the
-    /// prompts are split into `num_batches` GPU batches that traverse each
-    /// layer *together*, so every layer's weights are fetched once per
-    /// decode step for the whole block instead of once per batch — the
-    /// bandwidth amortisation at the heart of the paper's Eq. 2.
+    /// Generate with FlexGen's zig-zag block schedule.
     ///
-    /// Outputs are identical to generating each batch independently (the
-    /// batches share no state); only the weight traffic changes, which
-    /// [`Generation::weight_bytes_streamed`] exposes.
+    /// Thin shim over [`Self::run`]; byte-identical outputs.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Engine::run(&GenerateRequest::new(...).with_batches(n))"
+    )]
     pub fn generate_zigzag(
         &self,
         prompts: &[Vec<u32>],
         gen_len: usize,
         num_batches: usize,
     ) -> Result<Generation, EngineError> {
-        assert!(num_batches >= 1, "need at least one batch");
-        assert!(
-            !prompts.is_empty() && prompts.len().is_multiple_of(num_batches),
-            "prompt count {} must divide into {num_batches} equal batches",
-            prompts.len()
-        );
+        self.run(&GenerateRequest::new(prompts.to_vec(), gen_len).with_batches(num_batches))
+    }
+
+    /// The validated block schedule: prompts are well-formed and divide
+    /// into `num_batches` equal batches (enforced by [`Self::run`]).
+    fn run_block(
+        &self,
+        prompts: &[Vec<u32>],
+        gen_len: usize,
+        num_batches: usize,
+    ) -> Result<Generation, EngineError> {
         let per = prompts.len() / num_batches;
         let s = prompts[0].len();
-        assert!(s > 0, "empty prompt");
-        assert!(
-            prompts.iter().all(|p| p.len() == s),
-            "prompts must share a length (pad upstream)"
-        );
-        assert!(
-            (s + gen_len) as u64 <= self.cfg.max_seq_len,
-            "context {} + {gen_len} exceeds max_seq_len {}",
-            s,
-            self.cfg.max_seq_len
-        );
+        // Single-batch runs keep the historical span shape of `generate`
+        // (no batch index); blocks tag each compute span with its batch.
+        let span_batch = |k: usize| (num_batches > 1).then_some(k as u32);
         let h = self.cfg.hidden as usize;
         let heads = self.cfg.num_heads as usize;
         let l = self.store.num_layers();
@@ -661,7 +583,7 @@ impl Engine {
                             TaskKind::ComputeGpu,
                             step as u64,
                             j as u32,
-                            Some(k as u32),
+                            span_batch(k),
                         );
                         *xd = caches[j][k]
                             .with_full(|c| fetched.weights.forward_decode(xd, c, heads, pos));
@@ -747,8 +669,8 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let e = engine_with(256 << 20, true);
-        let a = e.generate(&prompts(), 6).unwrap();
-        let b = e.generate(&prompts(), 6).unwrap();
+        let a = e.run(&GenerateRequest::new(prompts(), 6)).unwrap();
+        let b = e.run(&GenerateRequest::new(prompts(), 6)).unwrap();
         assert_eq!(a.tokens, b.tokens);
         assert_eq!(a.tokens.len(), 2);
         assert_eq!(a.tokens[0].len(), 6);
@@ -761,8 +683,8 @@ mod tests {
         let e_big = engine_with(256 << 20, false);
         let layer_bytes = e_big.store.fetched_bytes(0);
         let e_tight = engine_with(2 * layer_bytes + 1024, true);
-        let a = e_big.generate(&prompts(), 8).unwrap();
-        let b = e_tight.generate(&prompts(), 8).unwrap();
+        let a = e_big.run(&GenerateRequest::new(prompts(), 8)).unwrap();
+        let b = e_tight.run(&GenerateRequest::new(prompts(), 8)).unwrap();
         assert_eq!(a.tokens, b.tokens);
         assert!(b.device_peak <= 2 * layer_bytes + 1024);
     }
@@ -773,9 +695,9 @@ mod tests {
         let layer_bytes = probe.store.fetched_bytes(0);
         // Prefetching needs two in flight.
         let tight = engine_with(layer_bytes + 512, true);
-        assert!(tight.generate(&prompts(), 2).is_err());
+        assert!(tight.run(&GenerateRequest::new(prompts(), 2)).is_err());
         let serial = engine_with(layer_bytes + 512, false);
-        let out = serial.generate(&prompts(), 2).unwrap();
+        let out = serial.run(&GenerateRequest::new(prompts(), 2)).unwrap();
         assert!(out.device_peak <= layer_bytes + 512);
     }
 
@@ -809,7 +731,7 @@ mod tests {
             EngineOptions { strict: true, ..EngineOptions::default() },
         )
         .unwrap();
-        let out = e.generate(&prompts(), 3).unwrap();
+        let out = e.run(&GenerateRequest::new(prompts(), 3)).unwrap();
         assert_eq!(out.tokens[0].len(), 3);
     }
 
@@ -826,27 +748,49 @@ mod tests {
             },
         )
         .unwrap();
-        let gf = full.generate(&prompts(), 4).unwrap();
-        let gq = quant.generate(&prompts(), 4).unwrap();
+        let gf = full.run(&GenerateRequest::new(prompts(), 4)).unwrap();
+        let gq = quant.run(&GenerateRequest::new(prompts(), 4)).unwrap();
         assert!(quant.store.host_bytes() < full.store.host_bytes() / 2);
         // int8 weights keep the argmax trajectory for a few tokens on a
         // tiny model... not guaranteed in general, so only check shape.
         assert_eq!(gq.tokens[0].len(), gf.tokens[0].len());
     }
 
-    #[test]
-    #[should_panic(expected = "exceeds max_seq_len")]
-    fn context_overflow_rejected() {
-        let e = engine_with(256 << 20, true);
-        let long = vec![vec![1u32; 500]];
-        let _ = e.generate(&long, 100); // 600 > tiny-test max_seq 512
+    fn invalid_reason(r: Result<Generation, EngineError>) -> String {
+        match r {
+            Err(EngineError::InvalidRequest { reason }) => reason,
+            other => panic!("expected InvalidRequest, got ok={}", other.is_ok()),
+        }
     }
 
     #[test]
-    #[should_panic(expected = "prompts must share a length")]
-    fn ragged_prompts_rejected() {
+    fn context_overflow_rejected_as_typed_error() {
         let e = engine_with(256 << 20, true);
-        let _ = e.generate(&[vec![1, 2], vec![3]], 2);
+        let long = vec![vec![1u32; 500]];
+        // 600 > tiny-test max_seq 512 — an error, not a panic.
+        let reason = invalid_reason(e.run(&GenerateRequest::new(long, 100)));
+        assert!(reason.contains("exceeds max_seq_len"), "{reason}");
+    }
+
+    #[test]
+    fn ragged_prompts_rejected_as_typed_error() {
+        let e = engine_with(256 << 20, true);
+        let reason = invalid_reason(e.run(&GenerateRequest::new(vec![vec![1, 2], vec![3]], 2)));
+        assert!(reason.contains("share a length"), "{reason}");
+    }
+
+    #[test]
+    fn deprecated_shims_delegate_to_run() {
+        #![allow(deprecated)]
+        let e = engine_with(256 << 20, true);
+        let via_run = e.run(&GenerateRequest::new(prompts(), 5)).unwrap();
+        let via_generate = e.generate(&prompts(), 5).unwrap();
+        assert_eq!(via_run.tokens, via_generate.tokens);
+        assert_eq!(via_run.weight_bytes_streamed, via_generate.weight_bytes_streamed);
+        let via_block = e.run(&GenerateRequest::new(prompts(), 5).with_batches(2)).unwrap();
+        let via_zigzag = e.generate_zigzag(&prompts(), 5, 2).unwrap();
+        assert_eq!(via_block.tokens, via_zigzag.tokens);
+        assert_eq!(via_block.kv_bytes_at_rest, via_zigzag.kv_bytes_at_rest);
     }
 
     #[test]
@@ -855,7 +799,7 @@ mod tests {
         // streaming every at-rest layer byte exactly once.
         let e = engine_with(256 << 20, true);
         let gen_len = 3;
-        let g = e.generate(&prompts(), gen_len).unwrap();
+        let g = e.run(&GenerateRequest::new(prompts(), gen_len)).unwrap();
         let expected = (1 + gen_len as u64) * e.store.host_bytes() as u64;
         assert_eq!(g.weight_bytes_streamed, expected);
         // Quantized at rest: 4x fewer bytes cross the "link".
@@ -869,7 +813,7 @@ mod tests {
             },
         )
         .unwrap();
-        let gq = q.generate(&prompts(), gen_len).unwrap();
+        let gq = q.run(&GenerateRequest::new(prompts(), gen_len)).unwrap();
         assert!(
             gq.weight_bytes_streamed * 3 < g.weight_bytes_streamed,
             "int4 {} vs f32 {}",
@@ -891,8 +835,8 @@ mod tests {
             },
         )
         .unwrap();
-        let gf = full.generate(&prompts(), 4).unwrap();
-        let gh = half.generate(&prompts(), 4).unwrap();
+        let gf = full.run(&GenerateRequest::new(prompts(), 4)).unwrap();
+        let gh = half.run(&GenerateRequest::new(prompts(), 4)).unwrap();
         // fp16 at rest: ~half the stream; greedy first token survives.
         let ratio = gf.weight_bytes_streamed as f64 / gh.weight_bytes_streamed as f64;
         assert!((1.8..=2.1).contains(&ratio), "ratio {ratio}");
@@ -912,8 +856,8 @@ mod tests {
             },
         )
         .unwrap();
-        let gf = full.generate(&prompts(), 4).unwrap();
-        let gq = quant.generate(&prompts(), 4).unwrap();
+        let gf = full.run(&GenerateRequest::new(prompts(), 4)).unwrap();
+        let gq = quant.run(&GenerateRequest::new(prompts(), 4)).unwrap();
         assert_eq!(gq.tokens[0].len(), 4);
         // int8 at rest: ~4x smaller cache.
         assert!(
@@ -942,7 +886,7 @@ mod tests {
         )
         .unwrap();
         let gen_len = 3;
-        let g = e.generate_zigzag(&prompts(), gen_len, 2).unwrap();
+        let g = e.run(&GenerateRequest::new(prompts(), gen_len).with_batches(2)).unwrap();
         let report = tracer.snapshot();
         let l = cfg.num_layers as usize;
         // One load_weight span per (token, layer); one compute span per
@@ -983,14 +927,14 @@ mod tests {
         );
         // Tracing must not perturb the tokens.
         let clean = engine_with(256 << 20, true);
-        let untraced = clean.generate_zigzag(&prompts(), gen_len, 2).unwrap();
+        let untraced = clean.run(&GenerateRequest::new(prompts(), gen_len).with_batches(2)).unwrap();
         assert_eq!(g.tokens, untraced.tokens);
     }
 
     #[test]
     fn kv_cache_charged_to_host() {
         let e = engine_with(256 << 20, true);
-        let g = e.generate(&prompts(), 4).unwrap();
+        let g = e.run(&GenerateRequest::new(prompts(), 4)).unwrap();
         // Host peak covers weights + KV lease.
         assert!(g.host_peak > e.store.host_bytes());
     }

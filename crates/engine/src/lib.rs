@@ -12,11 +12,11 @@
 //! honoured.
 //!
 //! ```
-//! use lm_engine::{Engine, EngineOptions};
+//! use lm_engine::{Engine, EngineOptions, GenerateRequest};
 //! use lm_models::presets;
 //!
 //! let engine = Engine::new(&presets::tiny_test(), 7, EngineOptions::default()).unwrap();
-//! let out = engine.generate(&[vec![1, 2, 3]], 4).unwrap();
+//! let out = engine.run(&GenerateRequest::new(vec![vec![1, 2, 3]], 4)).unwrap();
 //! assert_eq!(out.tokens[0].len(), 4);
 //! assert!(out.weight_bytes_streamed > 0); // every layer streamed per sweep
 //! ```
@@ -28,11 +28,13 @@ pub mod generate;
 pub mod kvquant;
 pub mod model;
 pub mod pools;
+pub mod request;
 pub mod sampler;
 pub mod store;
 
 pub use disk::{write_checkpoint, Checkpoint, CheckpointError};
 pub use generate::{Engine, EngineError, EngineOptions, Generation, InitReport};
+pub use request::{validate_request, GenerateRequest};
 pub use kvquant::{CacheStore, QuantizedKv};
 pub use model::{Embedding, LayerWeights};
 pub use pools::{Lease, MemPool, PoolExhausted};

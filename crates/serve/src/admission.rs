@@ -1,0 +1,240 @@
+//! The admission controller: turn a [`ServeConfig`] into a checked
+//! [`ServePlan`] by consulting the analytic performance model and the KV
+//! pool headroom.
+//!
+//! Slot count is chosen as the throughput argmax of the cost model:
+//! because each decode step pays one shared layer fetch plus per-slot
+//! terms, modelled tokens/s (`k / step(k)`) is non-decreasing in `k`, so
+//! the argmax is the largest `k` the KV pool and the configured ceiling
+//! admit. The resulting plan is linted by `lm-analyze`'s `LMA25x` family
+//! before any request is served — an infeasible plan is a typed error
+//! carrying the diagnostic report, the same contract as the engine's
+//! strict pre-flight.
+
+use crate::backend::ServeBackend;
+use lm_analyze::{lint_serve, Report, ServeProbe};
+use lm_engine::EngineError;
+use lm_fault::{FaultInjector, RetryPolicy};
+use lm_parallelism::{analyze, attention_block_graph};
+use lm_trace::Tracer;
+use serde::{Deserialize, Serialize};
+
+/// Operator-facing serving knobs.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Upper bound on concurrent sequences (slots).
+    pub max_slots: usize,
+    /// KV pool capacity in bytes; `0` derives `max_slots` worst-case
+    /// leases so the configured ceiling is reachable.
+    pub kv_pool_bytes: usize,
+    /// Worst-case per-slot context length used to size leases and the
+    /// plan; `0` derives a quarter of the model's context window (the
+    /// traffic synthesizer's envelope).
+    pub slot_context: usize,
+    /// Head groups of the per-sequence attention graph (the Kahn-width
+    /// bound input).
+    pub head_groups: usize,
+    /// Retry budget for admissions that hit transient pool pressure.
+    pub retry: RetryPolicy,
+    /// Fault plan attached to the serve KV pool.
+    pub fault: FaultInjector,
+    /// Span/metrics recorder (TTFT, queue depth, slot occupancy, ...).
+    pub tracer: Tracer,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_slots: 8,
+            kv_pool_bytes: 0,
+            slot_context: 0,
+            head_groups: 7,
+            retry: RetryPolicy::none(),
+            fault: FaultInjector::disabled(),
+            tracer: Tracer::disabled(),
+        }
+    }
+}
+
+/// The admission controller's output: how many sequences serve
+/// concurrently and what that claims.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServePlan {
+    /// Concurrent sequences (each holds one KV lease).
+    pub slots: usize,
+    /// Planning context length behind the lease sizing.
+    pub slot_context: usize,
+    /// Worst-case lease per slot, bytes.
+    pub kv_bytes_per_slot: u64,
+    /// Serve KV pool capacity, bytes.
+    pub kv_pool_bytes: u64,
+    /// Kahn width (max concurrency) of the `slots`-sequence block graph.
+    pub kahn_width: u64,
+    /// Modelled seconds per decode step with every slot at the planning
+    /// context.
+    pub est_step_seconds: f64,
+    /// Modelled steady-state throughput, tokens/second.
+    pub est_tokens_per_s: f64,
+}
+
+impl ServePlan {
+    /// The observation `lm-analyze`'s `LMA25x` lints judge.
+    pub fn probe(&self) -> ServeProbe {
+        ServeProbe {
+            slots: self.slots as u64,
+            kv_bytes_per_slot: self.kv_bytes_per_slot,
+            kv_pool_bytes: self.kv_pool_bytes,
+            block_size: self.slots as u64,
+            kahn_width: self.kahn_width,
+        }
+    }
+}
+
+/// Serving-layer failures.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The plan failed its `LMA25x` pre-flight; the report names each
+    /// violation with stable codes.
+    Plan(Report),
+    /// The backend failed (engine construction, materialization).
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Plan(report) => {
+                write!(f, "serve plan rejected by pre-flight analysis:\n{report}")
+            }
+            ServeError::Engine(e) => write!(f, "backend error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+/// Derive and lint the slot plan for `backend` under `cfg`.
+pub fn plan_admission(
+    backend: &dyn ServeBackend,
+    cfg: &ServeConfig,
+) -> Result<ServePlan, ServeError> {
+    let model = backend.model();
+    let context = if cfg.slot_context > 0 {
+        cfg.slot_context
+    } else {
+        ((model.max_seq_len / 4) as usize).max(2)
+    };
+    let per_slot = backend.kv_bytes_at(context).max(1);
+    let pool_bytes = if cfg.kv_pool_bytes > 0 {
+        cfg.kv_pool_bytes
+    } else {
+        cfg.max_slots.max(1) * per_slot
+    };
+    // Throughput argmax under the pool and the configured ceiling: the
+    // shared weight stream makes k/step(k) non-decreasing, so take the
+    // largest feasible k (and let the lint reject a pool too small for
+    // even one).
+    let by_pool = pool_bytes / per_slot;
+    let slots = cfg.max_slots.min(by_pool.max(1)).max(1);
+    let graph = attention_block_graph(
+        1,
+        slots as u64,
+        context as u64,
+        model.hidden,
+        cfg.head_groups.max(1),
+    );
+    let kahn_width = analyze(&graph).map(|a| a.max_concurrency()).unwrap_or(0) as u64;
+    let est_step_seconds = backend.decode_step_seconds(&vec![context as u64; slots]);
+    let plan = ServePlan {
+        slots,
+        slot_context: context,
+        kv_bytes_per_slot: per_slot as u64,
+        kv_pool_bytes: pool_bytes as u64,
+        kahn_width,
+        est_step_seconds,
+        est_tokens_per_s: if est_step_seconds > 0.0 {
+            slots as f64 / est_step_seconds
+        } else {
+            0.0
+        },
+    };
+    let report = lint_serve(&plan.probe());
+    if !report.is_clean() {
+        return Err(ServeError::Plan(report));
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::AnalyticBackend;
+    use lm_analyze::LintCode;
+
+    #[test]
+    fn default_plan_is_clean_and_model_guided() {
+        let b = AnalyticBackend::opt_30b();
+        let plan = plan_admission(&b, &ServeConfig::default()).unwrap();
+        assert_eq!(plan.slots, 8);
+        assert!(plan.kahn_width >= plan.slots as u64);
+        assert!(plan.est_step_seconds > 0.0);
+        assert!(plan.est_tokens_per_s > 0.0);
+        assert!(lint_serve(&plan.probe()).is_clean());
+    }
+
+    #[test]
+    fn pool_bound_caps_slots_below_ceiling() {
+        let b = AnalyticBackend::opt_30b();
+        let per_slot = {
+            let p = plan_admission(&b, &ServeConfig::default()).unwrap();
+            p.kv_bytes_per_slot as usize
+        };
+        let cfg = ServeConfig {
+            kv_pool_bytes: 3 * per_slot + per_slot / 2,
+            ..ServeConfig::default()
+        };
+        let plan = plan_admission(&b, &cfg).unwrap();
+        assert_eq!(plan.slots, 3, "pool fits exactly three leases");
+    }
+
+    #[test]
+    fn pool_too_small_for_one_slot_is_rejected_with_lma250() {
+        let b = AnalyticBackend::opt_30b();
+        let cfg = ServeConfig {
+            kv_pool_bytes: 1024, // far below one lease
+            ..ServeConfig::default()
+        };
+        match plan_admission(&b, &cfg) {
+            Err(ServeError::Plan(report)) => {
+                assert!(report.has(LintCode::Lma250SlotsExceedPool), "{report}")
+            }
+            other => panic!("expected plan rejection, got ok={}", other.is_ok()),
+        }
+    }
+
+    #[test]
+    fn bigger_blocks_estimate_higher_throughput() {
+        let b = AnalyticBackend::opt_30b();
+        let one = plan_admission(
+            &b,
+            &ServeConfig {
+                max_slots: 1,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let eight = plan_admission(&b, &ServeConfig::default()).unwrap();
+        assert!(
+            eight.est_tokens_per_s > one.est_tokens_per_s * 2.0,
+            "amortised weights must show up in the estimate: {} vs {}",
+            eight.est_tokens_per_s,
+            one.est_tokens_per_s
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! # lm-serve
+//!
+//! A deterministic continuous-batching serving layer over the offloading
+//! engine (DESIGN.md §11): independent, ragged-length requests are
+//! admitted into the zig-zag block schedule so the per-layer weight
+//! stream — the dominant cost of offloaded generation (Eq. 2) — is
+//! amortised across whoever is active, instead of being re-paid per
+//! request.
+//!
+//! Pieces:
+//!
+//! - [`request`]: the [`Request`]/[`Response`] vocabulary (priority,
+//!   deadline, seed), typed [`Rejection`]s, the virtual-clock
+//!   [`ArrivalQueue`], and the seeded [`synth_traffic`] generator;
+//! - [`backend`]: the [`ServeBackend`] substrate split — tokens are a
+//!   deterministic function of the request alone (proved by the zig-zag
+//!   equivalence tests), timing comes from the analytic cost model —
+//!   with [`AnalyticBackend`] (OPT-30B-class) and [`EngineBackend`]
+//!   (real miniature engine) implementations;
+//! - [`admission`]: the model-guided admission controller producing an
+//!   `LMA25x`-linted [`ServePlan`] (slots vs KV pool headroom vs the
+//!   block graph's Kahn width);
+//! - [`scheduler`]: the continuous scheduler ([`serve_continuous`],
+//!   streaming variant [`serve_continuous_with`]) and its two baselines
+//!   ([`serve_sequential`], [`serve_static`]).
+//!
+//! Everything runs on a virtual clock in integer microseconds; a serving
+//! run is a pure function of `(requests, backend, config)` — identical
+//! across runs and machines, which is what makes the `repro serve`
+//! experiment reproducible.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod admission;
+pub mod backend;
+pub mod request;
+pub mod scheduler;
+
+pub use admission::{plan_admission, ServeConfig, ServeError, ServePlan};
+pub use backend::{AnalyticBackend, EngineBackend, ServeBackend};
+pub use request::{synth_traffic, ArrivalQueue, RejectReason, Rejection, Request, Response};
+pub use scheduler::{
+    serve_continuous, serve_continuous_with, serve_sequential, serve_static, ServeOutcome,
+    TokenEvent,
+};

@@ -1,0 +1,330 @@
+//! The serving request/response vocabulary and the seeded virtual-clock
+//! arrival queue.
+//!
+//! All times are virtual microseconds (`u64`) since the start of the
+//! serving run: the scheduler advances its clock by the performance
+//! model's task costs, never by wall time, so a run is a deterministic
+//! function of `(traffic seed, backend, config)`.
+
+use lm_models::ModelConfig;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One independent generation request entering the serving queue.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    pub id: u64,
+    /// Prompt token ids. Requests are ragged: prompts of different
+    /// lengths mix freely; the scheduler pads within an admitted group.
+    pub prompt: Vec<u32>,
+    /// Tokens to generate beyond the prompt.
+    pub gen_len: usize,
+    /// Larger is more urgent; ties broken by arrival then id.
+    pub priority: u8,
+    /// Absolute virtual deadline for *admission* (not completion); a
+    /// request still queued past it is rejected, mirroring client
+    /// timeouts. `None` waits forever.
+    pub deadline_us: Option<u64>,
+    /// Per-request sampling seed (synthetic backends derive the token
+    /// stream from it).
+    pub seed: u64,
+    /// Virtual arrival time.
+    pub arrival_us: u64,
+}
+
+impl Request {
+    pub fn new(id: u64, prompt: Vec<u32>, gen_len: usize) -> Self {
+        Request {
+            id,
+            prompt,
+            gen_len,
+            priority: 0,
+            deadline_us: None,
+            seed: id,
+            arrival_us: 0,
+        }
+    }
+
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    pub fn with_deadline_us(mut self, deadline_us: u64) -> Self {
+        self.deadline_us = Some(deadline_us);
+        self
+    }
+
+    pub fn with_arrival_us(mut self, arrival_us: u64) -> Self {
+        self.arrival_us = arrival_us;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A completed request with its full token stream and latency marks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Response {
+    pub id: u64,
+    pub tokens: Vec<u32>,
+    pub arrival_us: u64,
+    /// Virtual time the first generated token was delivered.
+    pub first_token_us: u64,
+    /// Virtual time the last token was delivered.
+    pub finish_us: u64,
+}
+
+impl Response {
+    /// Time to first token, seconds.
+    pub fn ttft_s(&self) -> f64 {
+        (self.first_token_us.saturating_sub(self.arrival_us)) as f64 / 1e6
+    }
+
+    /// End-to-end request latency, seconds.
+    pub fn latency_s(&self) -> f64 {
+        (self.finish_us.saturating_sub(self.arrival_us)) as f64 / 1e6
+    }
+}
+
+/// Why a request never produced a response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Failed the engine's shared request checker
+    /// ([`lm_engine::validate_request`]).
+    Invalid(String),
+    /// Still queued past its admission deadline.
+    DeadlineExpired { deadline_us: u64, now_us: u64 },
+    /// Worst-case KV lease larger than the whole pool: unservable under
+    /// this plan no matter how long it waits.
+    PoolOverCommit { bytes: usize, capacity: usize },
+    /// Admission kept failing after the retry budget with no prospect of
+    /// recovery (e.g. injected pool pressure on an otherwise empty pool).
+    AdmissionFailed(String),
+}
+
+// The vendored serde derive handles named-field structs and unit-variant
+// enums only; a data-carrying enum serialises by hand as a tagged object.
+impl Serialize for RejectReason {
+    fn serialize(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        let kind = match self {
+            RejectReason::Invalid(reason) => {
+                m.insert("reason".into(), serde::Value::String(reason.clone()));
+                "invalid"
+            }
+            RejectReason::DeadlineExpired { deadline_us, now_us } => {
+                m.insert("deadline_us".into(), serde::Value::PosInt(*deadline_us));
+                m.insert("now_us".into(), serde::Value::PosInt(*now_us));
+                "deadline_expired"
+            }
+            RejectReason::PoolOverCommit { bytes, capacity } => {
+                m.insert("bytes".into(), serde::Value::PosInt(*bytes as u64));
+                m.insert("capacity".into(), serde::Value::PosInt(*capacity as u64));
+                "pool_over_commit"
+            }
+            RejectReason::AdmissionFailed(reason) => {
+                m.insert("reason".into(), serde::Value::String(reason.clone()));
+                "admission_failed"
+            }
+        };
+        m.insert("kind".into(), serde::Value::String(kind.to_string()));
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for RejectReason {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let map = value
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected object for RejectReason"))?;
+        let kind: String = serde::field(map, "kind")?;
+        match kind.as_str() {
+            "invalid" => Ok(RejectReason::Invalid(serde::field(map, "reason")?)),
+            "deadline_expired" => Ok(RejectReason::DeadlineExpired {
+                deadline_us: serde::field(map, "deadline_us")?,
+                now_us: serde::field(map, "now_us")?,
+            }),
+            "pool_over_commit" => Ok(RejectReason::PoolOverCommit {
+                bytes: serde::field(map, "bytes")?,
+                capacity: serde::field(map, "capacity")?,
+            }),
+            "admission_failed" => Ok(RejectReason::AdmissionFailed(serde::field(map, "reason")?)),
+            other => Err(serde::Error::custom(format!(
+                "unknown RejectReason kind '{other}'"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::Invalid(r) => write!(f, "invalid request: {r}"),
+            RejectReason::DeadlineExpired { deadline_us, now_us } => {
+                write!(f, "deadline {deadline_us}us expired at {now_us}us")
+            }
+            RejectReason::PoolOverCommit { bytes, capacity } => {
+                write!(f, "KV lease of {bytes} B exceeds the {capacity} B pool")
+            }
+            RejectReason::AdmissionFailed(r) => write!(f, "admission failed: {r}"),
+        }
+    }
+}
+
+/// A rejected request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rejection {
+    pub id: u64,
+    pub reason: RejectReason,
+}
+
+/// Requests sorted by arrival time; the scheduler drains the arrived
+/// prefix at each block boundary.
+#[derive(Debug, Clone, Default)]
+pub struct ArrivalQueue {
+    /// Sorted by `(arrival_us, id)` ascending; consumed from the front.
+    pending: std::collections::VecDeque<Request>,
+}
+
+impl ArrivalQueue {
+    pub fn new(mut requests: Vec<Request>) -> Self {
+        requests.sort_by_key(|r| (r.arrival_us, r.id));
+        ArrivalQueue {
+            pending: requests.into(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Arrival time of the next not-yet-arrived request.
+    pub fn next_arrival_us(&self) -> Option<u64> {
+        self.pending.front().map(|r| r.arrival_us)
+    }
+
+    /// Remove and return every request with `arrival_us <= now_us`.
+    pub fn pop_arrived(&mut self, now_us: u64) -> Vec<Request> {
+        let mut out = Vec::new();
+        while self
+            .pending
+            .front()
+            .is_some_and(|r| r.arrival_us <= now_us)
+        {
+            if let Some(r) = self.pending.pop_front() {
+                out.push(r);
+            }
+        }
+        out
+    }
+}
+
+/// Seconds → virtual microseconds, rounding up so no positive cost ever
+/// collapses to zero ticks.
+pub(crate) fn micros(seconds: f64) -> u64 {
+    (seconds * 1e6).ceil().max(0.0) as u64
+}
+
+/// Synthesize a seeded open-loop traffic trace: Poisson arrivals at
+/// `rps` requests/second with ragged prompt/generation lengths and mixed
+/// priorities, sized to fit `cfg`'s context window. Identical
+/// `(seed, rps, n)` always produce the identical trace.
+pub fn synth_traffic(seed: u64, rps: f64, n: usize, cfg: &ModelConfig) -> Vec<Request> {
+    assert!(rps > 0.0, "rps must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t_us = 0u64;
+    let max_prompt = ((cfg.max_seq_len / 4) as usize).max(5);
+    let mut out = Vec::with_capacity(n);
+    for id in 0..n as u64 {
+        // Exponential inter-arrival: -ln(1-u)/rps.
+        let u: f64 = rng.gen();
+        t_us += micros(-(1.0 - u).ln() / rps);
+        let prompt_len = rng.gen_range(4usize..max_prompt);
+        let gen_cap = (cfg.max_seq_len as usize - prompt_len).clamp(5, 64);
+        let gen_len = rng.gen_range(4usize..gen_cap);
+        let prompt = (0..prompt_len)
+            .map(|_| rng.gen_range(1u32..cfg.vocab_size as u32))
+            .collect();
+        let mut req = Request::new(id, prompt, gen_len)
+            .with_priority(rng.gen_range(0u64..3) as u8)
+            .with_arrival_us(t_us)
+            .with_seed(seed ^ (id.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        // A slice of the traffic carries admission deadlines (generous:
+        // several mean inter-arrival periods).
+        if rng.gen_bool(0.125) {
+            req = req.with_deadline_us(t_us + micros(64.0 / rps));
+        }
+        out.push(req);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lm_models::presets;
+
+    #[test]
+    fn traffic_is_deterministic_and_well_formed() {
+        let cfg = presets::opt_30b();
+        let a = synth_traffic(7, 4.0, 32, &cfg);
+        let b = synth_traffic(7, 4.0, 32, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 32);
+        let mut prev = 0;
+        for r in &a {
+            assert!(!r.prompt.is_empty());
+            assert!(r.gen_len >= 4);
+            assert!((r.prompt.len() + r.gen_len) as u64 <= cfg.max_seq_len);
+            assert!(r.arrival_us >= prev, "arrivals must be monotone");
+            prev = r.arrival_us;
+        }
+        let c = synth_traffic(8, 4.0, 32, &cfg);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn arrival_queue_drains_in_time_order() {
+        let reqs = vec![
+            Request::new(1, vec![1], 2).with_arrival_us(50),
+            Request::new(0, vec![1], 2).with_arrival_us(10),
+            Request::new(2, vec![1], 2).with_arrival_us(90),
+        ];
+        let mut q = ArrivalQueue::new(reqs);
+        assert_eq!(q.next_arrival_us(), Some(10));
+        assert_eq!(q.pop_arrived(5).len(), 0);
+        let first = q.pop_arrived(60);
+        assert_eq!(first.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_arrived(100)[0].id, 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn response_latency_math() {
+        let r = Response {
+            id: 0,
+            tokens: vec![1, 2],
+            arrival_us: 1_000_000,
+            first_token_us: 1_500_000,
+            finish_us: 3_000_000,
+        };
+        assert!((r.ttft_s() - 0.5).abs() < 1e-9);
+        assert!((r.latency_s() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn micros_rounds_up() {
+        assert_eq!(micros(0.0), 0);
+        assert_eq!(micros(1e-7), 1);
+        assert_eq!(micros(1.5), 1_500_000);
+    }
+}

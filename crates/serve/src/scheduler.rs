@@ -1,0 +1,671 @@
+//! The deterministic continuous-batching scheduler, plus the two
+//! baselines it is measured against (sequential one-call-per-request and
+//! naive static batching).
+//!
+//! Determinism contract: the scheduler runs on a virtual clock (u64
+//! microseconds) advanced only by the backend's modelled task costs.
+//! Admission order is a total order — `(priority desc, arrival asc, id
+//! asc)` — and every block boundary processes arrivals, retirements and
+//! admissions in a fixed sequence, so a run is a pure function of
+//! `(requests, backend, config)`: byte-identical outcomes across runs
+//! and machines.
+//!
+//! Slot lifecycle: a request is admitted at a block boundary when a slot
+//! is free and its KV lease (worst case for its padded context) is
+//! granted by the serve pool; transient grant failures retry under the
+//! configured `lm-fault` policy, then defer to the next boundary while
+//! other sequences still hold leases. Each decode step delivers one
+//! token to every active slot (streamed through the `on_token`
+//! callback); a finished sequence drops its lease at the boundary, and
+//! the freed bytes admit the next queued request.
+
+use crate::admission::{ServeConfig, ServeError, ServePlan};
+use crate::backend::ServeBackend;
+use crate::request::{micros, ArrivalQueue, RejectReason, Rejection, Request, Response};
+use lm_engine::{validate_request, EngineError, Lease, MemPool};
+use serde::{Deserialize, Serialize};
+
+/// One streamed token, delivered as it is generated (virtual time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenEvent {
+    pub request_id: u64,
+    /// 0-based index of this token within the request's generation.
+    pub index: usize,
+    pub token: u32,
+    pub t_us: u64,
+}
+
+/// What one serving run produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeOutcome {
+    pub responses: Vec<Response>,
+    pub rejections: Vec<Rejection>,
+    /// Virtual end-to-end duration, seconds.
+    pub sim_seconds: f64,
+    /// Real (non-padding) tokens generated.
+    pub generated_tokens: u64,
+    /// Padding tokens charged (prompt padding inside admitted groups;
+    /// for the static baseline also generation padding to the batch max).
+    pub padding_tokens: u64,
+    /// High-water mark of the serve KV pool, bytes (0 for baselines that
+    /// do not lease).
+    pub kv_peak_bytes: usize,
+}
+
+impl ServeOutcome {
+    /// Real tokens per virtual second.
+    pub fn tokens_per_s(&self) -> f64 {
+        if self.sim_seconds > 0.0 {
+            self.generated_tokens as f64 / self.sim_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// An admitted sequence holding a slot.
+struct Slot {
+    id: u64,
+    tokens: Vec<u32>,
+    emitted: usize,
+    /// Current sequence length (padded prompt + emitted tokens).
+    context: u64,
+    arrival_us: u64,
+    first_token_us: Option<u64>,
+    _lease: Lease,
+}
+
+/// Total admission order: priority desc, then arrival asc, then id asc.
+fn admission_order(ready: &mut [Request]) {
+    ready.sort_by(|a, b| {
+        b.priority
+            .cmp(&a.priority)
+            .then(a.arrival_us.cmp(&b.arrival_us))
+            .then(a.id.cmp(&b.id))
+    });
+}
+
+/// Run the continuous-batching scheduler over `requests`; the plan is
+/// derived (and `LMA25x`-linted) by [`crate::plan_admission`] first.
+pub fn serve_continuous(
+    backend: &dyn ServeBackend,
+    cfg: &ServeConfig,
+    requests: Vec<Request>,
+) -> Result<(ServePlan, ServeOutcome), ServeError> {
+    serve_continuous_with(backend, cfg, requests, &mut |_| {})
+}
+
+/// [`serve_continuous`] with per-token streaming delivery.
+pub fn serve_continuous_with(
+    backend: &dyn ServeBackend,
+    cfg: &ServeConfig,
+    requests: Vec<Request>,
+    on_token: &mut dyn FnMut(TokenEvent),
+) -> Result<(ServePlan, ServeOutcome), ServeError> {
+    let plan = crate::admission::plan_admission(backend, cfg)?;
+    let tracer = &cfg.tracer;
+    let pool = MemPool::new("serve.kv", plan.kv_pool_bytes as usize);
+    pool.attach_fault(cfg.fault.clone());
+
+    let total = requests.len();
+    let mut queue = ArrivalQueue::new(requests);
+    let mut ready: Vec<Request> = Vec::new();
+    let mut active: Vec<Slot> = Vec::new();
+    let mut responses = Vec::new();
+    let mut rejections = Vec::new();
+    let mut clock_us = 0u64;
+    let mut generated = 0u64;
+    let mut padding = 0u64;
+
+    loop {
+        ready.extend(queue.pop_arrived(clock_us));
+        if active.is_empty() && ready.is_empty() {
+            match queue.next_arrival_us() {
+                Some(t) => {
+                    clock_us = t;
+                    continue;
+                }
+                None => break,
+            }
+        }
+
+        // ---- block boundary: reject expired, admit into free slots ----
+        let mut expired = Vec::new();
+        ready.retain(|r| match r.deadline_us {
+            Some(d) if d < clock_us => {
+                expired.push(Rejection {
+                    id: r.id,
+                    reason: RejectReason::DeadlineExpired {
+                        deadline_us: d,
+                        now_us: clock_us,
+                    },
+                });
+                false
+            }
+            _ => true,
+        });
+        for rej in expired {
+            tracer.counter_add("serve.rejected", 1);
+            tracer.instant("serve.deadline_expired", "serve");
+            rejections.push(rej);
+        }
+
+        admission_order(&mut ready);
+        let free = plan.slots.saturating_sub(active.len());
+        let mut candidates: Vec<(Request, Vec<u32>)> = Vec::new();
+        while candidates.len() < free && !ready.is_empty() {
+            let req = ready.remove(0);
+            if let Err(EngineError::InvalidRequest { reason }) = validate_request(
+                backend.model(),
+                std::slice::from_ref(&req.prompt),
+                req.gen_len,
+                1,
+            ) {
+                tracer.counter_add("serve.rejected", 1);
+                rejections.push(Rejection {
+                    id: req.id,
+                    reason: RejectReason::Invalid(reason),
+                });
+                continue;
+            }
+            match backend.materialize(&req) {
+                Ok(tokens) => candidates.push((req, tokens)),
+                Err(e) => {
+                    tracer.counter_add("serve.rejected", 1);
+                    rejections.push(Rejection {
+                        id: req.id,
+                        reason: RejectReason::AdmissionFailed(e.to_string()),
+                    });
+                }
+            }
+        }
+
+        // The group pads to its longest prompt; leases cover the padded
+        // worst case so a slot never outgrows its reservation.
+        let pad_len = candidates
+            .iter()
+            .map(|(r, _)| r.prompt.len())
+            .max()
+            .unwrap_or(0);
+        let mut admitted: Vec<Slot> = Vec::new();
+        for (req, tokens) in candidates {
+            let bytes = backend.kv_bytes_at(pad_len + req.gen_len);
+            let grant = cfg.retry.run(
+                |_| pool.alloc(bytes),
+                |_, _| {
+                    cfg.fault.note_retry();
+                    tracer.counter_add("serve.admission_retries", 1);
+                },
+            );
+            match grant {
+                Ok(lease) => {
+                    padding += (pad_len - req.prompt.len()) as u64;
+                    tracer.counter_add("serve.padding_tokens", (pad_len - req.prompt.len()) as u64);
+                    tracer.counter_add("serve.admitted", 1);
+                    admitted.push(Slot {
+                        id: req.id,
+                        tokens,
+                        emitted: 0,
+                        context: pad_len as u64,
+                        arrival_us: req.arrival_us,
+                        first_token_us: None,
+                        _lease: lease,
+                    });
+                }
+                Err(err) => {
+                    if bytes > pool.capacity() {
+                        // Unservable under this plan, ever.
+                        tracer.counter_add("serve.rejected", 1);
+                        rejections.push(Rejection {
+                            id: req.id,
+                            reason: RejectReason::PoolOverCommit {
+                                bytes,
+                                capacity: pool.capacity(),
+                            },
+                        });
+                    } else if active.is_empty() && admitted.is_empty() {
+                        // Nothing holds a lease, so waiting frees no
+                        // bytes: the failure is not transient.
+                        tracer.counter_add("serve.rejected", 1);
+                        rejections.push(Rejection {
+                            id: req.id,
+                            reason: RejectReason::AdmissionFailed(err.to_string()),
+                        });
+                    } else {
+                        // Defer to the next boundary; leases retire there.
+                        tracer.counter_add("serve.deferred", 1);
+                        ready.push(req);
+                    }
+                }
+            }
+        }
+
+        if !admitted.is_empty() {
+            let dt = backend.prefill_seconds(pad_len, admitted.len());
+            clock_us += micros(dt);
+            tracer.histogram_record("serve.prefill_s", dt);
+            active.extend(admitted);
+        }
+
+        tracer.gauge_set("serve.queue_depth", (ready.len() + queue.len()) as f64);
+        tracer.gauge_set(
+            "serve.slot_occupancy",
+            active.len() as f64 / plan.slots.max(1) as f64,
+        );
+
+        if active.is_empty() {
+            // Everything at this boundary was rejected; wait for traffic.
+            continue;
+        }
+
+        // ---- one decode step over the whole block ---------------------
+        let contexts: Vec<u64> = active.iter().map(|s| s.context).collect();
+        let dt = backend.decode_step_seconds(&contexts);
+        clock_us += micros(dt);
+        tracer.histogram_record("serve.step_s", dt);
+
+        for slot in &mut active {
+            let token = slot.tokens[slot.emitted];
+            on_token(TokenEvent {
+                request_id: slot.id,
+                index: slot.emitted,
+                token,
+                t_us: clock_us,
+            });
+            slot.emitted += 1;
+            slot.context += 1;
+            generated += 1;
+            tracer.counter_add("serve.tokens", 1);
+            if slot.first_token_us.is_none() {
+                slot.first_token_us = Some(clock_us);
+                tracer.histogram_record(
+                    "serve.ttft_s",
+                    (clock_us.saturating_sub(slot.arrival_us)) as f64 / 1e6,
+                );
+            }
+        }
+
+        // ---- retire finished sequences (leases drop here) -------------
+        let mut still = Vec::with_capacity(active.len());
+        for slot in active.drain(..) {
+            if slot.emitted >= slot.tokens.len() {
+                tracer.counter_add("serve.completed", 1);
+                tracer.histogram_record(
+                    "serve.latency_s",
+                    (clock_us.saturating_sub(slot.arrival_us)) as f64 / 1e6,
+                );
+                responses.push(Response {
+                    id: slot.id,
+                    tokens: slot.tokens,
+                    arrival_us: slot.arrival_us,
+                    first_token_us: slot.first_token_us.unwrap_or(clock_us),
+                    finish_us: clock_us,
+                });
+            } else {
+                still.push(slot);
+            }
+        }
+        active = still;
+    }
+
+    debug_assert_eq!(responses.len() + rejections.len(), total);
+    responses.sort_by_key(|r| r.id);
+    rejections.sort_by_key(|r| r.id);
+    Ok((
+        plan,
+        ServeOutcome {
+            responses,
+            rejections,
+            sim_seconds: clock_us as f64 / 1e6,
+            generated_tokens: generated,
+            padding_tokens: padding,
+            kv_peak_bytes: pool.peak(),
+        },
+    ))
+}
+
+/// Baseline 1: one call per request, in arrival order — each request
+/// pays its own full weight stream (no amortisation at all).
+pub fn serve_sequential(
+    backend: &dyn ServeBackend,
+    cfg: &ServeConfig,
+    requests: Vec<Request>,
+) -> Result<ServeOutcome, ServeError> {
+    let tracer = &cfg.tracer;
+    let mut queue: Vec<Request> = requests;
+    queue.sort_by_key(|r| (r.arrival_us, r.id));
+    let mut responses = Vec::new();
+    let mut rejections = Vec::new();
+    let mut clock_us = 0u64;
+    let mut generated = 0u64;
+    for req in queue {
+        clock_us = clock_us.max(req.arrival_us);
+        if let Err(EngineError::InvalidRequest { reason }) = validate_request(
+            backend.model(),
+            std::slice::from_ref(&req.prompt),
+            req.gen_len,
+            1,
+        ) {
+            rejections.push(Rejection {
+                id: req.id,
+                reason: RejectReason::Invalid(reason),
+            });
+            continue;
+        }
+        let tokens = match backend.materialize(&req) {
+            Ok(t) => t,
+            Err(e) => {
+                rejections.push(Rejection {
+                    id: req.id,
+                    reason: RejectReason::AdmissionFailed(e.to_string()),
+                });
+                continue;
+            }
+        };
+        clock_us += micros(backend.prefill_seconds(req.prompt.len(), 1));
+        let mut first_token_us = None;
+        for i in 0..tokens.len() {
+            clock_us += micros(backend.decode_step_seconds(&[(req.prompt.len() + i + 1) as u64]));
+            if first_token_us.is_none() {
+                first_token_us = Some(clock_us);
+                tracer.histogram_record(
+                    "serve.ttft_s",
+                    (clock_us.saturating_sub(req.arrival_us)) as f64 / 1e6,
+                );
+            }
+            generated += 1;
+        }
+        tracer.histogram_record(
+            "serve.latency_s",
+            (clock_us.saturating_sub(req.arrival_us)) as f64 / 1e6,
+        );
+        responses.push(Response {
+            id: req.id,
+            first_token_us: first_token_us.unwrap_or(clock_us),
+            finish_us: clock_us,
+            arrival_us: req.arrival_us,
+            tokens,
+        });
+    }
+    responses.sort_by_key(|r| r.id);
+    rejections.sort_by_key(|r| r.id);
+    Ok(ServeOutcome {
+        responses,
+        rejections,
+        sim_seconds: clock_us as f64 / 1e6,
+        generated_tokens: generated,
+        padding_tokens: 0,
+        kv_peak_bytes: 0,
+    })
+}
+
+/// Baseline 2: naive static batching — fixed groups of `batch` in
+/// arrival order; a group waits for its last member to arrive, pads
+/// prompts *and* generation lengths to the group max, and releases every
+/// response only when the whole group finishes.
+pub fn serve_static(
+    backend: &dyn ServeBackend,
+    cfg: &ServeConfig,
+    batch: usize,
+    requests: Vec<Request>,
+) -> Result<ServeOutcome, ServeError> {
+    assert!(batch >= 1, "batch must be positive");
+    let tracer = &cfg.tracer;
+    let mut queue: Vec<Request> = requests;
+    queue.sort_by_key(|r| (r.arrival_us, r.id));
+    let mut responses = Vec::new();
+    let mut rejections = Vec::new();
+    let mut clock_us = 0u64;
+    let mut generated = 0u64;
+    let mut padding = 0u64;
+    for chunk in queue.chunks(batch) {
+        // The batch forms only when its last member has arrived.
+        let formed = chunk.iter().map(|r| r.arrival_us).max().unwrap_or(0);
+        clock_us = clock_us.max(formed);
+        let mut members: Vec<(&Request, Vec<u32>)> = Vec::new();
+        for req in chunk {
+            if let Err(EngineError::InvalidRequest { reason }) = validate_request(
+                backend.model(),
+                std::slice::from_ref(&req.prompt),
+                req.gen_len,
+                1,
+            ) {
+                rejections.push(Rejection {
+                    id: req.id,
+                    reason: RejectReason::Invalid(reason),
+                });
+                continue;
+            }
+            match backend.materialize(req) {
+                Ok(t) => members.push((req, t)),
+                Err(e) => rejections.push(Rejection {
+                    id: req.id,
+                    reason: RejectReason::AdmissionFailed(e.to_string()),
+                }),
+            }
+        }
+        if members.is_empty() {
+            continue;
+        }
+        let pad_len = members.iter().map(|(r, _)| r.prompt.len()).max().unwrap_or(1);
+        let max_gen = members.iter().map(|(_, t)| t.len()).max().unwrap_or(0);
+        for (r, t) in &members {
+            padding += (pad_len - r.prompt.len()) as u64 + (max_gen - t.len()) as u64;
+        }
+        clock_us += micros(backend.prefill_seconds(pad_len, members.len()));
+        let mut firsts: Vec<Option<u64>> = vec![None; members.len()];
+        for step in 0..max_gen {
+            // Every slot pays every step at the padded context — the
+            // naive part: finished sequences idle inside the batch.
+            let contexts: Vec<u64> = vec![(pad_len + step + 1) as u64; members.len()];
+            clock_us += micros(backend.decode_step_seconds(&contexts));
+            for (m, (_, tokens)) in members.iter().enumerate() {
+                if step < tokens.len() {
+                    generated += 1;
+                    if firsts[m].is_none() {
+                        firsts[m] = Some(clock_us);
+                    }
+                }
+            }
+        }
+        // Naive release: the whole batch returns together.
+        for (m, (req, tokens)) in members.into_iter().enumerate() {
+            let first = firsts[m].unwrap_or(clock_us);
+            tracer.histogram_record(
+                "serve.ttft_s",
+                (first.saturating_sub(req.arrival_us)) as f64 / 1e6,
+            );
+            tracer.histogram_record(
+                "serve.latency_s",
+                (clock_us.saturating_sub(req.arrival_us)) as f64 / 1e6,
+            );
+            responses.push(Response {
+                id: req.id,
+                tokens,
+                arrival_us: req.arrival_us,
+                first_token_us: first,
+                finish_us: clock_us,
+            });
+        }
+    }
+    responses.sort_by_key(|r| r.id);
+    rejections.sort_by_key(|r| r.id);
+    Ok(ServeOutcome {
+        responses,
+        rejections,
+        sim_seconds: clock_us as f64 / 1e6,
+        generated_tokens: generated,
+        padding_tokens: padding,
+        kv_peak_bytes: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::AnalyticBackend;
+    use crate::request::synth_traffic;
+
+    fn traffic(n: usize) -> (AnalyticBackend, Vec<Request>) {
+        let b = AnalyticBackend::opt_30b();
+        let reqs = synth_traffic(7, 4.0, n, b.model());
+        (b, reqs)
+    }
+
+    #[test]
+    fn every_request_is_answered_or_rejected() {
+        let (b, reqs) = traffic(12);
+        let n = reqs.len();
+        let (plan, out) = serve_continuous(&b, &ServeConfig::default(), reqs).unwrap();
+        assert_eq!(out.responses.len() + out.rejections.len(), n);
+        assert!(plan.slots >= 1);
+        assert!(out.generated_tokens > 0);
+        assert!(out.kv_peak_bytes > 0 && out.kv_peak_bytes <= plan.kv_pool_bytes as usize);
+        for r in &out.responses {
+            assert!(r.first_token_us >= r.arrival_us);
+            assert!(r.finish_us >= r.first_token_us);
+            assert!(!r.tokens.is_empty());
+        }
+    }
+
+    #[test]
+    fn continuous_run_is_deterministic() {
+        let (b, reqs) = traffic(12);
+        let (_, a) = serve_continuous(&b, &ServeConfig::default(), reqs.clone()).unwrap();
+        let (_, c) = serve_continuous(&b, &ServeConfig::default(), reqs).unwrap();
+        assert_eq!(a.responses, c.responses);
+        assert_eq!(a.rejections, c.rejections);
+        assert_eq!(a.sim_seconds.to_bits(), c.sim_seconds.to_bits());
+    }
+
+    #[test]
+    fn continuous_beats_sequential_and_static() {
+        let (b, reqs) = traffic(24);
+        let cfg = ServeConfig::default();
+        let (plan, cont) = serve_continuous(&b, &cfg, reqs.clone()).unwrap();
+        let seq = serve_sequential(&b, &cfg, reqs.clone()).unwrap();
+        let stat = serve_static(&b, &cfg, plan.slots, reqs).unwrap();
+        assert!(
+            cont.tokens_per_s() >= 1.3 * seq.tokens_per_s(),
+            "continuous {} vs sequential {}",
+            cont.tokens_per_s(),
+            seq.tokens_per_s()
+        );
+        assert!(
+            cont.tokens_per_s() > stat.tokens_per_s(),
+            "continuous {} vs static {}",
+            cont.tokens_per_s(),
+            stat.tokens_per_s()
+        );
+    }
+
+    #[test]
+    fn streaming_delivers_every_token_in_order() {
+        let (b, reqs) = traffic(8);
+        let mut events: Vec<TokenEvent> = Vec::new();
+        let (_, out) =
+            serve_continuous_with(&b, &ServeConfig::default(), reqs, &mut |e| events.push(e))
+                .unwrap();
+        assert_eq!(events.len() as u64, out.generated_tokens);
+        let mut t = 0;
+        for e in &events {
+            assert!(e.t_us >= t, "token times must be monotone");
+            t = e.t_us;
+        }
+        for r in &out.responses {
+            let streamed: Vec<u32> = events
+                .iter()
+                .filter(|e| e.request_id == r.id)
+                .map(|e| e.token)
+                .collect();
+            assert_eq!(streamed, r.tokens, "stream must equal the response");
+        }
+    }
+
+    #[test]
+    fn malformed_and_expired_requests_are_typed_rejections() {
+        let b = AnalyticBackend::opt_30b();
+        let ok = Request::new(0, vec![1, 2, 3], 4);
+        let empty = Request::new(1, vec![], 4);
+        let too_long = Request::new(2, vec![1; 4000], 4000);
+        // Arrives while the first block is mid-decode (OPT-30B steps take
+        // virtual seconds), with a deadline already behind the clock by
+        // the time the next boundary sweeps the queue.
+        let expired = Request::new(3, vec![1, 2], 4)
+            .with_arrival_us(1_000)
+            .with_deadline_us(500);
+        let late = Request::new(4, vec![1, 2], 4).with_arrival_us(5_000_000);
+        let (_, out) = serve_continuous(
+            &b,
+            &ServeConfig::default(),
+            vec![ok, empty, too_long, expired, late],
+        )
+        .unwrap();
+        assert_eq!(out.responses.len() + out.rejections.len(), 5);
+        let reason = |id: u64| {
+            out.rejections
+                .iter()
+                .find(|r| r.id == id)
+                .map(|r| r.reason.clone())
+        };
+        assert!(matches!(reason(1), Some(RejectReason::Invalid(_))));
+        assert!(matches!(reason(2), Some(RejectReason::Invalid(_))));
+        // Request 3's deadline passes while the first block decodes.
+        assert!(matches!(
+            reason(3),
+            Some(RejectReason::DeadlineExpired { .. })
+        ));
+        assert!(out.responses.iter().any(|r| r.id == 0));
+        assert!(out.responses.iter().any(|r| r.id == 4));
+    }
+
+    #[test]
+    fn priorities_jump_the_queue() {
+        let b = AnalyticBackend::opt_30b();
+        // One slot, both requests present at t=0: the high-priority one
+        // must be served first despite the larger id.
+        let lo = Request::new(0, vec![1, 2], 4).with_priority(0);
+        let hi = Request::new(1, vec![3, 4], 4).with_priority(2);
+        let cfg = ServeConfig {
+            max_slots: 1,
+            ..ServeConfig::default()
+        };
+        let (_, out) = serve_continuous(&b, &cfg, vec![lo, hi]).unwrap();
+        let finish = |id: u64| {
+            out.responses
+                .iter()
+                .find(|r| r.id == id)
+                .map(|r| r.finish_us)
+                .unwrap_or(u64::MAX)
+        };
+        assert!(finish(1) < finish(0), "priority 2 must finish first");
+    }
+
+    #[test]
+    fn fault_injected_pool_pressure_is_retried() {
+        use lm_fault::{FaultConfig, FaultInjector, RetryPolicy};
+        let b = AnalyticBackend::opt_30b();
+        let fault = FaultInjector::new(FaultConfig {
+            pool_pressure_rate: 0.4,
+            pool_pressure_bytes: u64::MAX / 2, // any spike fails the alloc
+            ..FaultConfig::quiescent(5)
+        });
+        let cfg = ServeConfig {
+            fault: fault.clone(),
+            retry: RetryPolicy::fast_test(),
+            ..ServeConfig::default()
+        };
+        let reqs = synth_traffic(3, 8.0, 10, b.model());
+        let n = reqs.len();
+        let (_, out) = serve_continuous(&b, &cfg, reqs).unwrap();
+        assert_eq!(out.responses.len() + out.rejections.len(), n);
+        // With p=0.4 per attempt and 5 attempts, some admission must have
+        // needed a retry (probability of zero retries over 10 admissions
+        // is (0.6)^10 ≈ 0.6% — and the stream is seed-deterministic).
+        assert!(
+            fault.stats().retries > 0,
+            "expected admission retries under pool pressure"
+        );
+        assert!(!out.responses.is_empty());
+    }
+}

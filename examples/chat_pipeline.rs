@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example chat_pipeline [prompt text]`
 
 #![allow(clippy::unwrap_used)]
-use lm_engine::{write_checkpoint, Engine, EngineOptions, Sampler};
+use lm_engine::{write_checkpoint, Engine, EngineOptions, GenerateRequest, Sampler};
 use lm_models::presets;
 use lm_text::Bpe;
 
@@ -56,7 +56,7 @@ fn main() {
     // 4. Text -> tokens -> engine -> tokens -> text.
     let ids = bpe.encode_str(&prompt);
     println!("prompt: {prompt:?} -> {} tokens", ids.len());
-    let g = engine.generate(&[ids], 24).expect("generation");
+    let g = engine.run(&GenerateRequest::new(vec![ids], 24)).expect("generation");
     let text = bpe.decode_lossy(&g.tokens[0]);
     println!(
         "output ({} tokens, {:.1} tok/s): {text:?}",

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 #![allow(clippy::unwrap_used)]
-use lm_engine::{Engine, EngineOptions, Sampler};
+use lm_engine::{Engine, EngineOptions, GenerateRequest, Sampler};
 use lm_models::presets;
 use lm_tensor::QuantConfig;
 
@@ -15,8 +15,8 @@ fn main() {
 
     // Unconstrained: every layer could stay resident.
     let roomy = Engine::new(&cfg, 7, EngineOptions::default()).expect("engine");
-    let prompts = vec![vec![11u32, 42, 7, 100], vec![3, 1, 4, 1]];
-    let baseline = roomy.generate(&prompts, 8).expect("generation");
+    let prompts = [vec![11u32, 42, 7, 100], vec![3, 1, 4, 1]];
+    let baseline = roomy.run(&GenerateRequest::new(prompts.to_vec(), 8)).expect("generation");
     println!(
         "unconstrained: {:?}... peak device {} MiB",
         &baseline.tokens[0][..4],
@@ -42,7 +42,7 @@ fn main() {
         },
     )
     .expect("tight engine");
-    let offloaded = tight.generate(&prompts, 8).expect("generation");
+    let offloaded = tight.run(&GenerateRequest::new(prompts.to_vec(), 8)).expect("generation");
     println!(
         "offloaded:     {:?}... peak device {} MiB (budget {} MiB)",
         &offloaded.tokens[0][..4],
@@ -63,7 +63,7 @@ fn main() {
         },
     )
     .expect("compressed engine");
-    let gen = compressed.generate(&prompts, 8).expect("generation");
+    let gen = compressed.run(&GenerateRequest::new(prompts.to_vec(), 8)).expect("generation");
     println!(
         "int4-at-rest:  host peak {} MiB vs {} MiB fp32, throughput {:.1} tok/s",
         gen.host_peak >> 20,

@@ -41,6 +41,13 @@ if [ "${MIRI:-0}" = "1" ]; then
     fi
 fi
 
+echo "==> repro serve --rps 4 --requests 32 --seed 7 (serving gate)"
+cargo run --release -q -p lm-bench --bin repro -- serve --rps 4 --requests 32 --seed 7
+[ -s results/serve.json ] \
+    || { echo "verify: results/serve.json missing or empty" >&2; exit 1; }
+grep -q '"dominance_ok": true' results/serve.json \
+    || { echo "verify: continuous batching did not dominate the baselines" >&2; exit 1; }
+
 echo "==> repro trace --tokens 4 (observability gate)"
 cargo run --release -q -p lm-bench --bin repro -- trace --tokens 4
 for f in results/trace.json results/trace_drift.json; do

@@ -3,7 +3,7 @@
 //! outputs to an in-memory engine built from the same weights.
 
 #![allow(clippy::unwrap_used)]
-use lm_engine::{write_checkpoint, Engine, EngineOptions};
+use lm_engine::{write_checkpoint, Engine, EngineOptions, GenerateRequest};
 use lm_models::presets;
 
 fn tmp(name: &str) -> std::path::PathBuf {
@@ -23,14 +23,14 @@ fn disk_backed_engine_generates_like_in_memory() {
     assert!(init.bytes_read > 0);
 
     let mem_engine = Engine::new(&cfg, seed, EngineOptions::default()).unwrap();
-    let prompts = vec![vec![3u32, 1, 4, 1], vec![2, 7, 1, 8]];
-    let a = disk_engine.generate(&prompts, 5).unwrap();
-    let b = mem_engine.generate(&prompts, 5).unwrap();
+    let prompts = [vec![3u32, 1, 4, 1], vec![2, 7, 1, 8]];
+    let a = disk_engine.run(&GenerateRequest::new(prompts.to_vec(), 5)).unwrap();
+    let b = mem_engine.run(&GenerateRequest::new(prompts.to_vec(), 5)).unwrap();
     // Same layer weights; the embedding tables differ by construction
     // seed, so compare layer behaviour via the weight traffic and run a
     // determinism check on the disk engine itself.
     assert_eq!(a.weight_bytes_streamed, b.weight_bytes_streamed);
-    let a2 = disk_engine.generate(&prompts, 5).unwrap();
+    let a2 = disk_engine.run(&GenerateRequest::new(prompts.to_vec(), 5)).unwrap();
     assert_eq!(a.tokens, a2.tokens);
     std::fs::remove_file(&path).ok();
 }
@@ -65,11 +65,11 @@ fn disk_engine_can_quantize_at_rest_on_load() {
         },
     )
     .unwrap();
-    let g = engine.generate(&[vec![5, 6, 7]], 3).unwrap();
+    let g = engine.run(&GenerateRequest::new(vec![vec![5, 6, 7]], 3)).unwrap();
     assert_eq!(g.tokens[0].len(), 3);
     // Compressed at rest => compressed in flight.
     let full = Engine::new(&cfg, 9, EngineOptions::default()).unwrap();
-    let gf = full.generate(&[vec![5, 6, 7]], 3).unwrap();
+    let gf = full.run(&GenerateRequest::new(vec![vec![5, 6, 7]], 3)).unwrap();
     assert!(g.weight_bytes_streamed < gf.weight_bytes_streamed / 4);
     std::fs::remove_file(&path).ok();
 }

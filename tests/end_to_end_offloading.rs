@@ -3,7 +3,7 @@
 //! footprint, and pool accounting holds end to end.
 
 #![allow(clippy::unwrap_used)]
-use lm_engine::{Engine, EngineOptions, Sampler};
+use lm_engine::{Engine, EngineOptions, GenerateRequest, Sampler};
 use lm_models::presets;
 use lm_tensor::QuantConfig;
 
@@ -17,8 +17,8 @@ fn opt125m_generates_deterministically() {
     // prefill + decode through every layer.
     let cfg = presets::opt_125m();
     let engine = Engine::new(&cfg, 99, EngineOptions::default()).unwrap();
-    let a = engine.generate(&prompts(), 4).unwrap();
-    let b = engine.generate(&prompts(), 4).unwrap();
+    let a = engine.run(&GenerateRequest::new(prompts().to_vec(), 4)).unwrap();
+    let b = engine.run(&GenerateRequest::new(prompts().to_vec(), 4)).unwrap();
     assert_eq!(a.tokens, b.tokens);
     assert_eq!(a.tokens.len(), 2);
     assert!(a.tokens.iter().all(|t| t.len() == 4));
@@ -36,7 +36,7 @@ fn llama_family_generates() {
     cfg.num_heads = 4;
     cfg.vocab_size = 256;
     let engine = Engine::new(&cfg, 5, EngineOptions::default()).unwrap();
-    let g = engine.generate(&prompts(), 6).unwrap();
+    let g = engine.run(&GenerateRequest::new(prompts().to_vec(), 6)).unwrap();
     assert_eq!(g.tokens[0].len(), 6);
 }
 
@@ -44,7 +44,7 @@ fn llama_family_generates() {
 fn tight_budget_generation_is_equivalent_and_bounded() {
     let cfg = presets::tiny_test();
     let roomy = Engine::new(&cfg, 3, EngineOptions::default()).unwrap();
-    let baseline = roomy.generate(&prompts(), 10).unwrap();
+    let baseline = roomy.run(&GenerateRequest::new(prompts().to_vec(), 10)).unwrap();
 
     let layer_bytes = cfg.weights_per_layer() as usize * 4 + 64 * 1024;
     let budget = 2 * layer_bytes;
@@ -58,7 +58,7 @@ fn tight_budget_generation_is_equivalent_and_bounded() {
         },
     )
     .unwrap();
-    let offloaded = tight.generate(&prompts(), 10).unwrap();
+    let offloaded = tight.run(&GenerateRequest::new(prompts().to_vec(), 10)).unwrap();
     assert_eq!(baseline.tokens, offloaded.tokens);
     assert!(
         offloaded.device_peak <= budget,
@@ -83,8 +83,8 @@ fn quantized_at_rest_top1_drift_is_limited_on_tiny_model() {
         },
     )
     .unwrap();
-    let a = full.generate(&prompts(), 3).unwrap();
-    let b = quant.generate(&prompts(), 3).unwrap();
+    let a = full.run(&GenerateRequest::new(prompts().to_vec(), 3)).unwrap();
+    let b = quant.run(&GenerateRequest::new(prompts().to_vec(), 3)).unwrap();
     assert_eq!(a.tokens[0][0], b.tokens[0][0], "first greedy token must survive int8");
 }
 
@@ -98,7 +98,7 @@ fn top_k_sampling_is_reproducible_across_engines() {
     let e1 = Engine::new(&cfg, 8, opts.clone()).unwrap();
     let e2 = Engine::new(&cfg, 8, opts).unwrap();
     assert_eq!(
-        e1.generate(&prompts(), 5).unwrap().tokens,
-        e2.generate(&prompts(), 5).unwrap().tokens
+        e1.run(&GenerateRequest::new(prompts().to_vec(), 5)).unwrap().tokens,
+        e2.run(&GenerateRequest::new(prompts().to_vec(), 5)).unwrap().tokens
     );
 }

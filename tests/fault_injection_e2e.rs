@@ -10,7 +10,7 @@
 //!   fallback ladder with the analytic model — and still finish.
 
 #![allow(clippy::unwrap_used)]
-use lm_engine::{Engine, EngineOptions};
+use lm_engine::{Engine, EngineOptions, GenerateRequest};
 use lm_fault::{FaultConfig, FaultInjector, FaultProfile, RetryPolicy};
 use lm_hardware::presets as hw;
 use lm_models::{presets, Workload};
@@ -39,8 +39,8 @@ fn quiescent_injector_is_token_identical() {
     )
     .unwrap();
 
-    let a = clean.generate(&prompts(), 6).unwrap();
-    let b = quiet.generate(&prompts(), 6).unwrap();
+    let a = clean.run(&GenerateRequest::new(prompts().to_vec(), 6)).unwrap();
+    let b = quiet.run(&GenerateRequest::new(prompts().to_vec(), 6)).unwrap();
     assert_eq!(a.tokens, b.tokens);
     assert_eq!(a.weight_bytes_streamed, b.weight_bytes_streamed);
     assert_eq!(a.kv_bytes_at_rest, b.kv_bytes_at_rest);
@@ -75,7 +75,7 @@ fn same_seed_replays_the_same_event_sequence() {
             },
         )
         .unwrap();
-        let gen = engine.generate(&prompts(), 6).unwrap();
+        let gen = engine.run(&GenerateRequest::new(prompts().to_vec(), 6)).unwrap();
         (gen.tokens, fault.events(), fault.stats())
     };
 
@@ -85,7 +85,7 @@ fn same_seed_replays_the_same_event_sequence() {
 
     // Survivable faults leave the output untouched...
     let clean = Engine::new(&cfg, 42, EngineOptions::default()).unwrap();
-    assert_eq!(tokens_a, clean.generate(&prompts(), 6).unwrap().tokens);
+    assert_eq!(tokens_a, clean.run(&GenerateRequest::new(prompts().to_vec(), 6)).unwrap().tokens);
     assert_eq!(tokens_a, tokens_b);
 
     // ...while actually firing, deterministically per seed.
@@ -117,8 +117,8 @@ fn prefetch_drops_are_refetched_without_changing_tokens() {
     .unwrap();
     let clean = Engine::new(&cfg, 42, EngineOptions::default()).unwrap();
 
-    let a = faulted.generate(&prompts(), 6).unwrap();
-    let b = clean.generate(&prompts(), 6).unwrap();
+    let a = faulted.run(&GenerateRequest::new(prompts().to_vec(), 6)).unwrap();
+    let b = clean.run(&GenerateRequest::new(prompts().to_vec(), 6)).unwrap();
     assert_eq!(a.tokens, b.tokens);
     assert!(fault.stats().prefetch_drops > 0);
 }

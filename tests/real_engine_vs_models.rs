@@ -4,7 +4,7 @@
 //! the large models from shapes alone (DESIGN.md §2).
 
 #![allow(clippy::unwrap_used)]
-use lm_engine::{Engine, EngineOptions};
+use lm_engine::{Engine, EngineOptions, GenerateRequest};
 use lm_models::{footprint, presets, DType, Workload};
 use lm_tensor::QuantConfig;
 
@@ -20,7 +20,7 @@ fn streamed_weight_bytes_match_shape_math() {
     let cfg = presets::tiny_test();
     let engine = Engine::new(&cfg, 9, EngineOptions::default()).unwrap();
     let gen_len = 4usize;
-    let g = engine.generate(&prompts(2, 3), gen_len).unwrap();
+    let g = engine.run(&GenerateRequest::new(prompts(2, 3), gen_len)).unwrap();
     let sweeps = 1 + gen_len as u64;
     let per_sweep = g.weight_bytes_streamed / sweeps;
     let predicted = footprint::weights_bytes(&cfg, DType::F32);
@@ -45,8 +45,8 @@ fn int4_weights_stream_a_quarter_of_the_bytes() {
         },
     )
     .unwrap();
-    let a = f32_engine.generate(&prompts(2, 3), gen_len).unwrap();
-    let b = q_engine.generate(&prompts(2, 3), gen_len).unwrap();
+    let a = f32_engine.run(&GenerateRequest::new(prompts(2, 3), gen_len)).unwrap();
+    let b = q_engine.run(&GenerateRequest::new(prompts(2, 3), gen_len)).unwrap();
     let ratio = a.weight_bytes_streamed as f64 / b.weight_bytes_streamed as f64;
     // 4-bit codes are 8x smaller than f32 minus group metadata: expect
     // ~5.5-8x (the same compression the DType math predicts for codes,
@@ -63,7 +63,7 @@ fn kv_at_rest_bytes_match_footprint_math() {
     let cfg = presets::tiny_test();
     let engine = Engine::new(&cfg, 9, EngineOptions::default()).unwrap();
     let (b, s, n) = (2usize, 3usize, 4usize);
-    let g = engine.generate(&prompts(b, s), n).unwrap();
+    let g = engine.run(&GenerateRequest::new(prompts(b, s), n)).unwrap();
     let per_layer =
         2 * (s + n) * cfg.hidden as usize * b * std::mem::size_of::<f32>();
     let expected = per_layer * cfg.num_layers as usize;
@@ -91,10 +91,10 @@ fn engine_quantized_paths_compose() {
         },
     )
     .unwrap();
-    let g = engine.generate(&prompts(2, 4), 5).unwrap();
+    let g = engine.run(&GenerateRequest::new(prompts(2, 4), 5)).unwrap();
     assert_eq!(g.tokens[0].len(), 5);
     let full = Engine::new(&cfg, 13, EngineOptions::default()).unwrap();
-    let gf = full.generate(&prompts(2, 4), 5).unwrap();
+    let gf = full.run(&GenerateRequest::new(prompts(2, 4), 5)).unwrap();
     assert!(g.weight_bytes_streamed < gf.weight_bytes_streamed / 4);
     assert!(g.kv_bytes_at_rest < gf.kv_bytes_at_rest / 2);
 }

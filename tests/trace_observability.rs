@@ -12,7 +12,7 @@
 //!   spans land on one timeline.
 
 #![allow(clippy::unwrap_used)]
-use lm_engine::{Engine, EngineOptions};
+use lm_engine::{Engine, EngineOptions, GenerateRequest};
 use lm_fault::{FaultConfig, FaultInjector};
 use lm_models::{presets, Workload};
 use lm_sim::policy::AttentionPlacement;
@@ -41,7 +41,7 @@ fn traced_generate_spans_cover_every_token_layer_and_roundtrip_perfetto() {
     )
     .unwrap();
     let gen_len = 3usize;
-    let g = engine.generate(&prompts(), gen_len).unwrap();
+    let g = engine.run(&GenerateRequest::new(prompts().to_vec(), gen_len)).unwrap();
     let report = tracer.snapshot();
 
     let l = cfg.num_layers as usize;
@@ -90,7 +90,7 @@ fn traced_generate_spans_cover_every_token_layer_and_roundtrip_perfetto() {
     }));
     // Tracing must not perturb generation.
     let clean = Engine::new(&cfg, 42, EngineOptions::default()).unwrap();
-    assert_eq!(g.tokens, clean.generate(&prompts(), gen_len).unwrap().tokens);
+    assert_eq!(g.tokens, clean.run(&GenerateRequest::new(prompts().to_vec(), gen_len)).unwrap().tokens);
 }
 
 /// Drift golden: the simulator *is* the analytic model executed against
@@ -141,7 +141,7 @@ fn disabled_tracer_is_zero_cost_on_the_generate_path() {
             .map(|_| {
                 let e = Engine::new(&cfg, 42, options_for()).unwrap();
                 let t0 = Instant::now();
-                let g = e.generate(&prompts(), gen_len).unwrap();
+                let g = e.run(&GenerateRequest::new(prompts().to_vec(), gen_len)).unwrap();
                 assert_eq!(g.tokens.len(), 2);
                 t0.elapsed().as_secs_f64()
             })
@@ -189,7 +189,7 @@ fn fault_events_are_stamped_on_the_tracer_clock() {
         },
     )
     .unwrap();
-    engine.generate(&prompts(), 3).unwrap();
+    engine.run(&GenerateRequest::new(prompts().to_vec(), 3)).unwrap();
     let events = fault.events();
     assert!(!events.is_empty(), "stall profile fired no faults");
     let report = tracer.snapshot();

@@ -4,7 +4,7 @@
 //! with actual byte accounting rather than a model.
 
 #![allow(clippy::unwrap_used)]
-use lm_engine::{Engine, EngineOptions};
+use lm_engine::{Engine, EngineOptions, GenerateRequest};
 use lm_models::presets;
 
 fn prompts(n: usize) -> Vec<Vec<u32>> {
@@ -20,11 +20,11 @@ fn zigzag_outputs_equal_independent_batches() {
     let all = prompts(4);
     let gen_len = 6;
 
-    let block = engine.generate_zigzag(&all, gen_len, 2).unwrap();
+    let block = engine.run(&GenerateRequest::new(all.to_vec(), gen_len).with_batches(2)).unwrap();
     // Independent runs of each half must produce the same tokens: the
     // batches share no state, only the schedule changed.
-    let first = engine.generate(&all[..2], gen_len).unwrap();
-    let second = engine.generate(&all[2..], gen_len).unwrap();
+    let first = engine.run(&GenerateRequest::new(all[..2].to_vec(), gen_len)).unwrap();
+    let second = engine.run(&GenerateRequest::new(all[2..].to_vec(), gen_len)).unwrap();
     assert_eq!(&block.tokens[..2], &first.tokens[..]);
     assert_eq!(&block.tokens[2..], &second.tokens[..]);
 }
@@ -39,9 +39,9 @@ fn zigzag_amortises_weight_traffic_across_batches() {
     let all = prompts(4);
     let gen_len = 3;
 
-    let block = engine.generate_zigzag(&all, gen_len, 2).unwrap();
-    let a = engine.generate(&all[..2], gen_len).unwrap();
-    let b = engine.generate(&all[2..], gen_len).unwrap();
+    let block = engine.run(&GenerateRequest::new(all.to_vec(), gen_len).with_batches(2)).unwrap();
+    let a = engine.run(&GenerateRequest::new(all[..2].to_vec(), gen_len)).unwrap();
+    let b = engine.run(&GenerateRequest::new(all[2..].to_vec(), gen_len)).unwrap();
     let independent = a.weight_bytes_streamed + b.weight_bytes_streamed;
     assert_eq!(
         independent,
@@ -55,8 +55,8 @@ fn zigzag_single_batch_equals_generate() {
     let cfg = presets::tiny_test();
     let engine = Engine::new(&cfg, 79, EngineOptions::default()).unwrap();
     let all = prompts(2);
-    let plain = engine.generate(&all, 4).unwrap();
-    let block = engine.generate_zigzag(&all, 4, 1).unwrap();
+    let plain = engine.run(&GenerateRequest::new(all.to_vec(), 4)).unwrap();
+    let block = engine.run(&GenerateRequest::new(all.to_vec(), 4).with_batches(1)).unwrap();
     assert_eq!(plain.tokens, block.tokens);
     assert_eq!(plain.weight_bytes_streamed, block.weight_bytes_streamed);
 }
@@ -76,15 +76,21 @@ fn zigzag_respects_tight_device_budget() {
         },
     )
     .unwrap();
-    let g = engine.generate_zigzag(&prompts(4), 3, 2).unwrap();
+    let g = engine.run(&GenerateRequest::new(prompts(4).to_vec(), 3).with_batches(2)).unwrap();
     assert!(g.device_peak <= 2 * layer_bytes);
     assert_eq!(g.tokens.len(), 4);
 }
 
 #[test]
-#[should_panic(expected = "equal batches")]
 fn ragged_block_rejected() {
     let cfg = presets::tiny_test();
     let engine = Engine::new(&cfg, 81, EngineOptions::default()).unwrap();
-    let _ = engine.generate_zigzag(&prompts(3), 2, 2);
+    // A prompt count that does not divide into the requested batches is
+    // a typed error now, not a panic.
+    match engine.run(&GenerateRequest::new(prompts(3), 2).with_batches(2)) {
+        Err(lm_engine::EngineError::InvalidRequest { reason }) => {
+            assert!(reason.contains("equal batches"), "{reason}")
+        }
+        other => panic!("expected InvalidRequest, got ok={}", other.is_ok()),
+    }
 }
