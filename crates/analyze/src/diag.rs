@@ -7,7 +7,9 @@
 //! - `LMA0xx` — operator-graph structure lints;
 //! - `LMA1xx` — parallelism-plan and policy lints;
 //! - `LMA20x` — cost-model (Eq. 1-24) consistency lints;
-//! - `LMA25x` — serving-configuration lints (`lm-serve` slot plans).
+//! - `LMA25x` — serving-configuration lints (`lm-serve` slot plans);
+//! - `LMA26x` — SLO / overload-policy lints (objective feasibility and
+//!   actuator sanity).
 //!
 //! A code, once shipped, keeps its meaning; retired codes are never
 //! reused.
@@ -66,6 +68,14 @@ pub enum LintCode {
     Lma251BlockExceedsWidth,
     /// Serve plan leaves most of the KV pool idle (underutilization).
     Lma252SlotsUnderutilizePool,
+    /// SLO target below the physical floor (one prefill + one step):
+    /// unmeetable by any policy.
+    Lma260SloBelowFloor,
+    /// SLO enforcement enabled with every actuator disabled.
+    Lma261SloNoActuator,
+    /// Preemption armed on a single-slot plan (evicting the only slot
+    /// thrashes without adding service capacity).
+    Lma262PreemptSingleSlot,
 }
 
 impl LintCode {
@@ -96,11 +106,14 @@ impl LintCode {
             LintCode::Lma250SlotsExceedPool => "LMA250",
             LintCode::Lma251BlockExceedsWidth => "LMA251",
             LintCode::Lma252SlotsUnderutilizePool => "LMA252",
+            LintCode::Lma260SloBelowFloor => "LMA260",
+            LintCode::Lma261SloNoActuator => "LMA261",
+            LintCode::Lma262PreemptSingleSlot => "LMA262",
         }
     }
 
     /// All codes, for enumeration in docs and coverage tests.
-    pub const ALL: [LintCode; 24] = [
+    pub const ALL: [LintCode; 27] = [
         LintCode::Lma001CyclicGraph,
         LintCode::Lma002OrphanNode,
         LintCode::Lma003DuplicateEdge,
@@ -125,6 +138,9 @@ impl LintCode {
         LintCode::Lma250SlotsExceedPool,
         LintCode::Lma251BlockExceedsWidth,
         LintCode::Lma252SlotsUnderutilizePool,
+        LintCode::Lma260SloBelowFloor,
+        LintCode::Lma261SloNoActuator,
+        LintCode::Lma262PreemptSingleSlot,
     ];
 }
 

@@ -17,7 +17,11 @@
 //!   observations;
 //! - [`serve_lints`] (`LMA25x`): `lm-serve` slot plans — leased KV bytes
 //!   vs pool capacity, block size vs the block graph's Kahn width, and
-//!   pool underutilization — via sampled [`ServeProbe`] observations.
+//!   pool underutilization — via sampled [`ServeProbe`] observations;
+//! - [`serve_lints`] (`LMA26x`): SLO/overload policies — objective vs
+//!   the physical service floor, enforcement with no armed actuator,
+//!   single-slot preemption churn — via sampled [`SloProbe`]
+//!   observations.
 //!
 //! Every finding carries a stable `LMAnnn` code (see [`LintCode`]) —
 //! codes keep their meaning across releases and retired codes are never
@@ -36,7 +40,7 @@ pub use diag::{Diagnostic, LintCode, Report, Severity};
 pub use graph_lints::lint_graph;
 pub use model_lints::{lint_model, ModelProbe};
 pub use plan_lints::{lint_bundles, lint_plan, lint_policy};
-pub use serve_lints::{lint_serve, ServeProbe};
+pub use serve_lints::{lint_serve, lint_slo, ServeProbe, SloProbe};
 
 use lm_hardware::Platform;
 use lm_models::{ModelConfig, Workload};

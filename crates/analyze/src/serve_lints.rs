@@ -21,6 +21,12 @@
 //! mutation tests corrupt fields directly, and `repro analyze` checks the
 //! default serving configuration — all without this crate depending on
 //! the serving crate.
+//!
+//! The `LMA26x` family judges an SLO/overload policy the same way via
+//! [`SloProbe`]: an objective below the physical service floor
+//! (`LMA260`) can never be met; enforcement with every actuator disabled
+//! (`LMA261`) silently does nothing; preemption on a one-slot plan
+//! (`LMA262`) thrashes the only slot.
 
 use crate::diag::{Diagnostic, LintCode, Report};
 use serde::{Deserialize, Serialize};
@@ -91,6 +97,77 @@ pub fn lint_serve(probe: &ServeProbe) -> Report {
                 "{} slots lease {leased} B of a {} B pool (< 50%) while \
                  another {} B slot would fit",
                 probe.slots, probe.kv_pool_bytes, probe.kv_bytes_per_slot
+            ),
+        ));
+    }
+
+    Report::new(out)
+}
+
+/// Observations sampled from one `lm-serve` SLO policy + plan pairing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SloProbe {
+    /// Configured p99 TTFT objective, seconds.
+    pub ttft_p99_slo_s: f64,
+    /// Physical service floor: one group prefill plus one decode step at
+    /// planned occupancy, seconds. No admitted request's first token can
+    /// land faster.
+    pub floor_ttft_s: f64,
+    /// Slots in the admission plan.
+    pub slots: u64,
+    /// Whether the policy acts on predicted violations at all.
+    pub enforce: bool,
+    /// Preemption actuator armed.
+    pub preempt: bool,
+    /// Load-shedding actuator armed.
+    pub shed: bool,
+    /// Rungs available on the attached degrade ladder (0 = none).
+    pub degrade_rungs: u64,
+}
+
+/// Run every SLO-policy lint over a sampled probe.
+pub fn lint_slo(probe: &SloProbe) -> Report {
+    let mut out = Vec::new();
+
+    // LMA260: the objective must sit above the floor the cost model
+    // charges for even an immediately-admitted request; otherwise every
+    // boundary is a predicted violation and the actuators flail.
+    if probe.ttft_p99_slo_s <= probe.floor_ttft_s || !probe.ttft_p99_slo_s.is_finite() {
+        out.push(Diagnostic::error(
+            LintCode::Lma260SloBelowFloor,
+            "slo.ttft_p99_s".to_string(),
+            format!(
+                "p99 TTFT objective {:.3}s is at or below the physical \
+                 service floor {:.3}s (one prefill + one step)",
+                probe.ttft_p99_slo_s, probe.floor_ttft_s
+            ),
+        ));
+    }
+
+    // LMA261: enforcement with no actuator is a misconfiguration — the
+    // monitor predicts violations and then has no lever to pull.
+    if probe.enforce && !probe.preempt && !probe.shed && probe.degrade_rungs == 0 {
+        out.push(Diagnostic::error(
+            LintCode::Lma261SloNoActuator,
+            "slo.enforce".to_string(),
+            "SLO enforcement enabled but preemption, shedding, and the \
+             degrade ladder are all disabled"
+                .to_string(),
+        ));
+    }
+
+    // LMA262: with one slot, preemption evicts the only running request
+    // to admit another of the same service time — pure churn. Warning:
+    // the policy still terminates (resumes are exact), it just cannot
+    // help.
+    if probe.preempt && probe.slots <= 1 {
+        out.push(Diagnostic::warn(
+            LintCode::Lma262PreemptSingleSlot,
+            "slo.preempt".to_string(),
+            format!(
+                "preemption armed on a {}-slot plan: evicting the only \
+                 slot adds churn, not capacity",
+                probe.slots
             ),
         ));
     }
@@ -171,5 +248,64 @@ mod tests {
     fn probe_serializes() {
         let json = serde_json::to_string(&sound()).expect("serialize");
         assert!(json.contains("kahn_width"), "{json}");
+    }
+
+    fn sound_slo() -> SloProbe {
+        SloProbe {
+            ttft_p99_slo_s: 400.0,
+            floor_ttft_s: 12.0,
+            slots: 8,
+            enforce: true,
+            preempt: true,
+            shed: true,
+            degrade_rungs: 4,
+        }
+    }
+
+    #[test]
+    fn sound_slo_is_clean() {
+        let r = lint_slo(&sound_slo());
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.warning_count(), 0, "{r}");
+    }
+
+    #[test]
+    fn objective_below_floor_caught() {
+        let mut p = sound_slo();
+        p.ttft_p99_slo_s = 10.0;
+        let r = lint_slo(&p);
+        assert!(r.has(LintCode::Lma260SloBelowFloor), "{r}");
+        assert!(!r.is_clean());
+        // Non-finite objectives land in the same bucket.
+        p.ttft_p99_slo_s = f64::NAN;
+        assert!(lint_slo(&p).has(LintCode::Lma260SloBelowFloor));
+    }
+
+    #[test]
+    fn enforcement_without_actuators_caught() {
+        let mut p = sound_slo();
+        p.preempt = false;
+        p.shed = false;
+        p.degrade_rungs = 0;
+        let r = lint_slo(&p);
+        assert!(r.has(LintCode::Lma261SloNoActuator), "{r}");
+        // Observe mode with no actuators is fine — nothing was promised.
+        p.enforce = false;
+        assert!(lint_slo(&p).is_clean());
+    }
+
+    #[test]
+    fn single_slot_preemption_warned_not_fatal() {
+        let mut p = sound_slo();
+        p.slots = 1;
+        let r = lint_slo(&p);
+        assert!(r.has(LintCode::Lma262PreemptSingleSlot), "{r}");
+        assert!(r.is_clean(), "churn warning must not be fatal: {r}");
+    }
+
+    #[test]
+    fn slo_probe_serializes() {
+        let json = serde_json::to_string(&sound_slo()).expect("serialize");
+        assert!(json.contains("degrade_rungs"), "{json}");
     }
 }

@@ -8,7 +8,7 @@
 
 use lm_analyze::{
     analyze_deployment, lint_bundles, lint_graph, lint_model, lint_plan, lint_policy, lint_serve,
-    Deployment, LintCode, ModelProbe, Report, ServeProbe,
+    lint_slo, Deployment, LintCode, ModelProbe, Report, ServeProbe, SloProbe,
 };
 use lm_hardware::{presets, Platform};
 use lm_models::{presets as models, DType, ModelConfig, Workload};
@@ -362,6 +362,44 @@ fn lma252_pool_left_idle() {
     assert_fires(&clean, &lint_serve(&p), LintCode::Lma252SlotsUnderutilizePool);
 }
 
+fn slo_probe() -> SloProbe {
+    SloProbe {
+        ttft_p99_slo_s: 300.0,
+        floor_ttft_s: 20.0,
+        slots: 8,
+        enforce: true,
+        preempt: true,
+        shed: true,
+        degrade_rungs: 4,
+    }
+}
+
+#[test]
+fn lma260_objective_below_the_floor() {
+    let clean = lint_slo(&slo_probe());
+    let mut p = slo_probe();
+    p.ttft_p99_slo_s = p.floor_ttft_s / 2.0;
+    assert_fires(&clean, &lint_slo(&p), LintCode::Lma260SloBelowFloor);
+}
+
+#[test]
+fn lma261_enforcement_with_no_actuator() {
+    let clean = lint_slo(&slo_probe());
+    let mut p = slo_probe();
+    p.preempt = false;
+    p.shed = false;
+    p.degrade_rungs = 0;
+    assert_fires(&clean, &lint_slo(&p), LintCode::Lma261SloNoActuator);
+}
+
+#[test]
+fn lma262_preemption_on_a_single_slot() {
+    let clean = lint_slo(&slo_probe());
+    let mut p = slo_probe();
+    p.slots = 1;
+    assert_fires(&clean, &lint_slo(&p), LintCode::Lma262PreemptSingleSlot);
+}
+
 #[test]
 fn every_shipped_code_has_mutation_coverage() {
     // Guard against adding a code without a mutation test: the list of
@@ -392,6 +430,9 @@ fn every_shipped_code_has_mutation_coverage() {
         LintCode::Lma250SlotsExceedPool,
         LintCode::Lma251BlockExceedsWidth,
         LintCode::Lma252SlotsUnderutilizePool,
+        LintCode::Lma260SloBelowFloor,
+        LintCode::Lma261SloNoActuator,
+        LintCode::Lma262PreemptSingleSlot,
     ];
     for code in LintCode::ALL {
         assert!(covered.contains(&code), "no mutation test for {}", code.as_str());

@@ -3,18 +3,26 @@
 //! Usage:
 //!   repro <experiment> [--fast] [--fault-seed N] [--tokens N]
 //!                      [--rps R] [--requests N] [--seed S]
+//!                      [--storm <profile>]
 //!   repro all [--fast]
 //!
 //! Experiments: analyze table1 table3 table4 table5 fig3 fig4 fig5 fig7
-//! fig8 fig9 whatif faults summary trace serve. `analyze` runs the
-//! `lm-analyze` static linter over the shipped presets (plus the default
-//! serving plan) and exits non-zero on any `Error`-level diagnostic.
-//! `serve` replays a seeded traffic trace through the continuous-batching
-//! scheduler and both baselines (`--rps`, `--requests`, `--seed`) and
-//! exits non-zero unless continuous batching dominates. `--fast`
-//! restricts Table-3-derived sweeps to two generation lengths;
-//! `--fault-seed N` sets the deterministic fault plan of the `faults`
-//! experiment; `--tokens N` sets the token count of the `trace`
+//! fig8 fig9 whatif faults summary trace serve chaos slo. `analyze` runs
+//! the `lm-analyze` static linter over the shipped presets (plus the
+//! default serving plan and SLO policy) and exits non-zero on any
+//! `Error`-level diagnostic. `serve` replays a seeded traffic trace
+//! through the continuous-batching scheduler and both baselines
+//! (`--rps`, `--requests`, `--seed`) and exits non-zero unless
+//! continuous batching dominates. `chaos` drives the scheduler under a
+//! seeded fault storm (`--seed`, `--storm default|pool-squeeze|`
+//! `disconnects|crashes|blackout`) and exits non-zero unless every
+//! resilience invariant holds (zero leaked KV leases, total resolution,
+//! conservation, solo-run transparency, byte-identical replay). `slo`
+//! serves the trace in observe vs enforcing mode under a TTFT objective
+//! and exits non-zero unless enforcement meets the SLO that observe mode
+//! violates. `--fast` restricts Table-3-derived sweeps to two generation
+//! lengths; `--fault-seed N` sets the deterministic fault plan of the
+//! `faults` experiment; `--tokens N` sets the token count of the `trace`
 //! experiment. JSON results are written to `results/<experiment>.json`;
 //! `trace` additionally writes the engine timeline as Chrome/Perfetto
 //! trace JSON to `results/trace.json` (load it at
@@ -479,13 +487,14 @@ fn run_serve(seed: u64, rps: f64, requests: usize) {
                 f(m.ttft.p99_s, 1),
                 f(m.latency.p95_s, 1),
                 m.padding_tokens.to_string(),
+                m.deadline_misses.to_string(),
             ]
         })
         .collect();
     println!(
         "{}",
         render(
-            &["mode", "done", "sim (s)", "tok/s", "ttft p50", "p95", "p99", "lat p95", "pad"],
+            &["mode", "done", "sim (s)", "tok/s", "ttft p50", "p95", "p99", "lat p95", "pad", "miss"],
             &rendered
         )
     );
@@ -502,6 +511,103 @@ fn run_serve(seed: u64, rps: f64, requests: usize) {
     }
 }
 
+fn run_chaos(seed: u64, storm: lm_fault::StormProfile, rps: f64, requests: usize) {
+    println!(
+        "\n== Chaos: {} storm over the continuous scheduler ({requests} requests @ {rps} rps, seed {seed}) ==",
+        storm.name()
+    );
+    let r = chaos::run(seed, storm, rps, requests);
+    println!(
+        "resolved {}/{} (completed {}, rejected {}, cancelled {}); admissions {} = completed {} + cancel {} + preempt {} + crash {}",
+        r.resolved,
+        r.requests,
+        r.completed,
+        r.rejected,
+        r.cancelled,
+        r.stats.admitted,
+        r.stats.completed,
+        r.stats.cancelled_in_slot,
+        r.stats.preemptions,
+        r.stats.slot_crashes
+    );
+    println!(
+        "injected: {} disconnects, {} slot crashes, {} pool spikes, {} stalls (+{}ms), {} retries; {} log events dropped",
+        r.faults.client_disconnects,
+        r.faults.slot_crashes,
+        r.faults.pool_pressure_spikes,
+        r.faults.transfer_stalls,
+        r.faults.stall_ms_total,
+        r.faults.retries,
+        r.faults.dropped_events
+    );
+    println!(
+        "invariants: leases={} resolution={} conservation={} transparency={} ({} survivors) replay={}",
+        r.invariants.zero_leaked_leases,
+        r.invariants.all_resolved,
+        r.invariants.admissions_balanced,
+        r.invariants.survivors_transparent,
+        r.survivors_checked,
+        r.invariants.replay_identical
+    );
+    let ok = r.invariants_ok;
+    save("chaos", &r);
+    if ok {
+        println!("invariants_ok: every resilience invariant holds");
+    } else {
+        eprintln!("error: a chaos invariant was violated");
+        std::process::exit(1);
+    }
+}
+
+fn run_slo(seed: u64, rps: f64, requests: usize) {
+    println!(
+        "\n== SLO: observe vs enforcing under overload ({requests} requests @ {rps} rps, seed {seed}) =="
+    );
+    let r = slo::run(seed, rps, requests);
+    println!(
+        "objective: p99 TTFT <= {:.1}s (floor {:.1}s x {:.1}); model-guided ladder: {} rungs",
+        r.ttft_p99_slo_s,
+        r.floor_ttft_s,
+        slo::SLO_FLOOR_HEADROOM,
+        r.ladder_rungs
+    );
+    let rendered: Vec<Vec<String>> = [&r.observe, &r.enforced]
+        .iter()
+        .map(|m| {
+            vec![
+                m.mode.clone(),
+                format!("{}/{}", m.completed, r.requests),
+                f(m.achieved_ttft_p99_s, 1),
+                if m.meets_slo { "yes" } else { "NO" }.into(),
+                m.shed.to_string(),
+                m.preemptions.to_string(),
+                m.degradations.to_string(),
+                m.predicted_violations.to_string(),
+                f(m.tokens_per_s, 2),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["mode", "done", "p99 ttft", "meets", "shed", "preempt", "degrade", "pred viol", "tok/s"],
+            &rendered
+        )
+    );
+    println!(
+        "throughput: enforcing {:.2} tok/s vs sequential {:.2} tok/s",
+        r.enforced.tokens_per_s, r.sequential_tokens_per_s
+    );
+    let ok = r.slo_ok;
+    save("slo", &r);
+    if ok {
+        println!("slo_ok: enforcement meets the objective observe mode violates");
+    } else {
+        eprintln!("error: SLO enforcement gate failed");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fast = false;
@@ -510,6 +616,7 @@ fn main() {
     let mut rps = serve::DEFAULT_RPS;
     let mut requests = serve::DEFAULT_REQUESTS;
     let mut serve_seed = serve::DEFAULT_SEED;
+    let mut storm = lm_fault::StormProfile::Default;
     let mut which: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -544,7 +651,25 @@ fn main() {
         } else {
             a.strip_prefix("--seed=").map(String::from)
         };
-        if let Some(v) = rps_value {
+        let storm_value = if a == "--storm" {
+            i += 1;
+            Some(args.get(i).cloned().unwrap_or_default())
+        } else {
+            a.strip_prefix("--storm=").map(String::from)
+        };
+        if let Some(v) = storm_value {
+            storm = match lm_fault::StormProfile::parse(&v) {
+                Some(p) => p,
+                None => {
+                    let names: Vec<&str> = lm_fault::StormProfile::ALL
+                        .iter()
+                        .map(|p| p.name())
+                        .collect();
+                    eprintln!("--storm expects one of {}, got '{v}'", names.join("|"));
+                    std::process::exit(2);
+                }
+            };
+        } else if let Some(v) = rps_value {
             rps = match v.parse::<f64>() {
                 Ok(r) if r > 0.0 && r.is_finite() => r,
                 _ => {
@@ -614,6 +739,8 @@ fn main() {
         "faults" => run_faults(fault_seed),
         "trace" => run_trace(tokens),
         "serve" => run_serve(serve_seed, rps, requests),
+        "chaos" => run_chaos(serve_seed, storm, rps, requests),
+        "slo" => run_slo(serve_seed, rps, requests),
         "summary" => {
             let s = summary::run(lens);
             print_summary(&s);
@@ -635,10 +762,12 @@ fn main() {
             run_faults(fault_seed);
             run_trace(tokens);
             run_serve(serve_seed, rps, requests);
+            run_chaos(serve_seed, storm, rps, requests);
+            run_slo(serve_seed, rps, requests);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose from: analyze table1 table3 table4 table5 fig3 fig4 fig5 fig7 fig8 fig9 whatif faults summary trace serve all");
+            eprintln!("choose from: analyze table1 table3 table4 table5 fig3 fig4 fig5 fig7 fig8 fig9 whatif faults summary trace serve chaos slo all");
             std::process::exit(2);
         }
     }

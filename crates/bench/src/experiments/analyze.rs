@@ -3,8 +3,9 @@
 //! combination the harness derives the real parallelism plan with the
 //! controller, then lints the graph, the plan, the policy placements, the
 //! bundling decision and a sampled cost-model probe. The default serving
-//! plan rides along under the `LMA25x` family. Shipped presets must
-//! produce zero `Error` diagnostics; warnings are reported but allowed.
+//! plan rides along under the `LMA25x` family and the default SLO policy
+//! under `LMA26x`. Shipped presets must produce zero `Error`
+//! diagnostics; warnings are reported but allowed.
 
 use lm_analyze::{analyze_deployment, lint_serve, Deployment, Diagnostic};
 use lm_hardware::presets;
@@ -94,6 +95,31 @@ fn serve_plan_row() -> AnalyzeRow {
     }
 }
 
+/// Lint the default SLO configuration (the one `repro slo` enforces)
+/// with the `LMA26x` family: the objective must clear the plan's
+/// physical TTFT floor and at least one actuator must be armed.
+fn slo_policy_row() -> AnalyzeRow {
+    use lm_analyze::lint_slo;
+    use lm_serve::{plan_admission, slo_probe, AnalyticBackend, ServeBackend, ServeConfig, SloPolicy};
+    use std::sync::Arc;
+    let backend = AnalyticBackend::opt_30b();
+    let plan = plan_admission(&backend, &ServeConfig::default())
+        .unwrap_or_else(|e| panic!("default serve plan is infeasible: {e}"));
+    let floor = backend.prefill_seconds(plan.slot_context, plan.slots) + plan.est_step_seconds;
+    let policy = SloPolicy::enforcing(floor * crate::experiments::slo::SLO_FLOOR_HEADROOM);
+    let ladder: Arc<dyn lm_serve::DegradeLadder> =
+        Arc::new(crate::experiments::slo::model_guided_ladder(&backend));
+    let report = lint_slo(&slo_probe(&plan, &backend, &policy, Some(&ladder)));
+    AnalyzeRow {
+        preset: "opt-30b/serve/default-slo".to_string(),
+        inter_op_total: plan.kahn_width as u32,
+        intra_op_compute: plan.slots as u32,
+        errors: report.error_count(),
+        warnings: report.warning_count(),
+        diagnostics: report.diagnostics,
+    }
+}
+
 /// Lint every shipped preset configuration plus the default serve plan.
 pub fn run() -> Vec<AnalyzeRow> {
     let flexgen = Policy::flexgen_default();
@@ -123,6 +149,7 @@ pub fn run() -> Vec<AnalyzeRow> {
             &flexgen,
         ),
         serve_plan_row(),
+        slo_policy_row(),
     ]
 }
 
@@ -144,7 +171,7 @@ mod tests {
     #[test]
     fn rows_cover_the_preset_matrix() {
         let rows = run();
-        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.len(), 6);
         for row in &rows {
             assert!(row.inter_op_total > 5, "{}", row.preset);
             assert!(row.intra_op_compute >= 1, "{}", row.preset);

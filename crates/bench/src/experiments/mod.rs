@@ -2,6 +2,7 @@
 //! per-experiment index of DESIGN.md §4.
 
 pub mod analyze;
+pub mod chaos;
 pub mod faults;
 pub mod fig3;
 pub mod fig5;
@@ -9,6 +10,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod serve;
+pub mod slo;
 pub mod summary;
 pub mod table1;
 pub mod table3;

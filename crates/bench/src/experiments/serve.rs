@@ -55,6 +55,11 @@ pub struct ModeRow {
     pub generated_tokens: u64,
     pub padding_tokens: u64,
     pub kv_peak_bytes: u64,
+    /// Deadline misses — *reported* by every mode, enforced by none
+    /// here: the continuous scheduler counts deadline-reason rejections,
+    /// the baselines count requests whose service started past their
+    /// deadline, so the modes stay comparable.
+    pub deadline_misses: u64,
     pub ttft: LatencyStats,
     pub latency: LatencyStats,
 }
@@ -100,6 +105,7 @@ fn mode_row(mode: &str, tracer: &Tracer, out: &ServeOutcome) -> ModeRow {
         generated_tokens: out.generated_tokens,
         padding_tokens: out.padding_tokens,
         kv_peak_bytes: out.kv_peak_bytes as u64,
+        deadline_misses: out.deadline_misses,
         ttft: histogram(tracer, "serve.ttft_s"),
         latency: histogram(tracer, "serve.latency_s"),
     }

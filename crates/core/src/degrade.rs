@@ -201,6 +201,86 @@ impl DegradationController {
     }
 }
 
+/// The serving-side view of the fallback ladder: each rung of
+/// [`DegradationController::fallback_ladder`] is re-scored by the
+/// analytic evaluator on the *healthy* platform, and rungs the model
+/// ranks faster than the base policy become [`lm_serve::DegradeRung`]s
+/// whose `step_time_factor` is the modelled step-time ratio
+/// `base_tput / rung_tput` (< 1 — quantized streams shrink the shared
+/// weight fetch, Eq. 2). Rungs are ordered mildest-first so the
+/// scheduler's one-way ratchet climbs from least to most degraded;
+/// rungs the model cannot score, or scores no faster than the base,
+/// are dropped.
+#[derive(Debug, Clone)]
+pub struct ServeDegradeLadder {
+    rungs: Vec<lm_serve::DegradeRung>,
+}
+
+impl ServeDegradeLadder {
+    /// Build the ladder for `base` policy using `controller`'s analytic
+    /// context. An empty ladder (no rung outruns the base) is valid:
+    /// `lm-serve`'s LMA261 pre-flight then requires another actuator.
+    pub fn model_guided(controller: &DegradationController, base: &Policy) -> Self {
+        let score = |p: &Policy| {
+            lm_offload_evaluator(
+                &controller.platform,
+                &controller.model,
+                &controller.workload,
+                p,
+                controller.params,
+                controller.threads,
+            )
+        };
+        let mut rungs: Vec<lm_serve::DegradeRung> = Vec::new();
+        if let Some(base_tput) = score(base) {
+            for rung in controller.fallback_ladder(base) {
+                let Some(tput) = score(&rung) else { continue };
+                let factor = base_tput / tput;
+                if factor < 1.0 {
+                    rungs.push(lm_serve::DegradeRung {
+                        name: describe_policy(&rung),
+                        step_time_factor: factor,
+                    });
+                }
+            }
+        }
+        // Mildest degradation first: the ratchet should take the
+        // smallest step that might hold the objective.
+        rungs.sort_by(|a, b| {
+            b.step_time_factor
+                .total_cmp(&a.step_time_factor)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        ServeDegradeLadder { rungs }
+    }
+
+    /// The rungs, mildest first.
+    pub fn rungs(&self) -> &[lm_serve::DegradeRung] {
+        &self.rungs
+    }
+}
+
+impl lm_serve::DegradeLadder for ServeDegradeLadder {
+    fn rung(&self, level: usize) -> Option<lm_serve::DegradeRung> {
+        if level == 0 {
+            return None;
+        }
+        self.rungs.get(level - 1).cloned()
+    }
+}
+
+/// A short human label for a fallback policy, used as the rung name.
+fn describe_policy(p: &Policy) -> String {
+    let att = match p.attention {
+        AttentionPlacement::Gpu => "gpu",
+        AttentionPlacement::Cpu => "cpu",
+    };
+    format!(
+        "w:{:?}/kv:{:?}/att:{att}/wg:{:.2}",
+        p.weights_dtype, p.kv_dtype, p.wg
+    )
+}
+
 /// Map a policy's at-rest precisions onto real-engine options. The
 /// placement fractions have no engine analogue (the mini engine always
 /// streams every layer); precisions do.
@@ -397,6 +477,47 @@ mod tests {
         let (chosen, _) = c.select_fallback(trigger, &current).expect("a fallback");
         let degraded = c.degraded_platform(trigger);
         assert!(lm_sim::fits(&c.model, &c.workload, &degraded, &chosen));
+    }
+
+    #[test]
+    fn serve_ladder_rungs_are_improving_and_mildest_first() {
+        let c = controller();
+        // A fully-resident FP16 base leaves plenty of modelled headroom
+        // for quantized fallbacks to outrun it.
+        let base = Policy::flexgen_default();
+        let ladder = ServeDegradeLadder::model_guided(&c, &base);
+        assert!(
+            !ladder.rungs().is_empty(),
+            "quantized rungs must outrun the fp16 base in the model"
+        );
+        let mut prev = 1.0f64;
+        for r in ladder.rungs() {
+            assert!(
+                r.step_time_factor > 0.0 && r.step_time_factor < 1.0,
+                "{}: factor {} outside (0, 1)",
+                r.name,
+                r.step_time_factor
+            );
+            assert!(
+                r.step_time_factor <= prev,
+                "ladder must be ordered mildest-first"
+            );
+            prev = r.step_time_factor;
+        }
+    }
+
+    #[test]
+    fn serve_ladder_is_one_based_like_the_trait_contract() {
+        use lm_serve::DegradeLadder as _;
+        let c = controller();
+        let ladder = ServeDegradeLadder::model_guided(&c, &Policy::flexgen_default());
+        let n = ladder.rungs().len();
+        assert!(ladder.rung(0).is_none(), "level 0 is 'no degradation'");
+        assert_eq!(
+            ladder.rung(1).map(|r| r.name),
+            ladder.rungs().first().map(|r| r.name.clone())
+        );
+        assert!(ladder.rung(n + 1).is_none());
     }
 
     #[test]

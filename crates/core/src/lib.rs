@@ -62,7 +62,7 @@ pub use advisor::{Advisor, Verdict};
 pub use controller::{derive_plan, transfer_tasks, try_derive_plan, ControllerOutput, DEFAULT_HEAD_GROUPS};
 pub use degrade::{
     engine_options_for_policy, generate_with_degradation, DegradationController,
-    DegradationTrigger, DegradedGeneration, PolicySwitch,
+    DegradationTrigger, DegradedGeneration, PolicySwitch, ServeDegradeLadder,
 };
 pub use engine::{run_framework, run_pipeline, EngineConfig, Framework, FrameworkRun};
 pub use policy_search::{lm_offload_evaluator, lm_offload_search, lm_offload_search_in_space};

@@ -27,10 +27,11 @@
 mod plan;
 mod retry;
 
-pub use plan::{FaultConfig, FaultProfile};
+pub use plan::{FaultConfig, FaultProfile, StormProfile, DEFAULT_EVENT_LOG_CAP};
 pub use retry::{RetryError, RetryPolicy};
 
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -52,10 +53,16 @@ pub enum FaultKind {
     PoolPressure,
     /// A prefetched layer is dropped between loader and consumer.
     PrefetchDrop,
+    /// A serving client disconnects mid-generation: the request must be
+    /// cancelled and its KV lease reclaimed immediately.
+    ClientDisconnect,
+    /// A serving slot crashes mid-generation: the request loses its slot
+    /// and must be re-queued to resume from its generated prefix.
+    SlotCrash,
 }
 
 impl FaultKind {
-    const COUNT: usize = 6;
+    const COUNT: usize = 8;
 
     fn index(self) -> usize {
         match self {
@@ -65,6 +72,8 @@ impl FaultKind {
             FaultKind::TransferStall => 3,
             FaultKind::PoolPressure => 4,
             FaultKind::PrefetchDrop => 5,
+            FaultKind::ClientDisconnect => 6,
+            FaultKind::SlotCrash => 7,
         }
     }
 
@@ -76,6 +85,8 @@ impl FaultKind {
             FaultKind::TransferStall => "transfer_stall",
             FaultKind::PoolPressure => "pool_pressure",
             FaultKind::PrefetchDrop => "prefetch_drop",
+            FaultKind::ClientDisconnect => "client_disconnect",
+            FaultKind::SlotCrash => "slot_crash",
         }
     }
 }
@@ -123,6 +134,8 @@ pub struct FaultStats {
     pub transfer_stalls: u64,
     pub pool_pressure_spikes: u64,
     pub prefetch_drops: u64,
+    pub client_disconnects: u64,
+    pub slot_crashes: u64,
     /// Retries attempted by recovery wrappers.
     pub retries: u64,
     /// Retries that ended in success.
@@ -131,6 +144,8 @@ pub struct FaultStats {
     pub degradations: u64,
     /// Total wall/virtual milliseconds added by injected stalls.
     pub stall_ms_total: u64,
+    /// Events evicted from the bounded log (counters never drop).
+    pub dropped_events: u64,
 }
 
 impl FaultStats {
@@ -142,6 +157,8 @@ impl FaultStats {
             + self.transfer_stalls
             + self.pool_pressure_spikes
             + self.prefetch_drops
+            + self.client_disconnects
+            + self.slot_crashes
     }
 }
 
@@ -157,11 +174,44 @@ struct Inner {
     /// their own per-instance counters, so a rebuilt engine would reset
     /// a per-pool clock and re-enter the episode forever.
     pressure_probes: AtomicU64,
-    log: Mutex<Vec<FaultEvent>>,
+    log: Mutex<EventLog>,
     /// Run-origin clock stamping the event log (attached by the engine
     /// when a tracer is active, so fault instants share the span time
     /// base).
     clock: Mutex<Option<lm_trace::TraceClock>>,
+}
+
+/// The bounded fault event log: a ring buffer of the most recent
+/// `cap` events. Eviction drops the *oldest* events and counts them, so
+/// `events()` stays order-stable (oldest retained first) and long chaos
+/// runs cannot grow memory without bound.
+struct EventLog {
+    buf: VecDeque<FaultEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl EventLog {
+    fn new(cap: usize) -> Self {
+        EventLog {
+            // Pre-size modestly: storms can have tiny caps.
+            buf: VecDeque::with_capacity(cap.min(1024)),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, ev: FaultEvent) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        while self.buf.len() >= self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
 }
 
 /// Handle threaded through the pipeline. Clones share counters and the
@@ -173,7 +223,7 @@ pub struct FaultInjector {
 }
 
 /// SplitMix64 finaliser — decision hashing.
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -181,7 +231,7 @@ fn mix(mut z: u64) -> u64 {
 }
 
 /// Map a hash to [0, 1).
-fn unit(h: u64) -> f64 {
+pub(crate) fn unit(h: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
@@ -193,6 +243,7 @@ impl FaultInjector {
     }
 
     pub fn new(cfg: FaultConfig) -> Self {
+        let log = EventLog::new(cfg.event_log_cap.min(usize::MAX as u64) as usize);
         FaultInjector {
             inner: Some(Arc::new(Inner {
                 cfg,
@@ -202,7 +253,7 @@ impl FaultInjector {
                 degradations: AtomicU64::new(0),
                 stall_ms_total: AtomicU64::new(0),
                 pressure_probes: AtomicU64::new(0),
-                log: Mutex::new(Vec::new()),
+                log: Mutex::new(log),
                 clock: Mutex::new(None),
             })),
         }
@@ -255,6 +306,14 @@ impl FaultInjector {
             attempt,
             t_us,
         });
+    }
+
+    /// How many events the bounded log has evicted so far.
+    pub fn dropped_events(&self) -> u64 {
+        match self.inner.as_deref() {
+            Some(inner) => inner.log.lock().unwrap_or_else(|e| e.into_inner()).dropped,
+            None => 0,
+        }
     }
 
     /// Attach a run-origin clock; subsequent events get `t_us` stamps on
@@ -344,6 +403,44 @@ impl FaultInjector {
         }
     }
 
+    /// Does the client of the admission for `(site, key)` disconnect
+    /// mid-generation? Returns the fraction of the *remaining* tokens it
+    /// sticks around for, in (0, 1) — the scheduler converts that to a
+    /// concrete token index (always granting at least one token of
+    /// progress, so storms at rate 1.0 still terminate).
+    #[inline]
+    pub fn client_disconnect(&self, site: &'static str, key: u64) -> Option<f64> {
+        let inner = self.inner.as_deref()?;
+        if self.draw(inner, FaultKind::ClientDisconnect, key, 0) < inner.cfg.disconnect_rate {
+            self.record(inner, FaultKind::ClientDisconnect, site, key, 0);
+            // Second draw: how far into the remaining generation the
+            // client survives (5%..95%).
+            let frac = 0.05
+                + 0.9 * self.draw(inner, FaultKind::ClientDisconnect, key ^ 0xC3C3, 0);
+            Some(frac)
+        } else {
+            None
+        }
+    }
+
+    /// Does the slot serving admission `(site, key)` crash
+    /// mid-generation on service attempt `attempt`? Returns the fraction
+    /// of the remaining tokens emitted before the crash, in (0, 1).
+    /// Attempts are independent draws, so a re-queued request can
+    /// succeed on retry.
+    #[inline]
+    pub fn slot_crash(&self, site: &'static str, key: u64, attempt: u32) -> Option<f64> {
+        let inner = self.inner.as_deref()?;
+        if self.draw(inner, FaultKind::SlotCrash, key, attempt) < inner.cfg.slot_crash_rate {
+            self.record(inner, FaultKind::SlotCrash, site, key, attempt);
+            let frac =
+                0.05 + 0.9 * self.draw(inner, FaultKind::SlotCrash, key ^ 0x5C5C, attempt);
+            Some(frac)
+        } else {
+            None
+        }
+    }
+
     /// Should the prefetched item for `key` be dropped before the
     /// consumer sees it (forcing a demand re-load)?
     #[inline]
@@ -404,18 +501,31 @@ impl FaultInjector {
             transfer_stalls: get(FaultKind::TransferStall),
             pool_pressure_spikes: get(FaultKind::PoolPressure),
             prefetch_drops: get(FaultKind::PrefetchDrop),
+            client_disconnects: get(FaultKind::ClientDisconnect),
+            slot_crashes: get(FaultKind::SlotCrash),
             retries: inner.retries.load(Ordering::Relaxed),
             retry_successes: inner.retry_successes.load(Ordering::Relaxed),
             degradations: inner.degradations.load(Ordering::Relaxed),
             stall_ms_total: inner.stall_ms_total.load(Ordering::Relaxed),
+            dropped_events: self.dropped_events(),
         }
     }
 
     /// Chronological injected-fault log (order within one site is the
     /// site's operation order; cross-site order follows wall clock).
+    /// Bounded by [`FaultConfig::event_log_cap`]: when full, the oldest
+    /// events are evicted, the retained suffix keeps its order, and
+    /// [`FaultInjector::dropped_events`] counts the loss.
     pub fn events(&self) -> Vec<FaultEvent> {
         match self.inner.as_deref() {
-            Some(inner) => inner.log.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+            Some(inner) => inner
+                .log
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .buf
+                .iter()
+                .cloned()
+                .collect(),
             None => Vec::new(),
         }
     }
@@ -444,9 +554,73 @@ mod tests {
             assert!(f.transfer_stall("t", k).is_none());
             assert!(f.pool_pressure("t", k).is_none());
             assert!(!f.prefetch_drop("t", k));
+            assert!(f.client_disconnect("t", k).is_none());
+            assert!(f.slot_crash("t", k, 0).is_none());
         }
         assert_eq!(f.stats(), FaultStats::default());
         assert!(f.events().is_empty());
+        assert_eq!(f.dropped_events(), 0);
+    }
+
+    #[test]
+    fn disconnects_and_crashes_draw_progress_fractions() {
+        let f = FaultInjector::new(FaultConfig {
+            disconnect_rate: 1.0,
+            slot_crash_rate: 1.0,
+            ..FaultConfig::quiescent(13)
+        });
+        for k in 0..500 {
+            let d = f.client_disconnect("serve", k).expect("rate 1.0 fires");
+            assert!((0.05..0.95).contains(&d), "disconnect frac {d}");
+            let c0 = f.slot_crash("serve", k, 0).expect("rate 1.0 fires");
+            let c1 = f.slot_crash("serve", k, 1).expect("rate 1.0 fires");
+            assert!((0.05..0.95).contains(&c0), "crash frac {c0}");
+            // Attempts are independent draws: retried crashes land at a
+            // different point (almost surely, and deterministically so).
+            if k == 0 {
+                assert_ne!(c0.to_bits(), c1.to_bits());
+            }
+        }
+        let s = f.stats();
+        assert_eq!(s.client_disconnects, 500);
+        assert_eq!(s.slot_crashes, 1000);
+        assert_eq!(s.total_faults(), 1500);
+    }
+
+    #[test]
+    fn event_log_is_a_ring_buffer_with_stable_order() {
+        let f = FaultInjector::new(FaultConfig {
+            disk_error_rate: 1.0,
+            event_log_cap: 8,
+            ..FaultConfig::quiescent(3)
+        });
+        for k in 0..20 {
+            assert!(f.disk_error("t", k, 0));
+        }
+        let ev = f.events();
+        assert_eq!(ev.len(), 8, "log bounded at the cap");
+        // Oldest evicted, retained suffix in order: keys 12..=19.
+        let keys: Vec<u64> = ev.iter().map(|e| e.key).collect();
+        assert_eq!(keys, (12..20).collect::<Vec<u64>>());
+        assert_eq!(f.dropped_events(), 12);
+        let s = f.stats();
+        assert_eq!(s.dropped_events, 12);
+        assert_eq!(s.disk_io_faults, 20, "counters never drop");
+    }
+
+    #[test]
+    fn zero_cap_keeps_no_events_but_counts() {
+        let f = FaultInjector::new(FaultConfig {
+            disk_error_rate: 1.0,
+            event_log_cap: 0,
+            ..FaultConfig::quiescent(3)
+        });
+        for k in 0..5 {
+            assert!(f.disk_error("t", k, 0));
+        }
+        assert!(f.events().is_empty());
+        assert_eq!(f.dropped_events(), 5);
+        assert_eq!(f.stats().disk_io_faults, 5);
     }
 
     #[test]

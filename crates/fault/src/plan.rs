@@ -1,7 +1,14 @@
 //! Fault-plan configuration: which fault classes fire, how often, and
-//! how hard.
+//! how hard — plus the named storm profiles the chaos harness
+//! (`repro chaos --storm <profile>`) runs the serving layer under.
 
 use serde::{Deserialize, Serialize};
+
+/// Default bound on the in-memory fault event log (see
+/// [`FaultConfig::event_log_cap`]): large enough that no shipped
+/// experiment ever drops an event, small enough that a week-long chaos
+/// soak cannot grow memory without bound.
+pub const DEFAULT_EVENT_LOG_CAP: u64 = 65_536;
 
 /// Preset severity levels for quick wiring from CLI flags and tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -45,6 +52,14 @@ pub struct FaultConfig {
     pub pool_pressure_burst: u64,
     /// P(prefetched item dropped) per item.
     pub prefetch_drop_rate: f64,
+    /// P(client disconnects mid-generation) per admission.
+    pub disconnect_rate: f64,
+    /// P(slot crashes mid-generation) per admission attempt.
+    pub slot_crash_rate: f64,
+    /// Ring-buffer bound on the retained fault event log. Once full, the
+    /// oldest events are evicted (and counted as dropped); `0` keeps no
+    /// events at all. Counters are unaffected either way.
+    pub event_log_cap: u64,
 }
 
 impl FaultConfig {
@@ -63,6 +78,9 @@ impl FaultConfig {
                 pool_pressure_bytes: 1 << 20,
                 pool_pressure_burst: 0,
                 prefetch_drop_rate: 0.01,
+                disconnect_rate: 0.01,
+                slot_crash_rate: 0.005,
+                event_log_cap: DEFAULT_EVENT_LOG_CAP,
             },
             FaultProfile::Moderate => FaultConfig {
                 seed,
@@ -76,6 +94,9 @@ impl FaultConfig {
                 pool_pressure_bytes: 8 << 20,
                 pool_pressure_burst: 0,
                 prefetch_drop_rate: 0.05,
+                disconnect_rate: 0.05,
+                slot_crash_rate: 0.02,
+                event_log_cap: DEFAULT_EVENT_LOG_CAP,
             },
             FaultProfile::Severe => FaultConfig {
                 seed,
@@ -89,6 +110,9 @@ impl FaultConfig {
                 pool_pressure_bytes: 32 << 20,
                 pool_pressure_burst: 0,
                 prefetch_drop_rate: 0.15,
+                disconnect_rate: 0.15,
+                slot_crash_rate: 0.08,
+                event_log_cap: DEFAULT_EVENT_LOG_CAP,
             },
         }
     }
@@ -108,7 +132,98 @@ impl FaultConfig {
             pool_pressure_bytes: 0,
             pool_pressure_burst: 0,
             prefetch_drop_rate: 0.0,
+            disconnect_rate: 0.0,
+            slot_crash_rate: 0.0,
+            event_log_cap: DEFAULT_EVENT_LOG_CAP,
         }
+    }
+
+    /// A named chaos-storm configuration: the fault mix `repro chaos`
+    /// drives the serving layer under. Storms only use the fault classes
+    /// the scheduler observes (pool pressure, transfer stalls, client
+    /// disconnects, slot crashes); disk/prefetch classes stay quiet so a
+    /// storm's effect is attributable.
+    pub fn storm(seed: u64, profile: StormProfile) -> Self {
+        let base = FaultConfig::quiescent(seed);
+        match profile {
+            StormProfile::Default => FaultConfig {
+                disconnect_rate: 0.10,
+                slot_crash_rate: 0.05,
+                pool_pressure_rate: 0.20,
+                pool_pressure_bytes: 2 << 30,
+                pool_pressure_burst: 48,
+                stall_rate: 0.05,
+                stall_ms: 20,
+                ..base
+            },
+            StormProfile::PoolSqueeze => FaultConfig {
+                pool_pressure_rate: 0.60,
+                pool_pressure_bytes: 4 << 30,
+                pool_pressure_burst: 0,
+                ..base
+            },
+            StormProfile::Disconnects => FaultConfig {
+                disconnect_rate: 0.40,
+                stall_rate: 0.02,
+                stall_ms: 10,
+                ..base
+            },
+            StormProfile::Crashes => FaultConfig {
+                slot_crash_rate: 0.30,
+                ..base
+            },
+            StormProfile::Blackout => FaultConfig {
+                disconnect_rate: 0.25,
+                slot_crash_rate: 0.15,
+                pool_pressure_rate: 0.35,
+                pool_pressure_bytes: 3 << 30,
+                pool_pressure_burst: 0,
+                stall_rate: 0.15,
+                stall_ms: 50,
+                ..base
+            },
+        }
+    }
+}
+
+/// Named fault storms for the chaos harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StormProfile {
+    /// A bit of everything at survivable rates; the `repro chaos`
+    /// default.
+    Default,
+    /// Sustained pool-pressure spikes squeezing KV admission.
+    PoolSqueeze,
+    /// Clients vanishing mid-generation (plus light stalls).
+    Disconnects,
+    /// Slots dying mid-generation and retrying from their prefix.
+    Crashes,
+    /// Everything at once, at severe rates.
+    Blackout,
+}
+
+impl StormProfile {
+    pub const ALL: [StormProfile; 5] = [
+        StormProfile::Default,
+        StormProfile::PoolSqueeze,
+        StormProfile::Disconnects,
+        StormProfile::Crashes,
+        StormProfile::Blackout,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            StormProfile::Default => "default",
+            StormProfile::PoolSqueeze => "pool-squeeze",
+            StormProfile::Disconnects => "disconnects",
+            StormProfile::Crashes => "crashes",
+            StormProfile::Blackout => "blackout",
+        }
+    }
+
+    /// Parse a CLI storm name (the inverse of [`StormProfile::name`]).
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == name)
     }
 }
 
@@ -125,6 +240,29 @@ mod tests {
         assert!(m.disk_error_rate < s.disk_error_rate);
         assert!(l.link_degrade_factor > m.link_degrade_factor);
         assert!(m.link_degrade_factor > s.link_degrade_factor);
+    }
+
+    #[test]
+    fn storm_names_round_trip() {
+        for p in StormProfile::ALL {
+            assert_eq!(StormProfile::parse(p.name()), Some(p));
+        }
+        assert_eq!(StormProfile::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn storms_only_arm_scheduler_visible_classes() {
+        for p in StormProfile::ALL {
+            let c = FaultConfig::storm(3, p);
+            assert_eq!(c.disk_error_rate, 0.0, "{p:?}");
+            assert_eq!(c.torn_read_rate, 0.0, "{p:?}");
+            assert_eq!(c.prefetch_drop_rate, 0.0, "{p:?}");
+            assert!(c.event_log_cap > 0);
+            assert!(
+                c.disconnect_rate + c.slot_crash_rate + c.pool_pressure_rate + c.stall_rate > 0.0,
+                "storm {p:?} must arm something"
+            );
+        }
     }
 
     #[test]

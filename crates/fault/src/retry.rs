@@ -1,5 +1,28 @@
-//! Bounded retry with exponential backoff and a hard deadline.
+//! Bounded retry with exponential backoff, a hard deadline, and
+//! *seeded* backoff jitter.
+//!
+//! # Determinism contract
+//!
+//! Backoff jitter is a **pure function of `(jitter_seed, attempt)`** —
+//! a stateless SplitMix64 hash, the same construction the
+//! [`FaultInjector`](crate::FaultInjector) uses for fault decisions —
+//! not a draw from a shared mutable RNG. Consequences:
+//!
+//! - the same policy (same `jitter_seed`) produces the identical backoff
+//!   schedule on every run, every thread, every machine — fault-storm
+//!   replays are bit-reproducible;
+//! - concurrent retry loops sharing one policy cannot perturb each
+//!   other's sleeps (there is no RNG state to race on);
+//! - jitter only stretches or shrinks *wall-clock* sleeps; virtual-clock
+//!   outcomes (the serving scheduler, the simulator) are unaffected by
+//!   construction.
+//!
+//! Callers wiring jitter into a fault experiment should derive
+//! `jitter_seed` from the injector seed (e.g.
+//! `policy.with_seeded_jitter(fault_seed, 0.5)`) so one seed pins the
+//! entire run: which faults fire *and* how recovery paces itself.
 
+use crate::{mix, unit};
 use std::time::{Duration, Instant};
 
 /// Outcome of a retried operation that never succeeded.
@@ -39,7 +62,10 @@ impl<E> RetryError<E> {
 /// Retry policy: at most `max_attempts` tries, sleeping
 /// `base_backoff * multiplier^(attempt-1)` (capped at `max_backoff`)
 /// between them, never starting an attempt after `deadline` has
-/// elapsed since the first.
+/// elapsed since the first. With `jitter_frac > 0` each sleep is
+/// stretched by a deterministic, seeded factor in
+/// `[1 - jitter_frac/2, 1 + jitter_frac/2)` — see the module docs for
+/// the determinism contract.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RetryPolicy {
     pub max_attempts: u32,
@@ -47,6 +73,12 @@ pub struct RetryPolicy {
     pub multiplier: f64,
     pub max_backoff: Duration,
     pub deadline: Duration,
+    /// Jitter width as a fraction of the nominal backoff, in [0, 1].
+    /// `0` (the default) disables jitter entirely.
+    pub jitter_frac: f64,
+    /// Seed of the jitter hash; derive from the fault injector seed so
+    /// one seed pins the whole replay.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -57,6 +89,8 @@ impl Default for RetryPolicy {
             multiplier: 2.0,
             max_backoff: Duration::from_millis(50),
             deadline: Duration::from_secs(5),
+            jitter_frac: 0.0,
+            jitter_seed: 0,
         }
     }
 }
@@ -70,6 +104,7 @@ impl RetryPolicy {
             multiplier: 1.0,
             max_backoff: Duration::ZERO,
             deadline: Duration::MAX,
+            ..RetryPolicy::default()
         }
     }
 
@@ -81,14 +116,31 @@ impl RetryPolicy {
             multiplier: 2.0,
             max_backoff: Duration::from_millis(1),
             deadline: Duration::from_secs(2),
+            ..RetryPolicy::default()
         }
     }
 
+    /// This policy with seeded backoff jitter: each sleep is scaled by a
+    /// deterministic factor in `[1 - frac/2, 1 + frac/2)` hashed from
+    /// `(seed, attempt)`. Pass the fault injector's seed so the whole
+    /// storm — faults and recovery pacing alike — replays from one
+    /// number.
+    pub fn with_seeded_jitter(mut self, seed: u64, frac: f64) -> Self {
+        self.jitter_seed = seed;
+        self.jitter_frac = frac.clamp(0.0, 1.0);
+        self
+    }
+
     /// Backoff before retry number `attempt` (1-based: the sleep taken
-    /// after the `attempt`-th failure).
+    /// after the `attempt`-th failure). Jitter, when enabled, is a pure
+    /// function of `(jitter_seed, attempt)` — identical across runs.
     pub fn backoff(&self, attempt: u32) -> Duration {
         let factor = self.multiplier.powi(attempt.saturating_sub(1) as i32);
-        let nanos = self.base_backoff.as_nanos() as f64 * factor;
+        let mut nanos = self.base_backoff.as_nanos() as f64 * factor;
+        if self.jitter_frac > 0.0 {
+            let u = unit(mix(self.jitter_seed ^ mix(attempt as u64)));
+            nanos *= 1.0 + self.jitter_frac * (u - 0.5);
+        }
         Duration::from_nanos(nanos as u64).min(self.max_backoff)
     }
 
@@ -188,6 +240,7 @@ mod tests {
             multiplier: 1.0,
             max_backoff: Duration::from_millis(20),
             deadline: Duration::from_millis(30),
+            ..RetryPolicy::default()
         };
         let r: Result<(), RetryError<&str>> = p.run(|_| Err("slow"), |_, _| {});
         assert!(matches!(r, Err(RetryError::DeadlineExceeded { .. })));
@@ -201,11 +254,61 @@ mod tests {
             multiplier: 2.0,
             max_backoff: Duration::from_millis(10),
             deadline: Duration::from_secs(1),
+            ..RetryPolicy::default()
         };
         assert_eq!(p.backoff(1), Duration::from_millis(2));
         assert_eq!(p.backoff(2), Duration::from_millis(4));
         assert_eq!(p.backoff(3), Duration::from_millis(8));
         assert_eq!(p.backoff(4), Duration::from_millis(10)); // capped
         assert_eq!(p.backoff(9), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn seeded_jitter_is_bit_reproducible() {
+        let a = RetryPolicy::default().with_seeded_jitter(42, 0.5);
+        let b = RetryPolicy::default().with_seeded_jitter(42, 0.5);
+        for attempt in 1..20 {
+            assert_eq!(a.backoff(attempt), b.backoff(attempt), "attempt {attempt}");
+        }
+        // Different seeds pace differently (at least one attempt must).
+        let c = RetryPolicy::default().with_seeded_jitter(43, 0.5);
+        assert!(
+            (1..20).any(|n| a.backoff(n) != c.backoff(n)),
+            "seed must matter"
+        );
+    }
+
+    #[test]
+    fn jitter_stays_within_its_band_and_the_cap() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(4),
+            multiplier: 1.0,
+            max_backoff: Duration::from_millis(100),
+            deadline: Duration::from_secs(1),
+            ..RetryPolicy::default()
+        }
+        .with_seeded_jitter(7, 0.5);
+        for attempt in 1..50 {
+            let b = p.backoff(attempt).as_secs_f64();
+            assert!((0.003..0.005).contains(&b), "attempt {attempt}: {b}s");
+        }
+        // The cap still binds after jitter.
+        let capped = RetryPolicy {
+            max_backoff: Duration::from_millis(4),
+            ..p
+        };
+        for attempt in 1..50 {
+            assert!(capped.backoff(attempt) <= Duration::from_millis(4));
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_the_exact_nominal_schedule() {
+        let plain = RetryPolicy::fast_test();
+        let zeroed = RetryPolicy::fast_test().with_seeded_jitter(99, 0.0);
+        for attempt in 1..10 {
+            assert_eq!(plain.backoff(attempt), zeroed.backoff(attempt));
+        }
     }
 }

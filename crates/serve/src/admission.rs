@@ -12,12 +12,14 @@
 //! strict pre-flight.
 
 use crate::backend::ServeBackend;
-use lm_analyze::{lint_serve, Report, ServeProbe};
+use crate::slo::{DegradeLadder, SloPolicy};
+use lm_analyze::{lint_serve, Report, ServeProbe, SloProbe};
 use lm_engine::EngineError;
 use lm_fault::{FaultInjector, RetryPolicy};
 use lm_parallelism::{analyze, attention_block_graph};
 use lm_trace::Tracer;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Operator-facing serving knobs.
 #[derive(Clone)]
@@ -40,6 +42,12 @@ pub struct ServeConfig {
     pub fault: FaultInjector,
     /// Span/metrics recorder (TTFT, queue depth, slot occupancy, ...).
     pub tracer: Tracer,
+    /// Optional TTFT objective; `None` keeps the pre-SLO behaviour
+    /// (no prediction, no shedding, no preemption).
+    pub slo: Option<SloPolicy>,
+    /// Fallback ladder the scheduler climbs when the SLO monitor calls
+    /// for degradation; `None` disables that actuator.
+    pub ladder: Option<Arc<dyn DegradeLadder>>,
 }
 
 impl Default for ServeConfig {
@@ -52,6 +60,8 @@ impl Default for ServeConfig {
             retry: RetryPolicy::none(),
             fault: FaultInjector::disabled(),
             tracer: Tracer::disabled(),
+            slo: None,
+            ladder: None,
         }
     }
 }
@@ -87,6 +97,33 @@ impl ServePlan {
             block_size: self.slots as u64,
             kahn_width: self.kahn_width,
         }
+    }
+}
+
+/// Sample the `LMA26x` lint observation for an SLO policy paired with a
+/// plan: the floor is the cost model's one worst-case-padded group
+/// prefill plus one full-occupancy decode step — the fastest any
+/// admitted request can reach its first token under this plan.
+pub fn slo_probe(
+    plan: &ServePlan,
+    backend: &dyn ServeBackend,
+    slo: &SloPolicy,
+    ladder: Option<&std::sync::Arc<dyn DegradeLadder>>,
+) -> SloProbe {
+    // A ladder is finite in practice; cap the census so a buggy
+    // implementation cannot hang the pre-flight.
+    let degrade_rungs = ladder.map_or(0, |l| {
+        (1..=64).take_while(|&i| l.rung(i).is_some()).count() as u64
+    });
+    SloProbe {
+        ttft_p99_slo_s: slo.ttft_p99_s,
+        floor_ttft_s: backend.prefill_seconds(plan.slot_context, plan.slots)
+            + plan.est_step_seconds,
+        slots: plan.slots as u64,
+        enforce: slo.enforce,
+        preempt: slo.preempt,
+        shed: slo.shed,
+        degrade_rungs,
     }
 }
 

@@ -22,7 +22,14 @@
 //!   block graph's Kahn width);
 //! - [`scheduler`]: the continuous scheduler ([`serve_continuous`],
 //!   streaming variant [`serve_continuous_with`]) and its two baselines
-//!   ([`serve_sequential`], [`serve_static`]).
+//!   ([`serve_sequential`], [`serve_static`]);
+//! - [`slo`]: the overload-protection layer (DESIGN.md §12) — the
+//!   [`SloPolicy`] objective, the model-driven [`TtftModel`] predictor,
+//!   and the [`DegradeLadder`] the scheduler climbs when preemption
+//!   alone cannot hold the objective. Cancellation
+//!   ([`CancelToken`] → terminal [`Cancellation`]) and slot crashes
+//!   reclaim KV leases mid-generation; chaos storms drive all of it
+//!   deterministically.
 //!
 //! Everything runs on a virtual clock in integer microseconds; a serving
 //! run is a pure function of `(requests, backend, config)` — identical
@@ -35,11 +42,16 @@ pub mod admission;
 pub mod backend;
 pub mod request;
 pub mod scheduler;
+pub mod slo;
 
-pub use admission::{plan_admission, ServeConfig, ServeError, ServePlan};
+pub use admission::{plan_admission, slo_probe, ServeConfig, ServeError, ServePlan};
 pub use backend::{AnalyticBackend, EngineBackend, ServeBackend};
-pub use request::{synth_traffic, ArrivalQueue, RejectReason, Rejection, Request, Response};
+pub use request::{
+    synth_traffic, ArrivalQueue, CancelReason, CancelToken, Cancellation, RejectReason, Rejection,
+    Request, Response,
+};
 pub use scheduler::{
     serve_continuous, serve_continuous_with, serve_sequential, serve_static, ServeOutcome,
-    TokenEvent,
+    ServeStats, TokenEvent,
 };
+pub use slo::{DegradeLadder, DegradeRung, SloPolicy, StaticLadder, TtftModel};

@@ -9,6 +9,91 @@
 use lm_models::ModelConfig;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shareable cancellation handle: the client side keeps a clone and
+/// calls [`CancelToken::cancel_at_us`] (or [`CancelToken::cancel_now`]);
+/// the scheduler observes it at every block boundary and resolves the
+/// request as a terminal [`Cancellation`], reclaiming its KV lease
+/// immediately.
+///
+/// The token stores the *virtual* microsecond at or after which the
+/// client is gone (`u64::MAX` = never). Virtual time keeps cancellation
+/// inside the scheduler's determinism contract: a run cancelled "at
+/// t=2s" replays identically, which is what the chaos harness's
+/// byte-identical replay invariant needs.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    at_us: Arc<AtomicU64>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::never()
+    }
+}
+
+impl CancelToken {
+    /// A token that never fires.
+    pub fn never() -> Self {
+        CancelToken {
+            at_us: Arc::new(AtomicU64::new(u64::MAX)),
+        }
+    }
+
+    /// Cancel effective from virtual time `t_us` (earliest wins if
+    /// called repeatedly).
+    pub fn cancel_at_us(&self, t_us: u64) {
+        self.at_us.fetch_min(t_us, Ordering::Relaxed);
+    }
+
+    /// Cancel effective immediately: the scheduler notices at its next
+    /// block boundary, whatever the virtual clock reads then.
+    pub fn cancel_now(&self) {
+        self.cancel_at_us(0);
+    }
+
+    /// Is the client gone at virtual time `now_us`?
+    pub fn is_cancelled_at(&self, now_us: u64) -> bool {
+        now_us >= self.at_us.load(Ordering::Relaxed)
+    }
+
+    /// The pending cancel time, if one is set.
+    pub fn cancel_time_us(&self) -> Option<u64> {
+        match self.at_us.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            t => Some(t),
+        }
+    }
+}
+
+// A default-constructed token must also mean "never": 0 would cancel
+// everything at t=0.
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_us.load(Ordering::Relaxed) == other.at_us.load(Ordering::Relaxed)
+    }
+}
+
+impl Eq for CancelToken {}
+
+// Serialise as the raw cancel time; deserialising recreates a fresh
+// (unshared) token with the same firing time.
+impl Serialize for CancelToken {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::PosInt(self.at_us.load(Ordering::Relaxed))
+    }
+}
+
+impl Deserialize for CancelToken {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let t: u64 = Deserialize::deserialize(value)?;
+        let token = CancelToken::never();
+        token.at_us.store(t, Ordering::Relaxed);
+        Ok(token)
+    }
+}
 
 /// One independent generation request entering the serving queue.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -30,6 +115,10 @@ pub struct Request {
     pub seed: u64,
     /// Virtual arrival time.
     pub arrival_us: u64,
+    /// Client-side cancellation handle; defaults to "never". The
+    /// scheduler checks it at every block boundary, whether the request
+    /// is queued or running.
+    pub cancel: CancelToken,
 }
 
 impl Request {
@@ -42,6 +131,7 @@ impl Request {
             deadline_us: None,
             seed: id,
             arrival_us: 0,
+            cancel: CancelToken::never(),
         }
     }
 
@@ -62,6 +152,12 @@ impl Request {
 
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Attach a shared cancellation handle (keep a clone to fire it).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 }
@@ -90,6 +186,39 @@ impl Response {
     }
 }
 
+/// Why a request was cancelled rather than completed or rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CancelReason {
+    /// The (possibly injected) client vanished mid-generation.
+    ClientDisconnect,
+    /// The request's own [`CancelToken`] fired.
+    Explicit,
+}
+
+impl std::fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CancelReason::ClientDisconnect => write!(f, "client disconnect"),
+            CancelReason::Explicit => write!(f, "explicit cancel"),
+        }
+    }
+}
+
+/// Terminal record of a cancelled request: the third way (after
+/// [`Response`] and [`Rejection`]) a request resolves. The scheduler
+/// guarantees every admitted-or-queued request ends in exactly one of
+/// the three; its KV lease (if any) is reclaimed the moment this record
+/// is produced.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cancellation {
+    pub id: u64,
+    pub reason: CancelReason,
+    /// Tokens already streamed to the client before the cancel landed.
+    pub delivered: usize,
+    /// Virtual time the scheduler observed the cancellation.
+    pub cancel_us: u64,
+}
+
 /// Why a request never produced a response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RejectReason {
@@ -104,6 +233,13 @@ pub enum RejectReason {
     /// Admission kept failing after the retry budget with no prospect of
     /// recovery (e.g. injected pool pressure on an otherwise empty pool).
     AdmissionFailed(String),
+    /// Shed at admission: the performance model predicts the first token
+    /// would land after the request's effective deadline, so queueing it
+    /// is doomed work (see `SloPolicy::shed`).
+    WouldMissDeadline {
+        deadline_us: u64,
+        predicted_ttft_us: u64,
+    },
 }
 
 // The vendored serde derive handles named-field structs and unit-variant
@@ -130,6 +266,17 @@ impl Serialize for RejectReason {
                 m.insert("reason".into(), serde::Value::String(reason.clone()));
                 "admission_failed"
             }
+            RejectReason::WouldMissDeadline {
+                deadline_us,
+                predicted_ttft_us,
+            } => {
+                m.insert("deadline_us".into(), serde::Value::PosInt(*deadline_us));
+                m.insert(
+                    "predicted_ttft_us".into(),
+                    serde::Value::PosInt(*predicted_ttft_us),
+                );
+                "would_miss_deadline"
+            }
         };
         m.insert("kind".into(), serde::Value::String(kind.to_string()));
         serde::Value::Object(m)
@@ -153,6 +300,10 @@ impl Deserialize for RejectReason {
                 capacity: serde::field(map, "capacity")?,
             }),
             "admission_failed" => Ok(RejectReason::AdmissionFailed(serde::field(map, "reason")?)),
+            "would_miss_deadline" => Ok(RejectReason::WouldMissDeadline {
+                deadline_us: serde::field(map, "deadline_us")?,
+                predicted_ttft_us: serde::field(map, "predicted_ttft_us")?,
+            }),
             other => Err(serde::Error::custom(format!(
                 "unknown RejectReason kind '{other}'"
             ))),
@@ -171,6 +322,13 @@ impl std::fmt::Display for RejectReason {
                 write!(f, "KV lease of {bytes} B exceeds the {capacity} B pool")
             }
             RejectReason::AdmissionFailed(r) => write!(f, "admission failed: {r}"),
+            RejectReason::WouldMissDeadline {
+                deadline_us,
+                predicted_ttft_us,
+            } => write!(
+                f,
+                "shed: predicted first token at {predicted_ttft_us}us, deadline {deadline_us}us"
+            ),
         }
     }
 }
@@ -326,5 +484,52 @@ mod tests {
         assert_eq!(micros(0.0), 0);
         assert_eq!(micros(1e-7), 1);
         assert_eq!(micros(1.5), 1_500_000);
+    }
+
+    #[test]
+    fn cancel_token_defaults_to_never_and_earliest_wins() {
+        let t = CancelToken::default();
+        assert!(!t.is_cancelled_at(0));
+        assert!(!t.is_cancelled_at(u64::MAX - 1));
+        assert_eq!(t.cancel_time_us(), None);
+        t.cancel_at_us(500);
+        t.cancel_at_us(900); // later call cannot un-cancel
+        assert_eq!(t.cancel_time_us(), Some(500));
+        assert!(!t.is_cancelled_at(499));
+        assert!(t.is_cancelled_at(500));
+        let clone = t.clone();
+        clone.cancel_at_us(100); // clones share state
+        assert_eq!(t.cancel_time_us(), Some(100));
+    }
+
+    #[test]
+    fn cancel_token_rides_along_on_request_clones() {
+        let token = CancelToken::never();
+        let req = Request::new(3, vec![1, 2], 4).with_cancel(token.clone());
+        let copy = req.clone();
+        token.cancel_now();
+        assert!(copy.cancel.is_cancelled_at(0));
+    }
+
+    #[test]
+    fn cancellation_and_new_reject_arm_round_trip_serde() {
+        let c = Cancellation {
+            id: 9,
+            reason: CancelReason::ClientDisconnect,
+            delivered: 5,
+            cancel_us: 1234,
+        };
+        let v = Serialize::serialize(&c);
+        let back: Cancellation = Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, c);
+
+        let r = RejectReason::WouldMissDeadline {
+            deadline_us: 10,
+            predicted_ttft_us: 25,
+        };
+        let v = Serialize::serialize(&r);
+        let back: RejectReason = Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, r);
+        assert!(r.to_string().contains("shed"));
     }
 }

@@ -18,10 +18,25 @@
 //! token to every active slot (streamed through the `on_token`
 //! callback); a finished sequence drops its lease at the boundary, and
 //! the freed bytes admit the next queued request.
+//!
+//! Overload protection (DESIGN.md §12): every boundary also sweeps slot
+//! fates — explicit cancels and injected client disconnects resolve as
+//! terminal [`Cancellation`]s with the KV lease reclaimed on the spot;
+//! injected slot crashes re-queue the request, which later *resumes from
+//! its generated prefix* (token streams are deterministic, so the cached
+//! prefix is exact and nothing is re-emitted — only the prefix re-prefill
+//! is re-paid). When a [`SloPolicy`](crate::SloPolicy) is configured, a
+//! per-boundary monitor predicts p99 TTFT over the wait queue with
+//! [`TtftModel`] and, under enforcement, preempts the lowest-priority
+//! slot, sheds doomed admissions, or climbs the degrade ladder. Every
+//! request resolves exactly once: response, rejection, or cancellation.
 
 use crate::admission::{ServeConfig, ServeError, ServePlan};
 use crate::backend::ServeBackend;
-use crate::request::{micros, ArrivalQueue, RejectReason, Rejection, Request, Response};
+use crate::request::{
+    micros, ArrivalQueue, CancelReason, Cancellation, RejectReason, Rejection, Request, Response,
+};
+use crate::slo::TtftModel;
 use lm_engine::{validate_request, EngineError, Lease, MemPool};
 use serde::{Deserialize, Serialize};
 
@@ -35,11 +50,48 @@ pub struct TokenEvent {
     pub t_us: u64,
 }
 
+/// Admission-lifecycle accounting for one continuous run. Admissions
+/// count *events*, not requests: a request that crashes and resumes is
+/// admitted more than once.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Slot admissions granted (including re-admissions after crash or
+    /// preemption).
+    pub admitted: u64,
+    /// Admissions that ran to a finished [`Response`].
+    pub completed: u64,
+    /// Admissions ended by cancellation (explicit or disconnect) while
+    /// holding a slot.
+    pub cancelled_in_slot: u64,
+    /// Admissions evicted by the SLO monitor (later re-admitted).
+    pub preemptions: u64,
+    /// Admissions ended by an injected slot crash (later re-admitted).
+    pub slot_crashes: u64,
+    /// Requests shed at admission with `WouldMissDeadline`.
+    pub shed: u64,
+    /// Degrade-ladder rungs climbed.
+    pub degradations: u64,
+    /// Boundaries where the predicted p99 TTFT exceeded the SLO.
+    pub predicted_violations: u64,
+}
+
+impl ServeStats {
+    /// Conservation law: every admission ends in exactly one of
+    /// completion, in-slot cancellation, preemption, or slot crash.
+    pub fn admissions_balanced(&self) -> bool {
+        self.admitted
+            == self.completed + self.cancelled_in_slot + self.preemptions + self.slot_crashes
+    }
+}
+
 /// What one serving run produced.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeOutcome {
     pub responses: Vec<Response>,
     pub rejections: Vec<Rejection>,
+    /// Requests that resolved by cancellation (explicit or injected
+    /// disconnect) — the third terminal state.
+    pub cancellations: Vec<Cancellation>,
     /// Virtual end-to-end duration, seconds.
     pub sim_seconds: f64,
     /// Real (non-padding) tokens generated.
@@ -50,6 +102,19 @@ pub struct ServeOutcome {
     /// High-water mark of the serve KV pool, bytes (0 for baselines that
     /// do not lease).
     pub kv_peak_bytes: usize,
+    /// Serve-pool bytes still held when the run ended. The RAII-lease
+    /// invariant demands this is always zero; the chaos harness fails
+    /// the run otherwise.
+    pub kv_leaked_bytes: usize,
+    /// Deadline misses: for the continuous scheduler, deadline-reason
+    /// rejections (expired in queue, or shed as unmeetable); the
+    /// baselines *report* (without enforcing) requests whose service
+    /// started past their deadline, keeping `results/serve.json`
+    /// comparisons apples-to-apples.
+    pub deadline_misses: u64,
+    /// Admission-lifecycle accounting (continuous scheduler only;
+    /// baselines leave it default).
+    pub stats: ServeStats,
 }
 
 impl ServeOutcome {
@@ -61,28 +126,116 @@ impl ServeOutcome {
             0.0
         }
     }
+
+    /// How many requests reached a terminal state (each exactly once).
+    pub fn terminal_count(&self) -> usize {
+        self.responses.len() + self.rejections.len() + self.cancellations.len()
+    }
+}
+
+/// A request waiting — or, after a crash/preemption, *re*-waiting — for
+/// a slot.
+struct Pending {
+    req: Request,
+    /// Cached token stream from a previous admission. Tokens are a
+    /// deterministic function of the request alone, so the cache is
+    /// exact: resumption continues the same stream without re-emitting.
+    tokens: Option<Vec<u32>>,
+    /// Tokens already streamed to the client before the interruption.
+    emitted: usize,
+    first_token_us: Option<u64>,
+    /// Crash ordinal; keys the next admission's crash draw so retries
+    /// see fresh randomness.
+    crashes: u32,
+}
+
+impl Pending {
+    fn fresh(req: Request) -> Self {
+        Pending {
+            req,
+            tokens: None,
+            emitted: 0,
+            first_token_us: None,
+            crashes: 0,
+        }
+    }
+
+    /// Prompt length a re-admission pays prefill for: the original
+    /// prompt plus the already-generated prefix.
+    fn effective_prompt_len(&self) -> usize {
+        self.req.prompt.len() + self.emitted
+    }
 }
 
 /// An admitted sequence holding a slot.
 struct Slot {
-    id: u64,
+    req: Request,
     tokens: Vec<u32>,
     emitted: usize,
     /// Current sequence length (padded prompt + emitted tokens).
     context: u64,
-    arrival_us: u64,
     first_token_us: Option<u64>,
+    /// Token ordinal at which this admission's injected client
+    /// disconnect lands (checked at every boundary), if one was drawn.
+    disconnect_at: Option<usize>,
+    /// Token ordinal at which this admission's injected slot crash
+    /// lands, if one was drawn.
+    crash_at: Option<usize>,
+    crashes: u32,
     _lease: Lease,
 }
 
+impl Slot {
+    fn remaining(&self) -> u64 {
+        (self.tokens.len() - self.emitted) as u64
+    }
+}
+
 /// Total admission order: priority desc, then arrival asc, then id asc.
-fn admission_order(ready: &mut [Request]) {
+fn admission_order(ready: &mut [Pending]) {
     ready.sort_by(|a, b| {
-        b.priority
-            .cmp(&a.priority)
-            .then(a.arrival_us.cmp(&b.arrival_us))
-            .then(a.id.cmp(&b.id))
+        b.req
+            .priority
+            .cmp(&a.req.priority)
+            .then(a.req.arrival_us.cmp(&b.req.arrival_us))
+            .then(a.req.id.cmp(&b.req.id))
     });
+}
+
+/// Snapshot the analytic TTFT predictor's inputs at a block boundary.
+/// Step time comes from the admission plan's full-occupancy estimate and
+/// prefill from the wait queue's padding envelope, both scaled by the
+/// current degrade factor — the same model that times the run predicts
+/// it.
+fn ttft_model(
+    plan: &ServePlan,
+    backend: &dyn ServeBackend,
+    active: &[Slot],
+    ready: &[Pending],
+    degrade_factor: f64,
+) -> TtftModel {
+    let mut remaining: Vec<u64> = active.iter().map(Slot::remaining).collect();
+    remaining.sort_unstable();
+    let queued_steps: u64 = ready
+        .iter()
+        .map(|p| p.req.gen_len.saturating_sub(p.emitted) as u64)
+        .sum();
+    let n = (remaining.len() + ready.len()).max(1);
+    let mean_gen_steps = (remaining.iter().sum::<u64>() + queued_steps) as f64 / n as f64;
+    let pad_guess = ready
+        .iter()
+        .map(Pending::effective_prompt_len)
+        .max()
+        .unwrap_or(1);
+    let free = plan.slots.saturating_sub(active.len());
+    TtftModel {
+        slots: plan.slots,
+        free_slots: free,
+        remaining_sorted: remaining,
+        mean_gen_steps,
+        prefill_s: backend.prefill_seconds(pad_guess, free.max(1)) * degrade_factor,
+        step_s: plan.est_step_seconds * degrade_factor,
+    }
 }
 
 /// Run the continuous-batching scheduler over `requests`; the plan is
@@ -103,22 +256,43 @@ pub fn serve_continuous_with(
     on_token: &mut dyn FnMut(TokenEvent),
 ) -> Result<(ServePlan, ServeOutcome), ServeError> {
     let plan = crate::admission::plan_admission(backend, cfg)?;
+    // SLO pre-flight: an unmeetable or actuator-less policy is a typed
+    // error before any request is served, mirroring the LMA25x plan gate.
+    if let Some(slo) = cfg.slo.as_ref() {
+        let report = lm_analyze::lint_slo(&crate::admission::slo_probe(
+            &plan,
+            backend,
+            slo,
+            cfg.ladder.as_ref(),
+        ));
+        if !report.is_clean() {
+            return Err(ServeError::Plan(report));
+        }
+    }
     let tracer = &cfg.tracer;
     let pool = MemPool::new("serve.kv", plan.kv_pool_bytes as usize);
     pool.attach_fault(cfg.fault.clone());
 
     let total = requests.len();
     let mut queue = ArrivalQueue::new(requests);
-    let mut ready: Vec<Request> = Vec::new();
+    let mut ready: Vec<Pending> = Vec::new();
     let mut active: Vec<Slot> = Vec::new();
     let mut responses = Vec::new();
     let mut rejections = Vec::new();
+    let mut cancellations: Vec<Cancellation> = Vec::new();
+    let mut stats = ServeStats::default();
     let mut clock_us = 0u64;
     let mut generated = 0u64;
     let mut padding = 0u64;
+    let mut deadline_misses = 0u64;
+    // One-way degrade ratchet driven by the SLO monitor.
+    let mut degrade_factor = 1.0f64;
+    let mut degrade_level = 0usize;
+    // Boundary ordinal, keying the per-step stall draw.
+    let mut boundary = 0u64;
 
     loop {
-        ready.extend(queue.pop_arrived(clock_us));
+        ready.extend(queue.pop_arrived(clock_us).into_iter().map(Pending::fresh));
         if active.is_empty() && ready.is_empty() {
             match queue.next_arrival_us() {
                 Some(t) => {
@@ -129,67 +303,236 @@ pub fn serve_continuous_with(
             }
         }
 
-        // ---- block boundary: reject expired, admit into free slots ----
-        let mut expired = Vec::new();
-        ready.retain(|r| match r.deadline_us {
-            Some(d) if d < clock_us => {
-                expired.push(Rejection {
-                    id: r.id,
-                    reason: RejectReason::DeadlineExpired {
-                        deadline_us: d,
-                        now_us: clock_us,
-                    },
+        // ---- boundary sweep 1: fates of running slots -----------------
+        // Cancellation (explicit or injected disconnect) is terminal and
+        // reclaims the KV lease here; a crash re-queues the request to
+        // resume from its prefix. Disconnect outranks crash when both
+        // land on the same token.
+        let mut still = Vec::with_capacity(active.len());
+        for slot in active.drain(..) {
+            if slot.req.cancel.is_cancelled_at(clock_us) {
+                stats.cancelled_in_slot += 1;
+                tracer.counter_add("serve.cancelled", 1);
+                cancellations.push(Cancellation {
+                    id: slot.req.id,
+                    reason: CancelReason::Explicit,
+                    delivered: slot.emitted,
+                    cancel_us: clock_us,
                 });
-                false
+            } else if slot.disconnect_at == Some(slot.emitted) {
+                stats.cancelled_in_slot += 1;
+                tracer.counter_add("serve.cancelled", 1);
+                tracer.counter_add("serve.disconnects", 1);
+                cancellations.push(Cancellation {
+                    id: slot.req.id,
+                    reason: CancelReason::ClientDisconnect,
+                    delivered: slot.emitted,
+                    cancel_us: clock_us,
+                });
+            } else if slot.crash_at == Some(slot.emitted) {
+                stats.slot_crashes += 1;
+                tracer.counter_add("serve.slot_crashes", 1);
+                tracer.counter_add("serve.crash_retries", 1);
+                ready.push(Pending {
+                    req: slot.req,
+                    tokens: Some(slot.tokens),
+                    emitted: slot.emitted,
+                    first_token_us: slot.first_token_us,
+                    crashes: slot.crashes + 1,
+                });
+            } else {
+                still.push(slot);
             }
-            _ => true,
-        });
-        for rej in expired {
-            tracer.counter_add("serve.rejected", 1);
-            tracer.instant("serve.deadline_expired", "serve");
-            rejections.push(rej);
         }
+        active = still;
+
+        // ---- boundary sweep 2: queued fates ---------------------------
+        // Explicit cancels are terminal wherever the request sits. A
+        // deadline only expires a request that never held a slot — once
+        // admitted, the admission deadline is satisfied and a resumed
+        // request keeps running.
+        ready.retain(|p| {
+            if p.req.cancel.is_cancelled_at(clock_us) {
+                stats_cancel_queued(tracer, &mut cancellations, p, clock_us);
+                return false;
+            }
+            if p.emitted == 0 {
+                if let Some(d) = p.req.deadline_us {
+                    if d < clock_us {
+                        deadline_misses += 1;
+                        tracer.counter_add("serve.rejected", 1);
+                        tracer.counter_add("serve.deadline_miss", 1);
+                        tracer.instant("serve.deadline_expired", "serve");
+                        rejections.push(Rejection {
+                            id: p.req.id,
+                            reason: RejectReason::DeadlineExpired {
+                                deadline_us: d,
+                                now_us: clock_us,
+                            },
+                        });
+                        return false;
+                    }
+                }
+            }
+            true
+        });
 
         admission_order(&mut ready);
-        let free = plan.slots.saturating_sub(active.len());
-        let mut candidates: Vec<(Request, Vec<u32>)> = Vec::new();
-        while candidates.len() < free && !ready.is_empty() {
-            let req = ready.remove(0);
-            if let Err(EngineError::InvalidRequest { reason }) = validate_request(
-                backend.model(),
-                std::slice::from_ref(&req.prompt),
-                req.gen_len,
-                1,
-            ) {
-                tracer.counter_add("serve.rejected", 1);
-                rejections.push(Rejection {
-                    id: req.id,
-                    reason: RejectReason::Invalid(reason),
-                });
-                continue;
-            }
-            match backend.materialize(&req) {
-                Ok(tokens) => candidates.push((req, tokens)),
-                Err(e) => {
-                    tracer.counter_add("serve.rejected", 1);
-                    rejections.push(Rejection {
-                        id: req.id,
-                        reason: RejectReason::AdmissionFailed(e.to_string()),
-                    });
+
+        // ---- SLO monitor: predict, then actuate -----------------------
+        if let Some(slo) = cfg.slo.as_ref() {
+            if !ready.is_empty() {
+                let model = ttft_model(&plan, backend, &active, &ready, degrade_factor);
+                if let Some(p99) = model.predicted_p99_us(ready.len()) {
+                    tracer.gauge_set("serve.predicted_ttft_p99_s", p99 as f64 / 1e6);
+                    if p99 > slo.ttft_p99_us() {
+                        stats.predicted_violations += 1;
+                        tracer.counter_add("serve.slo_predicted_violations", 1);
+                        if slo.enforce {
+                            // Actuator 1: evict the lowest-priority,
+                            // least-invested slot — but only when slots
+                            // are the bottleneck and the best waiter
+                            // strictly outranks it (one per boundary).
+                            let mut acted = false;
+                            if slo.preempt && active.len() == plan.slots {
+                                let top = ready[0].req.priority;
+                                let victim = active
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|(_, s)| s.req.priority < top)
+                                    .min_by_key(|(_, s)| {
+                                        (s.req.priority, s.emitted, std::cmp::Reverse(s.req.id))
+                                    })
+                                    .map(|(i, _)| i);
+                                if let Some(i) = victim {
+                                    let slot = active.swap_remove(i);
+                                    stats.preemptions += 1;
+                                    tracer.counter_add("serve.preemptions", 1);
+                                    tracer.instant("serve.preempted", "serve");
+                                    ready.push(Pending {
+                                        req: slot.req,
+                                        tokens: Some(slot.tokens),
+                                        emitted: slot.emitted,
+                                        first_token_us: slot.first_token_us,
+                                        crashes: slot.crashes,
+                                    });
+                                    admission_order(&mut ready);
+                                    acted = true;
+                                }
+                            }
+                            // Actuator 2: climb one rung of the
+                            // model-guided fallback ladder (sticky for
+                            // the rest of the run).
+                            if !acted {
+                                if let Some(ladder) = cfg.ladder.as_ref() {
+                                    if let Some(rung) = ladder.rung(degrade_level + 1) {
+                                        degrade_level += 1;
+                                        degrade_factor =
+                                            degrade_factor.min(rung.step_time_factor.max(0.01));
+                                        stats.degradations += 1;
+                                        tracer.counter_add("serve.degradations", 1);
+                                        tracer.gauge_set(
+                                            "serve.degrade_level",
+                                            degrade_level as f64,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
                 }
             }
         }
 
-        // The group pads to its longest prompt; leases cover the padded
-        // worst case so a slot never outgrows its reservation.
+        // ---- load shedding: reject doomed admissions up front ---------
+        if let Some(slo) = cfg.slo.as_ref() {
+            if slo.enforce && slo.shed && !ready.is_empty() {
+                let model = ttft_model(&plan, backend, &active, &ready, degrade_factor);
+                let mut kept = Vec::with_capacity(ready.len());
+                let mut pos = 0usize;
+                for p in ready.drain(..) {
+                    // Never shed a request that already streamed tokens.
+                    if p.emitted > 0 {
+                        kept.push(p);
+                        pos += 1;
+                        continue;
+                    }
+                    let predicted_us = clock_us.saturating_add(model.predict_rel_ttft_us(pos));
+                    let slack_us = p.req.arrival_us.saturating_add(micros(slo.shed_slack_s));
+                    let eff_deadline = p.req.deadline_us.map_or(slack_us, |d| d.min(slack_us));
+                    if predicted_us > eff_deadline {
+                        stats.shed += 1;
+                        deadline_misses += 1;
+                        tracer.counter_add("serve.shed", 1);
+                        tracer.counter_add("serve.rejected", 1);
+                        tracer.counter_add("serve.deadline_miss", 1);
+                        rejections.push(Rejection {
+                            id: p.req.id,
+                            reason: RejectReason::WouldMissDeadline {
+                                deadline_us: eff_deadline,
+                                predicted_ttft_us: predicted_us,
+                            },
+                        });
+                        // The queue shortened: later requests move up.
+                    } else {
+                        kept.push(p);
+                        pos += 1;
+                    }
+                }
+                ready = kept;
+            }
+        }
+
+        // ---- admit into free slots ------------------------------------
+        let free = plan.slots.saturating_sub(active.len());
+        let mut candidates: Vec<(Pending, Vec<u32>)> = Vec::new();
+        while candidates.len() < free && !ready.is_empty() {
+            let mut p = ready.remove(0);
+            match p.tokens.take() {
+                // A resume carries its cached stream; it was validated
+                // at first admission.
+                Some(tokens) => candidates.push((p, tokens)),
+                None => {
+                    if let Err(EngineError::InvalidRequest { reason }) = validate_request(
+                        backend.model(),
+                        std::slice::from_ref(&p.req.prompt),
+                        p.req.gen_len,
+                        1,
+                    ) {
+                        tracer.counter_add("serve.rejected", 1);
+                        rejections.push(Rejection {
+                            id: p.req.id,
+                            reason: RejectReason::Invalid(reason),
+                        });
+                        continue;
+                    }
+                    match backend.materialize(&p.req) {
+                        Ok(tokens) => candidates.push((p, tokens)),
+                        Err(e) => {
+                            tracer.counter_add("serve.rejected", 1);
+                            rejections.push(Rejection {
+                                id: p.req.id,
+                                reason: RejectReason::AdmissionFailed(e.to_string()),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // The group pads to its longest (effective) prompt; leases cover
+        // the padded worst case so a slot never outgrows its reservation.
+        // A resume's effective prompt includes its generated prefix,
+        // whose re-prefill is the (only) cost of resumption.
         let pad_len = candidates
             .iter()
-            .map(|(r, _)| r.prompt.len())
+            .map(|(p, _)| p.effective_prompt_len())
             .max()
             .unwrap_or(0);
         let mut admitted: Vec<Slot> = Vec::new();
-        for (req, tokens) in candidates {
-            let bytes = backend.kv_bytes_at(pad_len + req.gen_len);
+        for (mut p, tokens) in candidates {
+            let remaining = tokens.len() - p.emitted;
+            let bytes = backend.kv_bytes_at(pad_len + remaining);
             let grant = cfg.retry.run(
                 |_| pool.alloc(bytes),
                 |_, _| {
@@ -199,16 +542,33 @@ pub fn serve_continuous_with(
             );
             match grant {
                 Ok(lease) => {
-                    padding += (pad_len - req.prompt.len()) as u64;
-                    tracer.counter_add("serve.padding_tokens", (pad_len - req.prompt.len()) as u64);
+                    let pad_tokens = (pad_len - p.effective_prompt_len()) as u64;
+                    padding += pad_tokens;
+                    tracer.counter_add("serve.padding_tokens", pad_tokens);
                     tracer.counter_add("serve.admitted", 1);
+                    stats.admitted += 1;
+                    // This admission's injected fates: both land at least
+                    // one token ahead, so every admission makes progress
+                    // and crash-retries terminate.
+                    let emitted = p.emitted;
+                    let fate = move |frac: f64| {
+                        emitted + ((frac * remaining as f64).floor() as usize).max(1)
+                    };
+                    let disconnect_at =
+                        cfg.fault.client_disconnect("serve.slot", p.req.id).map(fate);
+                    let crash_at = cfg
+                        .fault
+                        .slot_crash("serve.slot", p.req.id, p.crashes)
+                        .map(fate);
                     admitted.push(Slot {
-                        id: req.id,
                         tokens,
-                        emitted: 0,
+                        emitted: p.emitted,
                         context: pad_len as u64,
-                        arrival_us: req.arrival_us,
-                        first_token_us: None,
+                        first_token_us: p.first_token_us,
+                        disconnect_at,
+                        crash_at,
+                        crashes: p.crashes,
+                        req: p.req,
                         _lease: lease,
                     });
                 }
@@ -217,7 +577,7 @@ pub fn serve_continuous_with(
                         // Unservable under this plan, ever.
                         tracer.counter_add("serve.rejected", 1);
                         rejections.push(Rejection {
-                            id: req.id,
+                            id: p.req.id,
                             reason: RejectReason::PoolOverCommit {
                                 bytes,
                                 capacity: pool.capacity(),
@@ -228,20 +588,21 @@ pub fn serve_continuous_with(
                         // bytes: the failure is not transient.
                         tracer.counter_add("serve.rejected", 1);
                         rejections.push(Rejection {
-                            id: req.id,
+                            id: p.req.id,
                             reason: RejectReason::AdmissionFailed(err.to_string()),
                         });
                     } else {
                         // Defer to the next boundary; leases retire there.
                         tracer.counter_add("serve.deferred", 1);
-                        ready.push(req);
+                        p.tokens = Some(tokens);
+                        ready.push(p);
                     }
                 }
             }
         }
 
         if !admitted.is_empty() {
-            let dt = backend.prefill_seconds(pad_len, admitted.len());
+            let dt = backend.prefill_seconds(pad_len, admitted.len()) * degrade_factor;
             clock_us += micros(dt);
             tracer.histogram_record("serve.prefill_s", dt);
             active.extend(admitted);
@@ -260,14 +621,21 @@ pub fn serve_continuous_with(
 
         // ---- one decode step over the whole block ---------------------
         let contexts: Vec<u64> = active.iter().map(|s| s.context).collect();
-        let dt = backend.decode_step_seconds(&contexts);
+        let dt = backend.decode_step_seconds(&contexts) * degrade_factor;
         clock_us += micros(dt);
         tracer.histogram_record("serve.step_s", dt);
+        // An injected transfer stall stretches this boundary (virtually).
+        boundary += 1;
+        if let Some(stall) = cfg.fault.transfer_stall("serve.step", boundary) {
+            let stall_s = stall.as_secs_f64();
+            clock_us += micros(stall_s);
+            tracer.histogram_record("serve.stall_s", stall_s);
+        }
 
         for slot in &mut active {
             let token = slot.tokens[slot.emitted];
             on_token(TokenEvent {
-                request_id: slot.id,
+                request_id: slot.req.id,
                 index: slot.emitted,
                 token,
                 t_us: clock_us,
@@ -280,48 +648,75 @@ pub fn serve_continuous_with(
                 slot.first_token_us = Some(clock_us);
                 tracer.histogram_record(
                     "serve.ttft_s",
-                    (clock_us.saturating_sub(slot.arrival_us)) as f64 / 1e6,
+                    (clock_us.saturating_sub(slot.req.arrival_us)) as f64 / 1e6,
                 );
             }
         }
 
         // ---- retire finished sequences (leases drop here) -------------
-        let mut still = Vec::with_capacity(active.len());
+        let mut kept = Vec::with_capacity(active.len());
         for slot in active.drain(..) {
             if slot.emitted >= slot.tokens.len() {
+                stats.completed += 1;
                 tracer.counter_add("serve.completed", 1);
                 tracer.histogram_record(
                     "serve.latency_s",
-                    (clock_us.saturating_sub(slot.arrival_us)) as f64 / 1e6,
+                    (clock_us.saturating_sub(slot.req.arrival_us)) as f64 / 1e6,
                 );
                 responses.push(Response {
-                    id: slot.id,
+                    id: slot.req.id,
                     tokens: slot.tokens,
-                    arrival_us: slot.arrival_us,
+                    arrival_us: slot.req.arrival_us,
                     first_token_us: slot.first_token_us.unwrap_or(clock_us),
                     finish_us: clock_us,
                 });
             } else {
-                still.push(slot);
+                kept.push(slot);
             }
         }
-        active = still;
+        active = kept;
     }
 
-    debug_assert_eq!(responses.len() + rejections.len(), total);
+    debug_assert_eq!(
+        responses.len() + rejections.len() + cancellations.len(),
+        total
+    );
+    debug_assert!(stats.admissions_balanced(), "admissions must conserve");
     responses.sort_by_key(|r| r.id);
     rejections.sort_by_key(|r| r.id);
+    cancellations.sort_by_key(|c| c.id);
     Ok((
         plan,
         ServeOutcome {
             responses,
             rejections,
+            cancellations,
             sim_seconds: clock_us as f64 / 1e6,
             generated_tokens: generated,
             padding_tokens: padding,
             kv_peak_bytes: pool.peak(),
+            kv_leaked_bytes: pool.used(),
+            deadline_misses,
+            stats,
         },
     ))
+}
+
+/// Terminalize a queued request whose cancel token fired (shared by the
+/// retain sweep, which cannot move out of its closure argument).
+fn stats_cancel_queued(
+    tracer: &lm_trace::Tracer,
+    cancellations: &mut Vec<Cancellation>,
+    p: &Pending,
+    clock_us: u64,
+) {
+    tracer.counter_add("serve.cancelled", 1);
+    cancellations.push(Cancellation {
+        id: p.req.id,
+        reason: CancelReason::Explicit,
+        delivered: p.emitted,
+        cancel_us: clock_us,
+    });
 }
 
 /// Baseline 1: one call per request, in arrival order — each request
@@ -338,8 +733,16 @@ pub fn serve_sequential(
     let mut rejections = Vec::new();
     let mut clock_us = 0u64;
     let mut generated = 0u64;
+    let mut deadline_misses = 0u64;
     for req in queue {
         clock_us = clock_us.max(req.arrival_us);
+        // Report (never enforce) admission deadlines: service starting
+        // past the deadline counts as a miss, keeping the baseline
+        // comparable with the continuous scheduler's rejections.
+        if req.deadline_us.is_some_and(|d| d < clock_us) {
+            deadline_misses += 1;
+            tracer.counter_add("serve.deadline_miss", 1);
+        }
         if let Err(EngineError::InvalidRequest { reason }) = validate_request(
             backend.model(),
             std::slice::from_ref(&req.prompt),
@@ -392,10 +795,14 @@ pub fn serve_sequential(
     Ok(ServeOutcome {
         responses,
         rejections,
+        cancellations: Vec::new(),
         sim_seconds: clock_us as f64 / 1e6,
         generated_tokens: generated,
         padding_tokens: 0,
         kv_peak_bytes: 0,
+        kv_leaked_bytes: 0,
+        deadline_misses,
+        stats: ServeStats::default(),
     })
 }
 
@@ -418,10 +825,19 @@ pub fn serve_static(
     let mut clock_us = 0u64;
     let mut generated = 0u64;
     let mut padding = 0u64;
+    let mut deadline_misses = 0u64;
     for chunk in queue.chunks(batch) {
         // The batch forms only when its last member has arrived.
         let formed = chunk.iter().map(|r| r.arrival_us).max().unwrap_or(0);
         clock_us = clock_us.max(formed);
+        // Report (never enforce) deadlines that pass while the batch
+        // waits to form — the static scheduler's signature failure mode.
+        for req in chunk {
+            if req.deadline_us.is_some_and(|d| d < clock_us) {
+                deadline_misses += 1;
+                tracer.counter_add("serve.deadline_miss", 1);
+            }
+        }
         let mut members: Vec<(&Request, Vec<u32>)> = Vec::new();
         for req in chunk {
             if let Err(EngineError::InvalidRequest { reason }) = validate_request(
@@ -493,10 +909,14 @@ pub fn serve_static(
     Ok(ServeOutcome {
         responses,
         rejections,
+        cancellations: Vec::new(),
         sim_seconds: clock_us as f64 / 1e6,
         generated_tokens: generated,
         padding_tokens: padding,
         kv_peak_bytes: 0,
+        kv_leaked_bytes: 0,
+        deadline_misses,
+        stats: ServeStats::default(),
     })
 }
 
@@ -639,6 +1059,199 @@ mod tests {
                 .unwrap_or(u64::MAX)
         };
         assert!(finish(1) < finish(0), "priority 2 must finish first");
+    }
+
+    #[test]
+    fn explicit_cancel_is_terminal_and_reclaims_kv() {
+        let b = AnalyticBackend::opt_30b();
+        let token = crate::request::CancelToken::never();
+        // Cancel lands mid-generation: OPT-30B virtual steps take
+        // hundreds of ms, so t=2s (virtual) is well inside a 32-token
+        // generation but after the first tokens.
+        token.cancel_at_us(2_000_000);
+        let cancelled = Request::new(0, vec![1, 2, 3], 32).with_cancel(token);
+        let survivor = Request::new(1, vec![4, 5], 8);
+        let (_, out) =
+            serve_continuous(&b, &ServeConfig::default(), vec![cancelled, survivor]).unwrap();
+        assert_eq!(out.terminal_count(), 2);
+        assert_eq!(out.cancellations.len(), 1);
+        let c = &out.cancellations[0];
+        assert_eq!(c.id, 0);
+        assert_eq!(c.reason, crate::request::CancelReason::Explicit);
+        assert!(c.cancel_us >= 2_000_000);
+        assert_eq!(out.kv_leaked_bytes, 0, "lease must return on cancel");
+        assert!(out.responses.iter().any(|r| r.id == 1));
+        assert!(out.stats.admissions_balanced(), "{:?}", out.stats);
+    }
+
+    #[test]
+    fn disconnect_storm_resolves_every_request_without_leaks() {
+        use lm_fault::{FaultConfig, FaultInjector, StormProfile};
+        let (b, reqs) = traffic(24);
+        let n = reqs.len();
+        let cfg = ServeConfig {
+            fault: FaultInjector::new(FaultConfig::storm(9, StormProfile::Disconnects)),
+            ..ServeConfig::default()
+        };
+        let (_, out) = serve_continuous(&b, &cfg, reqs).unwrap();
+        assert_eq!(out.terminal_count(), n);
+        assert!(
+            !out.cancellations.is_empty(),
+            "a 40% disconnect rate over 24 requests must cancel some"
+        );
+        assert_eq!(out.kv_leaked_bytes, 0);
+        assert!(out.stats.admissions_balanced(), "{:?}", out.stats);
+        for c in &out.cancellations {
+            assert_eq!(c.reason, crate::request::CancelReason::ClientDisconnect);
+        }
+    }
+
+    #[test]
+    fn crash_survivors_resume_with_identical_token_streams() {
+        use lm_fault::{FaultConfig, FaultInjector, StormProfile};
+        let (b, reqs) = traffic(16);
+        let calm = serve_continuous(&b, &ServeConfig::default(), reqs.clone())
+            .unwrap()
+            .1;
+        let cfg = ServeConfig {
+            fault: FaultInjector::new(FaultConfig::storm(4, StormProfile::Crashes)),
+            ..ServeConfig::default()
+        };
+        let mut events: Vec<TokenEvent> = Vec::new();
+        let (_, stormy) =
+            serve_continuous_with(&b, &cfg, reqs, &mut |e| events.push(e)).unwrap();
+        assert!(stormy.stats.slot_crashes > 0, "30% crash rate must fire");
+        assert_eq!(stormy.kv_leaked_bytes, 0);
+        assert!(stormy.stats.admissions_balanced(), "{:?}", stormy.stats);
+        // Completed-under-storm responses carry the exact same tokens as
+        // the calm run — resumption re-pays prefill, never re-emits.
+        for r in &stormy.responses {
+            let calm_r = calm.responses.iter().find(|c| c.id == r.id).unwrap();
+            assert_eq!(r.tokens, calm_r.tokens, "request {}", r.id);
+            let streamed: Vec<u32> = events
+                .iter()
+                .filter(|e| e.request_id == r.id)
+                .map(|e| e.token)
+                .collect();
+            assert_eq!(streamed, r.tokens, "stream must not duplicate tokens");
+        }
+    }
+
+    /// The LMA260-safe way to pick a test objective: just above the
+    /// plan's physical floor, so the policy is feasible but any real
+    /// queueing predicts a violation.
+    fn tight_slo(b: &AnalyticBackend, cfg: &ServeConfig, headroom: f64) -> f64 {
+        let plan = crate::admission::plan_admission(b, cfg).unwrap();
+        let floor =
+            b.prefill_seconds(plan.slot_context, plan.slots) + plan.est_step_seconds;
+        floor * headroom
+    }
+
+    #[test]
+    fn slo_enforcement_preempts_low_priority_for_high() {
+        use crate::slo::SloPolicy;
+        let b = AnalyticBackend::opt_30b();
+        // One slot; a long low-priority request holds it when a burst of
+        // high-priority work arrives behind an unmeetable predicted p99.
+        let hog = Request::new(0, vec![1, 2], 60).with_priority(0);
+        let urgent: Vec<Request> = (1..4)
+            .map(|i| {
+                Request::new(i, vec![3, 4], 6)
+                    .with_priority(2)
+                    .with_arrival_us(1_000)
+            })
+            .collect();
+        let mut reqs = vec![hog];
+        reqs.extend(urgent);
+        let mut cfg = ServeConfig {
+            max_slots: 1,
+            ..ServeConfig::default()
+        };
+        cfg.slo = Some(SloPolicy {
+            shed: false, // isolate the preemption actuator
+            ..SloPolicy::enforcing(tight_slo(&b, &cfg, 1.05))
+        });
+        let (_, out) = serve_continuous(&b, &cfg, reqs).unwrap();
+        assert!(out.stats.preemptions > 0, "{:?}", out.stats);
+        assert_eq!(out.terminal_count(), 4);
+        assert_eq!(out.kv_leaked_bytes, 0);
+        assert!(out.stats.admissions_balanced(), "{:?}", out.stats);
+        // The hog still finishes (resumed after the urgent work) with an
+        // uncorrupted stream.
+        let hog_r = out.responses.iter().find(|r| r.id == 0).unwrap();
+        assert_eq!(hog_r.tokens.len(), 60);
+        // And urgent work finishes before it.
+        for r in out.responses.iter().filter(|r| r.id != 0) {
+            assert!(r.finish_us < hog_r.finish_us, "urgent must finish first");
+        }
+    }
+
+    #[test]
+    fn slo_shedding_rejects_doomed_admissions_up_front() {
+        use crate::slo::SloPolicy;
+        let (b, reqs) = traffic(24);
+        let mut cfg = ServeConfig {
+            max_slots: 2, // starve the queue so predicted TTFTs blow up
+            ..ServeConfig::default()
+        };
+        cfg.slo = Some(SloPolicy {
+            preempt: false, // isolate the shedding actuator
+            ..SloPolicy::enforcing(tight_slo(&b, &cfg, 1.5))
+        });
+        let n = reqs.len();
+        let (_, out) = serve_continuous(&b, &cfg, reqs).unwrap();
+        assert_eq!(out.terminal_count(), n);
+        assert!(out.stats.shed > 0, "{:?}", out.stats);
+        assert!(out
+            .rejections
+            .iter()
+            .any(|r| matches!(r.reason, RejectReason::WouldMissDeadline { .. })));
+        assert_eq!(out.deadline_misses, out.stats.shed, "sheds count as misses");
+        assert_eq!(out.kv_leaked_bytes, 0);
+    }
+
+    #[test]
+    fn degrade_ladder_climbs_when_preemption_cannot_help() {
+        use crate::slo::{SloPolicy, StaticLadder};
+        use std::sync::Arc;
+        let (b, reqs) = traffic(24);
+        // Uniform priorities: preemption never finds a strictly-lower
+        // victim, so the monitor must fall through to the ladder.
+        let reqs: Vec<Request> = reqs.into_iter().map(|r| r.with_priority(1)).collect();
+        let mut cfg = ServeConfig {
+            max_slots: 2,
+            ladder: Some(Arc::new(StaticLadder::geometric(4, 0.7))),
+            ..ServeConfig::default()
+        };
+        cfg.slo = Some(SloPolicy {
+            shed: false,
+            ..SloPolicy::enforcing(tight_slo(&b, &cfg, 1.5))
+        });
+        let (_, out) = serve_continuous(&b, &cfg, reqs).unwrap();
+        assert!(out.stats.degradations > 0, "{:?}", out.stats);
+        assert_eq!(out.stats.preemptions, 0);
+        assert!(out.stats.admissions_balanced(), "{:?}", out.stats);
+    }
+
+    #[test]
+    fn baselines_report_deadline_misses_without_enforcing() {
+        let b = AnalyticBackend::opt_30b();
+        // Arrives immediately but sequential service reaches it late;
+        // static batch (size 2) waits for the late second arrival.
+        let doomed = Request::new(0, vec![1, 2], 4).with_deadline_us(10);
+        let hog = Request::new(1, vec![1; 64], 40);
+        let late = Request::new(2, vec![3], 4).with_arrival_us(50_000_000);
+        let seq = serve_sequential(
+            &b,
+            &ServeConfig::default(),
+            vec![hog.clone(), doomed.clone().with_arrival_us(1000)],
+        )
+        .unwrap();
+        assert_eq!(seq.deadline_misses, 1, "service starts after the deadline");
+        assert_eq!(seq.responses.len(), 2, "reported, not enforced");
+        let stat = serve_static(&b, &ServeConfig::default(), 2, vec![doomed, late]).unwrap();
+        assert_eq!(stat.deadline_misses, 1, "batch forms after the deadline");
+        assert_eq!(stat.responses.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! SLO policy for the continuous-batching scheduler: a first-order TTFT
+//! predictor driven by the same performance model that times the run,
+//! and the actuators the scheduler pulls when the prediction says the
+//! p99 TTFT objective is about to be violated.
+//!
+//! Three actuators, tried in order of increasing cost:
+//!
+//! 1. **Shedding** (admission-time): a request whose *predicted* first
+//!    token lands after its effective deadline is rejected up front with
+//!    [`RejectReason::WouldMissDeadline`](crate::RejectReason) instead
+//!    of queueing doomed work.
+//! 2. **Preemption** (boundary-time): the lowest-priority running slot
+//!    is evicted — its RAII KV lease drops back into the pool — so a
+//!    higher-priority waiter admits sooner. The preempted request
+//!    re-queues and later resumes from its generated prefix (token
+//!    streams are deterministic, so nothing is re-emitted).
+//! 3. **Degradation** (boundary-time): when there is nothing useful to
+//!    preempt, the scheduler climbs one rung of a [`DegradeLadder`] —
+//!    the model-guided fallback policies of `lm_offload::degrade` —
+//!    trading per-token quality/placement for step latency.
+//!
+//! Everything here is pure arithmetic over the virtual clock: SLO
+//! decisions replay bit-identically from the traffic seed.
+
+use crate::request::micros;
+use serde::{Deserialize, Serialize};
+
+/// The serving objective and which actuators may fire for it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloPolicy {
+    /// Target p99 time-to-first-token, in virtual seconds.
+    pub ttft_p99_s: f64,
+    /// Master switch: `false` records predicted violations in lm-trace
+    /// but never acts on them (observe mode).
+    pub enforce: bool,
+    /// Allow preempting the lowest-priority running slot.
+    pub preempt: bool,
+    /// Allow deadline-aware admission shedding.
+    pub shed: bool,
+    /// Synthetic admission deadline applied when shedding: a request
+    /// with no deadline of its own is shed if its predicted first token
+    /// lands more than this many seconds after arrival. Keep below
+    /// `ttft_p99_s` (the log-scale trace histograms carry ~9% bucket
+    /// error, so enforcement needs margin to show up in measured p99).
+    pub shed_slack_s: f64,
+}
+
+impl SloPolicy {
+    /// Record predicted violations, act on none of them.
+    pub fn observe(ttft_p99_s: f64) -> Self {
+        SloPolicy {
+            ttft_p99_s,
+            enforce: false,
+            preempt: false,
+            shed: false,
+            shed_slack_s: 0.8 * ttft_p99_s,
+        }
+    }
+
+    /// Enforce with every actuator armed.
+    pub fn enforcing(ttft_p99_s: f64) -> Self {
+        SloPolicy {
+            ttft_p99_s,
+            enforce: true,
+            preempt: true,
+            shed: true,
+            shed_slack_s: 0.8 * ttft_p99_s,
+        }
+    }
+
+    /// The SLO target in virtual microseconds.
+    pub fn ttft_p99_us(&self) -> u64 {
+        micros(self.ttft_p99_s)
+    }
+}
+
+/// One rung of a degradation ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradeRung {
+    /// Human-readable policy name (e.g. `"w4"`, `"cpu-attn+w4"`).
+    pub name: String,
+    /// Multiplier on prefill/decode step time relative to the *baseline*
+    /// (rung 0) policy — absolute, not incremental. A model-guided
+    /// ladder yields factors ≤ 1 (degraded placements exist to be
+    /// faster under pressure); factors are clamped to be monotone
+    /// non-increasing by the scheduler.
+    pub step_time_factor: f64,
+}
+
+/// A source of fallback execution policies, ordered mildest-first.
+/// `lm-core` implements this over `DegradationController::fallback_ladder`
+/// so the serving layer degrades along the same model-guided rungs as
+/// the offload engine; tests use [`StaticLadder`].
+pub trait DegradeLadder: Send + Sync {
+    /// The `level`-th fallback (1-based; level 0 is the baseline policy
+    /// and is not a rung). `None` once the ladder is exhausted.
+    fn rung(&self, level: usize) -> Option<DegradeRung>;
+}
+
+/// A fixed in-memory ladder, for tests and synthetic experiments.
+#[derive(Debug, Clone, Default)]
+pub struct StaticLadder {
+    pub rungs: Vec<DegradeRung>,
+}
+
+impl StaticLadder {
+    /// A geometric ladder: `n` rungs, each scaling step time by `factor`
+    /// more than the last (factor < 1 speeds steps up, as a model-guided
+    /// degraded placement would under memory pressure).
+    pub fn geometric(n: usize, factor: f64) -> Self {
+        StaticLadder {
+            rungs: (1..=n)
+                .map(|i| DegradeRung {
+                    name: format!("static-rung-{i}"),
+                    step_time_factor: factor.powi(i as i32),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl DegradeLadder for StaticLadder {
+    fn rung(&self, level: usize) -> Option<DegradeRung> {
+        if level == 0 {
+            return None;
+        }
+        self.rungs.get(level - 1).cloned()
+    }
+}
+
+/// A per-boundary snapshot of the scheduler's state, from which the
+/// analytic model predicts TTFT for every queued request (the serving
+/// analogue of the paper's Eq. 1–24 latency composition: queueing wait
+/// expressed in decode rounds, plus one prefill, plus one step).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TtftModel {
+    /// Total slot count `k` from the admission plan.
+    pub slots: usize,
+    /// Slots currently idle.
+    pub free_slots: usize,
+    /// Decode steps remaining per *active* slot, ascending — the next
+    /// slot to free is `remaining_sorted[0]`.
+    pub remaining_sorted: Vec<u64>,
+    /// Mean generation length of the workload, in decode steps; sizes
+    /// the wait for slots that must turn over more than once.
+    pub mean_gen_steps: f64,
+    /// Model-estimated prefill seconds for one admission group.
+    pub prefill_s: f64,
+    /// Model-estimated decode step seconds at current occupancy.
+    pub step_s: f64,
+}
+
+impl TtftModel {
+    /// Predicted time from *now* until queue position `pos` (0-based, in
+    /// priority order) delivers its first token.
+    ///
+    /// Position `pos < free_slots` admits immediately: one prefill plus
+    /// one decode step. Otherwise it waits for the `(pos - free)`-th
+    /// slot release: the first `k` such waiters bind to the active
+    /// slots' remaining work in ascending order; each further wave of
+    /// `k` waiters adds one mean generation length of turnover.
+    pub fn predict_rel_ttft_us(&self, pos: usize) -> u64 {
+        let serve = self.prefill_s + self.step_s;
+        if pos < self.free_slots {
+            return micros(serve);
+        }
+        let k = self.slots.max(1);
+        let after = pos - self.free_slots;
+        let rounds = (after / k) as f64;
+        let idx = after % k;
+        let wait_steps =
+            self.remaining_sorted.get(idx).copied().unwrap_or(0) as f64 + rounds * self.mean_gen_steps;
+        micros(wait_steps * self.step_s + serve)
+    }
+
+    /// Nearest-rank p99 of the predicted TTFTs over `queued` waiting
+    /// requests (relative to now). `None` with an empty queue.
+    pub fn predicted_p99_us(&self, queued: usize) -> Option<u64> {
+        if queued == 0 {
+            return None;
+        }
+        let rank = ((queued as f64) * 0.99).ceil() as usize; // 1-based
+        let pos = rank.saturating_sub(1).min(queued - 1);
+        Some(self.predict_rel_ttft_us(pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TtftModel {
+        TtftModel {
+            slots: 2,
+            free_slots: 0,
+            remaining_sorted: vec![3, 10],
+            mean_gen_steps: 8.0,
+            prefill_s: 1.0,
+            step_s: 0.5,
+        }
+    }
+
+    #[test]
+    fn free_slots_predict_immediate_service() {
+        let m = TtftModel {
+            free_slots: 2,
+            ..model()
+        };
+        assert_eq!(m.predict_rel_ttft_us(0), micros(1.5));
+        assert_eq!(m.predict_rel_ttft_us(1), micros(1.5));
+        // Position 2 must wait for the soonest slot release (3 steps).
+        assert_eq!(m.predict_rel_ttft_us(2), micros(3.0 * 0.5 + 1.5));
+    }
+
+    #[test]
+    fn waiters_bind_to_slot_releases_then_rounds() {
+        let m = model();
+        // pos 0 → soonest release (3 steps); pos 1 → 10 steps.
+        assert_eq!(m.predict_rel_ttft_us(0), micros(3.0 * 0.5 + 1.5));
+        assert_eq!(m.predict_rel_ttft_us(1), micros(10.0 * 0.5 + 1.5));
+        // pos 2 → second turnover of the fast slot: +1 mean gen length.
+        assert_eq!(m.predict_rel_ttft_us(2), micros((3.0 + 8.0) * 0.5 + 1.5));
+    }
+
+    #[test]
+    fn prediction_is_monotone_in_queue_position() {
+        let m = model();
+        let mut prev = 0;
+        for pos in 0..40 {
+            let t = m.predict_rel_ttft_us(pos);
+            assert!(t >= prev, "pos {pos}: {t} < {prev}");
+            // Within a wave positions bind to *ascending* remaining work,
+            // and each wave adds a full mean generation, so global
+            // monotonicity holds whenever remaining_sorted is ascending
+            // and mean_gen_steps >= the largest remaining gap.
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn p99_is_nearest_rank_over_the_queue() {
+        let m = model();
+        assert_eq!(m.predicted_p99_us(0), None);
+        // One waiter: p99 is that waiter.
+        assert_eq!(m.predicted_p99_us(1), Some(m.predict_rel_ttft_us(0)));
+        // 100 waiters: rank ceil(99) = 99 → 0-based pos 98.
+        assert_eq!(m.predicted_p99_us(100), Some(m.predict_rel_ttft_us(98)));
+    }
+
+    #[test]
+    fn policy_constructors_arm_the_right_actuators() {
+        let obs = SloPolicy::observe(2.0);
+        assert!(!obs.enforce && !obs.preempt && !obs.shed);
+        let enf = SloPolicy::enforcing(2.0);
+        assert!(enf.enforce && enf.preempt && enf.shed);
+        assert!(enf.shed_slack_s < enf.ttft_p99_s);
+        assert_eq!(enf.ttft_p99_us(), 2_000_000);
+    }
+
+    #[test]
+    fn static_ladder_levels_are_one_based_and_finite() {
+        let l = StaticLadder::geometric(3, 0.8);
+        assert_eq!(l.rung(0), None);
+        assert!((l.rung(1).unwrap().step_time_factor - 0.8).abs() < 1e-12);
+        assert!((l.rung(3).unwrap().step_time_factor - 0.512).abs() < 1e-12);
+        assert_eq!(l.rung(4), None);
+    }
+
+    #[test]
+    fn slo_policy_round_trips_serde() {
+        let p = SloPolicy::enforcing(1.25);
+        let v = Serialize::serialize(&p);
+        let back: SloPolicy = Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, p);
+    }
+}

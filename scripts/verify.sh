@@ -48,6 +48,25 @@ cargo run --release -q -p lm-bench --bin repro -- serve --rps 4 --requests 32 --
 grep -q '"dominance_ok": true' results/serve.json \
     || { echo "verify: continuous batching did not dominate the baselines" >&2; exit 1; }
 
+echo "==> repro chaos --seed 7 --storm default (resilience gate)"
+cargo run --release -q -p lm-bench --bin repro -- chaos --seed 7 --storm default
+[ -s results/chaos.json ] \
+    || { echo "verify: results/chaos.json missing or empty" >&2; exit 1; }
+grep -q '"invariants_ok": true' results/chaos.json \
+    || { echo "verify: a chaos invariant was violated" >&2; exit 1; }
+cp results/chaos.json results/chaos.json.first
+cargo run --release -q -p lm-bench --bin repro -- chaos --seed 7 --storm default
+cmp -s results/chaos.json results/chaos.json.first \
+    || { echo "verify: results/chaos.json is not byte-identical across runs" >&2; exit 1; }
+rm -f results/chaos.json.first
+
+echo "==> repro slo --seed 7 (SLO enforcement gate)"
+cargo run --release -q -p lm-bench --bin repro -- slo --seed 7
+[ -s results/slo.json ] \
+    || { echo "verify: results/slo.json missing or empty" >&2; exit 1; }
+grep -q '"slo_ok": true' results/slo.json \
+    || { echo "verify: SLO enforcement gate failed" >&2; exit 1; }
+
 echo "==> repro trace --tokens 4 (observability gate)"
 cargo run --release -q -p lm-bench --bin repro -- trace --tokens 4
 for f in results/trace.json results/trace_drift.json; do

@@ -73,6 +73,7 @@ fn quick_retry(max_attempts: u32) -> RetryPolicy {
         multiplier: 2.0,
         max_backoff: Duration::from_millis(1),
         deadline: Duration::from_secs(5),
+        ..RetryPolicy::default()
     }
 }
 
@@ -157,6 +158,7 @@ fn deadline_exceeded_is_a_timeout_error_not_a_panic() {
         multiplier: 2.0,
         max_backoff: Duration::from_millis(4),
         deadline: Duration::from_millis(10),
+        ..RetryPolicy::default()
     };
     let mut ck = Checkpoint::open(&path).unwrap();
     let err = ck

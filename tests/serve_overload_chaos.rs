@@ -1,0 +1,92 @@
+//! End-to-end overload-resilience tests (DESIGN.md §12): for *any*
+//! storm seed and profile the continuous scheduler must return every KV
+//! lease to the serve pool and resolve every request exactly once; and
+//! a request whose deadline expires while it is still queued must be
+//! rejected with a typed deadline reason without ever occupying a slot.
+#![allow(clippy::unwrap_used)]
+
+use lm_fault::{FaultConfig, FaultInjector, RetryPolicy, StormProfile};
+use lm_serve::{
+    serve_continuous, serve_continuous_with, synth_traffic, AnalyticBackend, RejectReason,
+    Request, ServeBackend, ServeConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// RAII-lease invariant under arbitrary storms: whatever mix of
+    /// disconnects, crashes, pool pressure and stalls a seed produces,
+    /// the pool balance is zero at end of run, every request reaches
+    /// exactly one terminal state, and admissions are conserved.
+    #[test]
+    fn any_storm_seed_reclaims_every_kv_lease(
+        seed in any::<u64>(),
+        profile_idx in 0usize..StormProfile::ALL.len(),
+        n in 4usize..20,
+    ) {
+        let profile = StormProfile::ALL[profile_idx];
+        let backend = AnalyticBackend::opt_30b();
+        let traffic = synth_traffic(seed, 4.0, n, backend.model());
+        let cfg = ServeConfig {
+            fault: FaultInjector::new(FaultConfig::storm(seed, profile)),
+            retry: RetryPolicy::fast_test().with_seeded_jitter(seed, 0.5),
+            ..ServeConfig::default()
+        };
+        let (_, out) = serve_continuous(&backend, &cfg, traffic).unwrap();
+        prop_assert_eq!(
+            out.kv_leaked_bytes, 0,
+            "leaked {} bytes under {} storm seed {}", out.kv_leaked_bytes, profile.name(), seed
+        );
+        prop_assert_eq!(out.terminal_count(), n);
+        prop_assert!(out.stats.admissions_balanced(), "stats: {:?}", out.stats);
+    }
+}
+
+/// A deadline that expires while the request is still in the wait queue
+/// resolves as a typed deadline rejection — and the request never
+/// occupies a slot: no token is ever emitted for it and no admission is
+/// charged to it.
+#[test]
+fn queued_deadline_expiry_rejects_without_ever_taking_a_slot() {
+    let backend = AnalyticBackend::opt_30b();
+    // One slot only, held for a long generation by a higher-priority
+    // request; the doomed request's deadline expires while it waits.
+    let cfg = ServeConfig {
+        max_slots: 1,
+        ..ServeConfig::default()
+    };
+    let hog = Request::new(0, vec![1, 2, 3], 48)
+        .with_priority(2)
+        .with_arrival_us(0);
+    let doomed = Request::new(1, vec![4, 5], 8)
+        .with_priority(0)
+        .with_arrival_us(0)
+        .with_deadline_us(1_000_000); // 1 virtual second: far before the hog finishes
+    let mut events = Vec::new();
+    let (_, out) = serve_continuous_with(&backend, &cfg, vec![hog, doomed], &mut |e| {
+        events.push(e)
+    })
+    .unwrap();
+
+    assert_eq!(out.responses.len(), 1, "the hog completes");
+    assert_eq!(out.responses[0].id, 0);
+    assert_eq!(out.rejections.len(), 1);
+    let rej = &out.rejections[0];
+    assert_eq!(rej.id, 1);
+    assert!(
+        matches!(rej.reason, RejectReason::DeadlineExpired { .. }),
+        "expected a deadline rejection, got {:?}",
+        rej.reason
+    );
+    assert_eq!(out.deadline_misses, 1);
+    assert!(
+        events.iter().all(|e| e.request_id != 1),
+        "the expired request must never emit a token"
+    );
+    assert_eq!(
+        out.stats.admitted, 1,
+        "only the hog is ever admitted: {:?}",
+        out.stats
+    );
+}
