@@ -9,7 +9,9 @@
 //! - `LMA20x` — cost-model (Eq. 1-24) consistency lints;
 //! - `LMA25x` — serving-configuration lints (`lm-serve` slot plans);
 //! - `LMA26x` — SLO / overload-policy lints (objective feasibility and
-//!   actuator sanity).
+//!   actuator sanity);
+//! - `LMA27x` — observability lints (an enforced SLO needs a TTFT
+//!   histogram; an armed flight recorder needs capacity).
 //!
 //! A code, once shipped, keeps its meaning; retired codes are never
 //! reused.
@@ -76,6 +78,12 @@ pub enum LintCode {
     /// Preemption armed on a single-slot plan (evicting the only slot
     /// thrashes without adding service capacity).
     Lma262PreemptSingleSlot,
+    /// SLO enforcement enabled without a TTFT histogram registered:
+    /// breaches can neither be observed nor post-mortemed.
+    Lma270SloWithoutTtftHistogram,
+    /// Flight recorder armed with zero capacity while chaos faults are
+    /// active: the post-mortem dump would always be empty.
+    Lma271FlightRecorderZeroCapacity,
 }
 
 impl LintCode {
@@ -109,11 +117,13 @@ impl LintCode {
             LintCode::Lma260SloBelowFloor => "LMA260",
             LintCode::Lma261SloNoActuator => "LMA261",
             LintCode::Lma262PreemptSingleSlot => "LMA262",
+            LintCode::Lma270SloWithoutTtftHistogram => "LMA270",
+            LintCode::Lma271FlightRecorderZeroCapacity => "LMA271",
         }
     }
 
     /// All codes, for enumeration in docs and coverage tests.
-    pub const ALL: [LintCode; 27] = [
+    pub const ALL: [LintCode; 29] = [
         LintCode::Lma001CyclicGraph,
         LintCode::Lma002OrphanNode,
         LintCode::Lma003DuplicateEdge,
@@ -141,6 +151,8 @@ impl LintCode {
         LintCode::Lma260SloBelowFloor,
         LintCode::Lma261SloNoActuator,
         LintCode::Lma262PreemptSingleSlot,
+        LintCode::Lma270SloWithoutTtftHistogram,
+        LintCode::Lma271FlightRecorderZeroCapacity,
     ];
 }
 

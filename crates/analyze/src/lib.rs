@@ -21,7 +21,10 @@
 //! - [`serve_lints`] (`LMA26x`): SLO/overload policies — objective vs
 //!   the physical service floor, enforcement with no armed actuator,
 //!   single-slot preemption churn — via sampled [`SloProbe`]
-//!   observations.
+//!   observations;
+//! - [`obs_lints`] (`LMA27x`): observability wiring — SLO enforcement
+//!   without a TTFT histogram, an armed zero-capacity flight recorder
+//!   under chaos faults — via sampled [`ObsProbe`] observations.
 //!
 //! Every finding carries a stable `LMAnnn` code (see [`LintCode`]) —
 //! codes keep their meaning across releases and retired codes are never
@@ -33,12 +36,14 @@
 pub mod diag;
 pub mod graph_lints;
 pub mod model_lints;
+pub mod obs_lints;
 pub mod plan_lints;
 pub mod serve_lints;
 
 pub use diag::{Diagnostic, LintCode, Report, Severity};
 pub use graph_lints::lint_graph;
 pub use model_lints::{lint_model, ModelProbe};
+pub use obs_lints::{lint_obs, ObsProbe};
 pub use plan_lints::{lint_bundles, lint_plan, lint_policy};
 pub use serve_lints::{lint_serve, lint_slo, ServeProbe, SloProbe};
 

@@ -7,8 +7,8 @@
 #![allow(clippy::unwrap_used)]
 
 use lm_analyze::{
-    analyze_deployment, lint_bundles, lint_graph, lint_model, lint_plan, lint_policy, lint_serve,
-    lint_slo, Deployment, LintCode, ModelProbe, Report, ServeProbe, SloProbe,
+    analyze_deployment, lint_bundles, lint_graph, lint_model, lint_obs, lint_plan, lint_policy,
+    lint_serve, lint_slo, Deployment, LintCode, ModelProbe, ObsProbe, Report, ServeProbe, SloProbe,
 };
 use lm_hardware::{presets, Platform};
 use lm_models::{presets as models, DType, ModelConfig, Workload};
@@ -400,6 +400,36 @@ fn lma262_preemption_on_a_single_slot() {
     assert_fires(&clean, &lint_slo(&p), LintCode::Lma262PreemptSingleSlot);
 }
 
+fn obs_probe() -> ObsProbe {
+    ObsProbe {
+        slo_enforce: true,
+        ttft_histogram_registered: true,
+        flight_enabled: true,
+        flight_capacity: 256,
+        chaos_faults_armed: true,
+    }
+}
+
+#[test]
+fn lma270_enforcement_without_ttft_histogram() {
+    let clean = lint_obs(&obs_probe());
+    let mut p = obs_probe();
+    p.ttft_histogram_registered = false;
+    assert_fires(&clean, &lint_obs(&p), LintCode::Lma270SloWithoutTtftHistogram);
+}
+
+#[test]
+fn lma271_armed_flight_recorder_with_zero_capacity() {
+    let clean = lint_obs(&obs_probe());
+    let mut p = obs_probe();
+    p.flight_capacity = 0;
+    assert_fires(
+        &clean,
+        &lint_obs(&p),
+        LintCode::Lma271FlightRecorderZeroCapacity,
+    );
+}
+
 #[test]
 fn every_shipped_code_has_mutation_coverage() {
     // Guard against adding a code without a mutation test: the list of
@@ -433,6 +463,8 @@ fn every_shipped_code_has_mutation_coverage() {
         LintCode::Lma260SloBelowFloor,
         LintCode::Lma261SloNoActuator,
         LintCode::Lma262PreemptSingleSlot,
+        LintCode::Lma270SloWithoutTtftHistogram,
+        LintCode::Lma271FlightRecorderZeroCapacity,
     ];
     for code in LintCode::ALL {
         assert!(covered.contains(&code), "no mutation test for {}", code.as_str());

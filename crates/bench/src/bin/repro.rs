@@ -7,7 +7,8 @@
 //!   repro all [--fast]
 //!
 //! Experiments: analyze table1 table3 table4 table5 fig3 fig4 fig5 fig7
-//! fig8 fig9 whatif faults summary trace serve chaos slo. `analyze` runs
+//! fig8 fig9 whatif faults summary trace serve chaos slo obs bench.
+//! `analyze` runs
 //! the `lm-analyze` static linter over the shipped presets (plus the
 //! default serving plan and SLO policy) and exits non-zero on any
 //! `Error`-level diagnostic. `serve` replays a seeded traffic trace
@@ -27,7 +28,14 @@
 //! `trace` additionally writes the engine timeline as Chrome/Perfetto
 //! trace JSON to `results/trace.json` (load it at
 //! https://ui.perfetto.dev) and the model-vs-measured drift report to
-//! `results/trace_drift.json`.
+//! `results/trace_drift.json`. `obs` audits the serve path's
+//! observability surfaces (DESIGN.md §13) — drift ratios vs documented
+//! tolerances, OpenMetrics round-trip, a flight-recorder post-mortem
+//! from an injected overload, `LMA27x` lints — writing `results/obs.json`
+//! plus the Perfetto serve timeline to `results/serve_timeline.json`,
+//! and exits non-zero unless every gate holds. `bench` regenerates the
+//! tracked perf trajectory (`BENCH_kernels.json` / `BENCH_serve.json`
+//! at the repo root, schema `{bench, metric, value, unit}`).
 
 use lm_bench::experiments::*;
 use lm_bench::table::{f, render};
@@ -608,6 +616,99 @@ fn run_slo(seed: u64, rps: f64, requests: usize) {
     }
 }
 
+fn run_obs(seed: u64, rps: f64, requests: usize) {
+    println!(
+        "\n== Observability: serve-path drift audit, exposition, flight recorder ({requests} requests @ {rps} rps, seed {seed}) =="
+    );
+    let (r, timeline) = obs::run(seed, rps, requests);
+    println!(
+        "record: {} lifecycle events, {} boundary samples, {} TTFT pairs over {} slots",
+        r.lifecycle_events, r.boundary_samples, r.ttft_samples, r.plan.slots
+    );
+    let rendered: Vec<Vec<String>> = r
+        .drift_gates
+        .iter()
+        .map(|g| {
+            let m = r.drift.metric(&g.metric);
+            vec![
+                g.metric.clone(),
+                m.map(|m| f(m.predicted, 3)).unwrap_or_default(),
+                m.map(|m| f(m.observed, 3)).unwrap_or_default(),
+                f(g.ratio, 4),
+                format!("±{:.0}%", g.tolerance * 100.0),
+                if g.ok { "ok" } else { "DRIFT" }.into(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["metric", "predicted", "observed", "obs/pred", "tolerance", "verdict"],
+            &rendered
+        )
+    );
+    println!(
+        "exposition: {} bytes, round-trip {}; flight: '{}' ({} events, {} dropped), round-trip {}; lints: {} errors / {} warnings",
+        r.exposition.len(),
+        if r.expo_round_trip_ok { "ok" } else { "FAILED" },
+        r.flight.reason,
+        r.flight.events.len(),
+        r.flight.dropped,
+        if r.flight_round_trip_ok { "ok" } else { "FAILED" },
+        r.lint_errors,
+        r.lint_warnings
+    );
+    let ok = r.obs_ok;
+    save("obs", &r);
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_ok() {
+        let path = dir.join("serve_timeline.json");
+        match fs::write(&path, &timeline) {
+            Ok(()) => println!(
+                "wrote {} (open at https://ui.perfetto.dev)",
+                path.display()
+            ),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+    if ok {
+        println!("obs_ok: every observability gate holds");
+    } else {
+        eprintln!("error: an observability gate failed");
+        std::process::exit(1);
+    }
+}
+
+fn run_bench() {
+    println!("\n== Perf trajectory: kernel and serve-path wall timings ==");
+    let kernels = lm_bench::perf::kernel_rows();
+    let serve = lm_bench::perf::serve_rows();
+    for (name, rows) in [("BENCH_kernels.json", &kernels), ("BENCH_serve.json", &serve)] {
+        let rendered: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.bench.clone(),
+                    r.metric.clone(),
+                    f(r.value, 2),
+                    r.unit.clone(),
+                ]
+            })
+            .collect();
+        println!("{}", render(&["bench", "metric", "value", "unit"], &rendered));
+        match serde_json::to_string_pretty(rows) {
+            Ok(json) => {
+                if let Err(e) = fs::write(name, json) {
+                    eprintln!("warning: could not write {name}: {e}");
+                } else {
+                    println!("wrote {name} ({} rows)", rows.len());
+                }
+            }
+            Err(e) => eprintln!("warning: could not serialise {name}: {e}"),
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fast = false;
@@ -741,6 +842,8 @@ fn main() {
         "serve" => run_serve(serve_seed, rps, requests),
         "chaos" => run_chaos(serve_seed, storm, rps, requests),
         "slo" => run_slo(serve_seed, rps, requests),
+        "obs" => run_obs(serve_seed, rps, requests),
+        "bench" => run_bench(),
         "summary" => {
             let s = summary::run(lens);
             print_summary(&s);
@@ -764,10 +867,11 @@ fn main() {
             run_serve(serve_seed, rps, requests);
             run_chaos(serve_seed, storm, rps, requests);
             run_slo(serve_seed, rps, requests);
+            run_obs(serve_seed, rps, requests);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose from: analyze table1 table3 table4 table5 fig3 fig4 fig5 fig7 fig8 fig9 whatif faults summary trace serve chaos slo all");
+            eprintln!("choose from: analyze table1 table3 table4 table5 fig3 fig4 fig5 fig7 fig8 fig9 whatif faults summary trace serve chaos slo obs bench all");
             std::process::exit(2);
         }
     }

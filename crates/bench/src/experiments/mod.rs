@@ -9,6 +9,7 @@ pub mod fig5;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod obs;
 pub mod serve;
 pub mod slo;
 pub mod summary;

@@ -2,12 +2,14 @@
 //!
 //! The experiment harness: one runner per table and figure of the
 //! LM-Offload paper (see [`experiments`]), an ASCII [`table`] renderer,
-//! and the `repro` binary that regenerates everything and writes JSON
-//! results to `results/`.
+//! the tracked [`perf`] trajectory behind `repro bench`, and the `repro`
+//! binary that regenerates everything and writes JSON results to
+//! `results/` (plus `BENCH_*.json` at the repo root).
 //!
 //! Criterion microbenchmarks of the underlying kernels and searches live
 //! in `benches/`.
 
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 pub mod experiments;
+pub mod perf;
 pub mod table;

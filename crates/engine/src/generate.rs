@@ -50,6 +50,10 @@ pub struct EngineOptions {
     /// per (layer, batch), and the fault injector's event log is stamped
     /// on the tracer's clock so faults align with spans in Perfetto.
     pub tracer: Tracer,
+    /// Flight recorder (DESIGN.md §13): injected faults tee into its
+    /// ring, and any [`EngineError`] surfacing from [`Engine::run`]
+    /// freezes it into a post-mortem dump. Disabled by default.
+    pub flight: lm_trace::FlightRecorder,
     /// Pre-flight static analysis at construction. When set, capacity
     /// configurations that could only fail deep inside `generate` (a
     /// device pool too small for one streamed layer, a host pool below
@@ -72,6 +76,7 @@ impl Default for EngineOptions {
             fault: FaultInjector::disabled(),
             retry: RetryPolicy::default(),
             tracer: Tracer::disabled(),
+            flight: lm_trace::FlightRecorder::disabled(),
             strict: false,
         }
     }
@@ -249,6 +254,9 @@ impl Engine {
         if let Some(clock) = options.tracer.clock() {
             options.fault.set_clock(clock);
         }
+        if options.flight.is_enabled() {
+            options.fault.set_flight(options.flight.clone());
+        }
         Ok(Engine {
             cfg: cfg.clone(),
             store: Arc::new(store),
@@ -301,6 +309,9 @@ impl Engine {
         store.fault = options.fault.clone();
         if let Some(clock) = options.tracer.clock() {
             options.fault.set_clock(clock);
+        }
+        if options.flight.is_enabled() {
+            options.fault.set_flight(options.flight.clone());
         }
         let bytes_read = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
         let engine = Engine {
@@ -450,8 +461,28 @@ impl Engine {
     /// [`Generation::weight_bytes_streamed`] exposes. Malformed requests
     /// return [`EngineError::InvalidRequest`] instead of panicking.
     pub fn run(&self, request: &GenerateRequest) -> Result<Generation, EngineError> {
-        self.validate(request)?;
-        self.run_block(&request.prompts, request.gen_len, request.num_batches)
+        let result = self
+            .validate(request)
+            .and_then(|()| self.run_block(&request.prompts, request.gen_len, request.num_batches));
+        if let Err(e) = &result {
+            // Freeze the flight recorder on the first surfaced engine
+            // error: the ring holds the faults and decisions leading up
+            // to it, the snapshot the metrics at the moment of failure.
+            if self.options.flight.is_enabled() {
+                let t_us = self
+                    .options
+                    .tracer
+                    .clock()
+                    .map(|c| c.now_us())
+                    .unwrap_or(0);
+                self.options.flight.trigger(
+                    &format!("engine_error: {e}"),
+                    t_us,
+                    self.options.tracer.snapshot().metrics,
+                );
+            }
+        }
+        result
     }
 
     /// Generate `gen_len` tokens for a batch of equal-length prompts.
@@ -699,6 +730,43 @@ mod tests {
         let serial = engine_with(layer_bytes + 512, false);
         let out = serial.run(&GenerateRequest::new(prompts(), 2)).unwrap();
         assert!(out.device_peak <= layer_bytes + 512);
+    }
+
+    #[test]
+    fn engine_error_freezes_the_flight_recorder() {
+        let cfg = presets::tiny_test();
+        let probe = engine_with(256 << 20, false);
+        let layer_bytes = probe.store.fetched_bytes(0);
+        let flight = lm_trace::FlightRecorder::new(32);
+        // One-layer budget with prefetch armed: generation must fail,
+        // and the failure must freeze a post-mortem dump.
+        let e = Engine::new(
+            &cfg,
+            42,
+            EngineOptions {
+                device_capacity: layer_bytes + 512,
+                prefetch: true,
+                flight: flight.clone(),
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(e.run(&GenerateRequest::new(prompts(), 2)).is_err());
+        let dump = flight.dump().expect("error must trigger a dump");
+        assert!(dump.reason.starts_with("engine_error:"), "{}", dump.reason);
+        // A successful engine leaves its recorder unfrozen.
+        let calm_flight = lm_trace::FlightRecorder::new(32);
+        let calm = Engine::new(
+            &cfg,
+            42,
+            EngineOptions {
+                flight: calm_flight.clone(),
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        calm.run(&GenerateRequest::new(prompts(), 2)).unwrap();
+        assert!(calm_flight.dump().is_none());
     }
 
     #[test]

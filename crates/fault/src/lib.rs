@@ -179,6 +179,10 @@ struct Inner {
     /// when a tracer is active, so fault instants share the span time
     /// base).
     clock: Mutex<Option<lm_trace::TraceClock>>,
+    /// Optional black-box tee: every injected fault is also recorded
+    /// into an attached [`lm_trace::FlightRecorder`], so a post-mortem
+    /// dump carries the fault history that led up to the failure.
+    flight: Mutex<lm_trace::FlightRecorder>,
 }
 
 /// The bounded fault event log: a ring buffer of the most recent
@@ -255,6 +259,7 @@ impl FaultInjector {
                 pressure_probes: AtomicU64::new(0),
                 log: Mutex::new(log),
                 clock: Mutex::new(None),
+                flight: Mutex::new(lm_trace::FlightRecorder::disabled()),
             })),
         }
     }
@@ -298,6 +303,16 @@ impl FaultInjector {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .map(|c| c.now_us());
+        {
+            let flight = inner.flight.lock().unwrap_or_else(|e| e.into_inner());
+            if flight.is_enabled() {
+                flight.record(
+                    t_us.unwrap_or(0),
+                    "fault",
+                    format!("{} site={site} key={key} attempt={attempt}", kind.name()),
+                );
+            }
+        }
         let mut log = inner.log.lock().unwrap_or_else(|e| e.into_inner());
         log.push(FaultEvent {
             kind,
@@ -321,6 +336,18 @@ impl FaultInjector {
     pub fn set_clock(&self, clock: lm_trace::TraceClock) {
         if let Some(inner) = self.inner.as_deref() {
             *inner.clock.lock().unwrap_or_else(|e| e.into_inner()) = Some(clock);
+        }
+    }
+
+    /// Tee subsequent injected faults into a flight recorder (in
+    /// addition to the bounded event log), so black-box dumps include
+    /// the fault history. No-op on a disabled injector; timestamps use
+    /// the attached clock (0 when none is attached — the serve
+    /// scheduler's virtual-clock faults pass their own time via the
+    /// scheduler's `sched` records instead).
+    pub fn set_flight(&self, flight: lm_trace::FlightRecorder) {
+        if let Some(inner) = self.inner.as_deref() {
+            *inner.flight.lock().unwrap_or_else(|e| e.into_inner()) = flight;
         }
     }
 
@@ -745,6 +772,28 @@ mod tests {
         assert!(again.disk_error("t", 0, 0));
         assert!(again.disk_error("t", 1, 0));
         assert_eq!(stamped.events(), again.events());
+    }
+
+    #[test]
+    fn flight_tee_records_injected_faults() {
+        let f = FaultInjector::new(FaultConfig {
+            disk_error_rate: 1.0,
+            ..FaultConfig::quiescent(3)
+        });
+        let flight = lm_trace::FlightRecorder::new(16);
+        f.set_flight(flight.clone());
+        assert!(f.disk_error("engine.load_layer", 4, 1));
+        assert_eq!(flight.len(), 1);
+        assert!(flight.trigger("test", 0, lm_trace::MetricsSnapshot::default()));
+        let d = flight.dump().unwrap();
+        assert_eq!(d.events[0].category, "fault");
+        assert_eq!(d.events[0].label, "disk_io site=engine.load_layer key=4 attempt=1");
+        // Disabled injector: attaching a recorder is a no-op.
+        let off = FaultInjector::disabled();
+        let fr = lm_trace::FlightRecorder::new(4);
+        off.set_flight(fr.clone());
+        assert!(!off.disk_error("t", 0, 0));
+        assert_eq!(fr.len(), 0);
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub struct ServeConfig {
     /// Fallback ladder the scheduler climbs when the SLO monitor calls
     /// for degradation; `None` disables that actuator.
     pub ladder: Option<Arc<dyn DegradeLadder>>,
+    /// Flight recorder teed into scheduler decisions and injected
+    /// faults; frozen into a post-mortem dump on the first observed SLO
+    /// breach (DESIGN.md §13). Disabled by default.
+    pub flight: lm_trace::FlightRecorder,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +66,7 @@ impl Default for ServeConfig {
             tracer: Tracer::disabled(),
             slo: None,
             ladder: None,
+            flight: lm_trace::FlightRecorder::disabled(),
         }
     }
 }

@@ -29,7 +29,12 @@
 //!   alone cannot hold the objective. Cancellation
 //!   ([`CancelToken`] → terminal [`Cancellation`]) and slot crashes
 //!   reclaim KV leases mid-generation; chaos storms drive all of it
-//!   deterministically.
+//!   deterministically;
+//! - [`obs`]: serve-path observability (DESIGN.md §13) — the per-request
+//!   lifecycle record and per-boundary samples collected into
+//!   [`ServeObs`], the predicted-vs-observed drift audit
+//!   ([`ServeObs::audit`]), and the Perfetto serve timeline
+//!   ([`serve_timeline`], one track per slot).
 //!
 //! Everything runs on a virtual clock in integer microseconds; a serving
 //! run is a pure function of `(requests, backend, config)` — identical
@@ -40,11 +45,15 @@
 
 pub mod admission;
 pub mod backend;
+pub mod obs;
 pub mod request;
 pub mod scheduler;
 pub mod slo;
 
 pub use admission::{plan_admission, slo_probe, ServeConfig, ServeError, ServePlan};
+pub use obs::{
+    obs_probe, serve_timeline, BoundaryObs, LifecycleEvent, RequestPhase, ServeObs, TtftSample,
+};
 pub use backend::{AnalyticBackend, EngineBackend, ServeBackend};
 pub use request::{
     synth_traffic, ArrivalQueue, CancelReason, CancelToken, Cancellation, RejectReason, Rejection,

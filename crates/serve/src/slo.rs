@@ -157,8 +157,11 @@ impl TtftModel {
     /// Position `pos < free_slots` admits immediately: one prefill plus
     /// one decode step. Otherwise it waits for the `(pos - free)`-th
     /// slot release: the first `k` such waiters bind to the active
-    /// slots' remaining work in ascending order; each further wave of
-    /// `k` waiters adds one mean generation length of turnover.
+    /// slots' remaining work in ascending order — a waiter that binds to
+    /// a slot only *being filled this boundary* (by one of the first
+    /// `free_slots` queue positions) waits that admission's full mean
+    /// generation — and each further wave of `k` waiters adds one mean
+    /// generation length of turnover.
     pub fn predict_rel_ttft_us(&self, pos: usize) -> u64 {
         let serve = self.prefill_s + self.step_s;
         if pos < self.free_slots {
@@ -168,8 +171,12 @@ impl TtftModel {
         let after = pos - self.free_slots;
         let rounds = (after / k) as f64;
         let idx = after % k;
-        let wait_steps =
-            self.remaining_sorted.get(idx).copied().unwrap_or(0) as f64 + rounds * self.mean_gen_steps;
+        let wait_steps = self
+            .remaining_sorted
+            .get(idx)
+            .map(|r| *r as f64)
+            .unwrap_or(self.mean_gen_steps)
+            + rounds * self.mean_gen_steps;
         micros(wait_steps * self.step_s + serve)
     }
 
@@ -210,6 +217,23 @@ mod tests {
         assert_eq!(m.predict_rel_ttft_us(1), micros(1.5));
         // Position 2 must wait for the soonest slot release (3 steps).
         assert_eq!(m.predict_rel_ttft_us(2), micros(3.0 * 0.5 + 1.5));
+    }
+
+    #[test]
+    fn waiters_behind_fresh_admissions_pay_a_full_generation() {
+        // Both slots free, nothing active: position 2 binds to a slot
+        // that position 0 fills *now*, so it waits one mean generation —
+        // not zero (the optimism the serve drift audit caught).
+        let m = TtftModel {
+            free_slots: 2,
+            remaining_sorted: vec![],
+            ..model()
+        };
+        assert_eq!(m.predict_rel_ttft_us(1), micros(1.5));
+        assert_eq!(m.predict_rel_ttft_us(2), micros(8.0 * 0.5 + 1.5));
+        assert_eq!(m.predict_rel_ttft_us(3), micros(8.0 * 0.5 + 1.5));
+        // Next wave: one more full turnover.
+        assert_eq!(m.predict_rel_ttft_us(4), micros(16.0 * 0.5 + 1.5));
     }
 
     #[test]

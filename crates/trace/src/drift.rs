@@ -97,6 +97,78 @@ pub fn drift_report(predicted: &[(TaskKind, f64)], spans: &[Span]) -> DriftRepor
     }
 }
 
+/// Drift for one serve-path metric (TTFT, queue depth, occupancy …) —
+/// the serving analogue of [`TaskDrift`], keyed by metric name instead
+/// of paper task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricDrift {
+    /// Metric name (e.g. `ttft_mean_s`, `slot_occupancy_mean`).
+    pub metric: String,
+    /// Model-predicted value (TtftModel / plan_admission).
+    pub predicted: f64,
+    /// Value observed by the scheduler's boundary instrumentation.
+    pub observed: f64,
+    /// `observed / predicted`; `None` when the prediction is zero.
+    pub ratio: Option<f64>,
+    /// `observed - predicted`, always defined.
+    pub abs_error: f64,
+}
+
+/// Predicted-vs-observed drift across the serve path's audited metrics
+/// (DESIGN.md §13). Unlike [`DriftReport`] the tolerance is per-run and
+/// documented, not exactly 1.0: the TTFT predictor is a queueing
+/// estimate, not a replay of the scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeDriftReport {
+    pub metrics: Vec<MetricDrift>,
+    /// Max over metrics of `|ratio - 1|` (metrics with a defined ratio).
+    pub max_ratio_error: f64,
+}
+
+impl ServeDriftReport {
+    /// True when every metric with a defined ratio is within `eps` of
+    /// 1.0 and no zero-predicted metric observed more than `eps`.
+    pub fn ok_within(&self, eps: f64) -> bool {
+        self.metrics.iter().all(|m| match m.ratio {
+            Some(r) => (r - 1.0).abs() <= eps,
+            None => m.observed.abs() <= eps,
+        })
+    }
+
+    /// The row for `metric`, if present.
+    pub fn metric(&self, metric: &str) -> Option<&MetricDrift> {
+        self.metrics.iter().find(|m| m.metric == metric)
+    }
+}
+
+/// Build a serve drift report from `(metric, predicted, observed)`
+/// rows. Rows keep their given order; ratios are `observed/predicted`
+/// where the prediction is nonzero.
+pub fn serve_drift_report(rows: &[(&str, f64, f64)]) -> ServeDriftReport {
+    let mut metrics = Vec::with_capacity(rows.len());
+    let mut max_ratio_error = 0.0f64;
+    for &(name, predicted, observed) in rows {
+        let ratio = if predicted != 0.0 {
+            let r = observed / predicted;
+            max_ratio_error = max_ratio_error.max((r - 1.0).abs());
+            Some(r)
+        } else {
+            None
+        };
+        metrics.push(MetricDrift {
+            metric: name.to_string(),
+            predicted,
+            observed,
+            ratio,
+            abs_error: observed - predicted,
+        });
+    }
+    ServeDriftReport {
+        metrics,
+        max_ratio_error,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +247,34 @@ mod tests {
         );
         let v = serde::Serialize::serialize(&r);
         let back: DriftReport = serde::Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn serve_drift_ratios_and_tolerance() {
+        let r = serve_drift_report(&[
+            ("ttft_mean_s", 0.5, 0.6),
+            ("slot_occupancy_mean", 0.8, 0.8),
+            ("queue_depth_mean", 0.0, 0.0),
+        ]);
+        assert_eq!(r.metrics.len(), 3);
+        let t = r.metric("ttft_mean_s").unwrap();
+        assert!((t.ratio.unwrap() - 1.2).abs() < 1e-9);
+        assert!((t.abs_error - 0.1).abs() < 1e-9);
+        assert_eq!(r.metric("slot_occupancy_mean").unwrap().ratio, Some(1.0));
+        assert_eq!(r.metric("queue_depth_mean").unwrap().ratio, None);
+        assert!((r.max_ratio_error - 0.2).abs() < 1e-9);
+        assert!(r.ok_within(0.25));
+        assert!(!r.ok_within(0.1));
+    }
+
+    #[test]
+    fn serve_drift_zero_predicted_with_observation_fails() {
+        let r = serve_drift_report(&[("queue_depth_mean", 0.0, 2.0)]);
+        assert!(!r.ok_within(0.5));
+        assert!(r.ok_within(2.5), "abs slack covers the miss");
+        let v = serde::Serialize::serialize(&r);
+        let back: ServeDriftReport = serde::Deserialize::deserialize(&v).unwrap();
         assert_eq!(back, r);
     }
 }

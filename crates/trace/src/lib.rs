@@ -21,10 +21,15 @@
 //!   per-thread lock-cheap buffers, task spans, instants;
 //! - [`metrics`]: counters, gauges, and log-scale histograms with
 //!   p50/p95/p99 summaries, snapshotted to JSON;
+//! - [`expo`]: Prometheus/OpenMetrics text exposition of a metrics
+//!   snapshot, with a parser closing the round-trip;
+//! - [`flight`]: the bounded flight recorder — a ring of recent events
+//!   frozen into a post-mortem [`FlightDump`] on first failure;
 //! - [`perfetto`]: Chrome/Perfetto `trace.json` export (open in
 //!   <https://ui.perfetto.dev>);
 //! - [`drift`]: per-task predicted-vs-observed ratios — the number that
-//!   says whether the cost model still describes the pipeline.
+//!   says whether the cost model still describes the pipeline — plus
+//!   the serve-path metric audit ([`ServeDriftReport`]).
 //!
 //! ```
 //! use lm_trace::{TaskKind, Tracer};
@@ -44,6 +49,8 @@
 
 pub mod clock;
 pub mod drift;
+pub mod expo;
+pub mod flight;
 pub mod metrics;
 pub mod perfetto;
 pub mod span;
@@ -51,7 +58,11 @@ pub mod task;
 pub mod tracer;
 
 pub use clock::TraceClock;
-pub use drift::{drift_report, DriftReport, TaskDrift};
+pub use drift::{
+    drift_report, serve_drift_report, DriftReport, MetricDrift, ServeDriftReport, TaskDrift,
+};
+pub use expo::ExpoError;
+pub use flight::{FlightDump, FlightEvent, FlightRecorder};
 pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use perfetto::PerfettoTrace;
 pub use span::{render_gantt, resource_overlaps, Span};

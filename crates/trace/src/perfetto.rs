@@ -147,6 +147,48 @@ impl PerfettoTrace {
         ]));
     }
 
+    /// Name an arbitrary thread row — used by callers laying out their
+    /// own tracks (e.g. the serve timeline's one-row-per-slot layout).
+    /// Emit once per tid; Perfetto keeps the last name it sees.
+    pub fn add_named_track(&mut self, tid: u64, name: &str) {
+        self.metadata("thread_name", PID, Some(tid), name);
+    }
+
+    /// Add one complete (`ph:"X"`) slice on an explicit track, with
+    /// start/duration in **seconds** and caller-supplied args.
+    pub fn add_slice(
+        &mut self,
+        name: &str,
+        category: &str,
+        tid: u64,
+        start_s: f64,
+        dur_s: f64,
+        args: Vec<(&str, Value)>,
+    ) {
+        self.events.push(obj(vec![
+            ("name", Value::String(name.to_string())),
+            ("cat", Value::String(category.to_string())),
+            ("ph", Value::String("X".to_string())),
+            ("pid", Value::PosInt(PID)),
+            ("tid", Value::PosInt(tid)),
+            ("ts", us(start_s)),
+            ("dur", us(dur_s)),
+            ("args", obj(args)),
+        ]));
+    }
+
+    /// Add a counter (`ph:"C"`) sample — Perfetto renders the series
+    /// named `name` as a stepped area chart (queue depth, occupancy).
+    pub fn add_counter(&mut self, name: &str, t_s: f64, value: f64) {
+        self.events.push(obj(vec![
+            ("name", Value::String(name.to_string())),
+            ("ph", Value::String("C".to_string())),
+            ("pid", Value::PosInt(PID)),
+            ("ts", us(t_s)),
+            ("args", obj(vec![("value", Value::Float(value))])),
+        ]));
+    }
+
     /// Convenience: one call ingesting a whole [`TraceReport`].
     pub fn add_report(&mut self, report: &TraceReport) {
         self.add_task_spans(&report.spans);
@@ -262,6 +304,42 @@ mod tests {
             e["ph"].as_str() == Some("M")
                 && e["args"]["name"].as_str().map(|n| n.starts_with("scope:")) == Some(true)
         }));
+    }
+
+    #[test]
+    fn custom_tracks_slices_and_counters() {
+        let mut t = PerfettoTrace::new("lm-serve");
+        t.add_named_track(101, "slot 0");
+        t.add_slice(
+            "req 7",
+            "serve",
+            101,
+            0.5,
+            0.25,
+            vec![("request", Value::PosInt(7))],
+        );
+        t.add_counter("queue_depth", 0.5, 3.0);
+        let v = t.to_value();
+        let events = v["traceEvents"].as_array().unwrap();
+        let named = events
+            .iter()
+            .find(|e| e["ph"].as_str() == Some("M") && e["tid"].as_u64() == Some(101))
+            .unwrap();
+        assert_eq!(named["args"]["name"].as_str(), Some("slot 0"));
+        let x = events
+            .iter()
+            .find(|e| e["ph"].as_str() == Some("X"))
+            .unwrap();
+        assert_eq!(x["tid"].as_u64(), Some(101));
+        assert_eq!(x["ts"].as_f64(), Some(0.5e6));
+        assert_eq!(x["dur"].as_f64(), Some(0.25e6));
+        assert_eq!(x["args"]["request"].as_u64(), Some(7));
+        let c = events
+            .iter()
+            .find(|e| e["ph"].as_str() == Some("C"))
+            .unwrap();
+        assert_eq!(c["name"].as_str(), Some("queue_depth"));
+        assert_eq!(c["args"]["value"].as_f64(), Some(3.0));
     }
 
     #[test]

@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Keep results/ free of scratch files even when a gate fails mid-run.
+trap 'rm -f results/chaos.json.first' EXIT
+
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
 
@@ -58,7 +61,7 @@ cp results/chaos.json results/chaos.json.first
 cargo run --release -q -p lm-bench --bin repro -- chaos --seed 7 --storm default
 cmp -s results/chaos.json results/chaos.json.first \
     || { echo "verify: results/chaos.json is not byte-identical across runs" >&2; exit 1; }
-rm -f results/chaos.json.first
+rm -f results/chaos.json.first  # the EXIT trap also covers failure paths
 
 echo "==> repro slo --seed 7 (SLO enforcement gate)"
 cargo run --release -q -p lm-bench --bin repro -- slo --seed 7
@@ -76,5 +79,32 @@ grep -q '"traceEvents"' results/trace.json \
     || { echo "verify: results/trace.json is not a Perfetto trace" >&2; exit 1; }
 grep -q '"max_ratio_error"' results/trace_drift.json \
     || { echo "verify: results/trace_drift.json has no drift report" >&2; exit 1; }
+
+echo "==> repro obs --seed 7 (serve observability gate)"
+cargo run --release -q -p lm-bench --bin repro -- obs --seed 7
+[ -s results/obs.json ] \
+    || { echo "verify: results/obs.json missing or empty" >&2; exit 1; }
+grep -q '"drift_ok": true' results/obs.json \
+    || { echo "verify: serve drift audit exceeded its documented tolerance" >&2; exit 1; }
+grep -q '"obs_ok": true' results/obs.json \
+    || { echo "verify: an observability gate (exposition/flight/lints) failed" >&2; exit 1; }
+[ -s results/serve_timeline.json ] \
+    || { echo "verify: results/serve_timeline.json missing or empty" >&2; exit 1; }
+grep -q '"traceEvents"' results/serve_timeline.json \
+    || { echo "verify: results/serve_timeline.json is not a Perfetto trace" >&2; exit 1; }
+
+if [ "${BENCH:-1}" = "0" ]; then
+    echo "==> bench lane skipped (BENCH=0)"
+else
+    echo "==> repro bench (perf trajectory: BENCH_kernels.json / BENCH_serve.json)"
+    cargo run --release -q -p lm-bench --bin repro -- bench
+    for f in BENCH_kernels.json BENCH_serve.json; do
+        [ -s "$f" ] || { echo "verify: $f missing or empty" >&2; exit 1; }
+        for key in '"bench"' '"metric"' '"value"' '"unit"'; do
+            grep -q "$key" "$f" \
+                || { echo "verify: $f lacks the $key schema field" >&2; exit 1; }
+        done
+    done
+fi
 
 echo "verify: OK"
