@@ -11,7 +11,10 @@
 //! - `LMA26x` — SLO / overload-policy lints (objective feasibility and
 //!   actuator sanity);
 //! - `LMA27x` — observability lints (an enforced SLO needs a TTFT
-//!   histogram; an armed flight recorder needs capacity).
+//!   histogram; an armed flight recorder needs capacity);
+//! - `LMA28x` — paged-KV lints (page geometry must tile the KV block;
+//!   page refcounts must balance the live page tables; no page may be
+//!   writable while mapped by more than one sequence).
 //!
 //! A code, once shipped, keeps its meaning; retired codes are never
 //! reused.
@@ -84,6 +87,16 @@ pub enum LintCode {
     /// Flight recorder armed with zero capacity while chaos faults are
     /// active: the post-mortem dump would always be empty.
     Lma271FlightRecorderZeroCapacity,
+    /// Page geometry broken: zero-size pages, `page_bytes` not equal to
+    /// `page_tokens · bytes_per_token`, a page size that does not divide
+    /// the plan's KV block, or a pool too small for one page.
+    Lma280PageGeometryInvalid,
+    /// Sum of page refcounts disagrees with the live page tables, or
+    /// more pages are in use than the pool holds.
+    Lma281PageRefcountImbalance,
+    /// A page was written in place while mapped by more than one
+    /// sequence — the copy-on-write discipline was bypassed.
+    Lma282DoubleMappedWritablePage,
 }
 
 impl LintCode {
@@ -119,11 +132,14 @@ impl LintCode {
             LintCode::Lma262PreemptSingleSlot => "LMA262",
             LintCode::Lma270SloWithoutTtftHistogram => "LMA270",
             LintCode::Lma271FlightRecorderZeroCapacity => "LMA271",
+            LintCode::Lma280PageGeometryInvalid => "LMA280",
+            LintCode::Lma281PageRefcountImbalance => "LMA281",
+            LintCode::Lma282DoubleMappedWritablePage => "LMA282",
         }
     }
 
     /// All codes, for enumeration in docs and coverage tests.
-    pub const ALL: [LintCode; 29] = [
+    pub const ALL: [LintCode; 32] = [
         LintCode::Lma001CyclicGraph,
         LintCode::Lma002OrphanNode,
         LintCode::Lma003DuplicateEdge,
@@ -153,6 +169,9 @@ impl LintCode {
         LintCode::Lma262PreemptSingleSlot,
         LintCode::Lma270SloWithoutTtftHistogram,
         LintCode::Lma271FlightRecorderZeroCapacity,
+        LintCode::Lma280PageGeometryInvalid,
+        LintCode::Lma281PageRefcountImbalance,
+        LintCode::Lma282DoubleMappedWritablePage,
     ];
 }
 

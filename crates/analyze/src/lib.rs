@@ -24,7 +24,11 @@
 //!   observations;
 //! - [`obs_lints`] (`LMA27x`): observability wiring — SLO enforcement
 //!   without a TTFT histogram, an armed zero-capacity flight recorder
-//!   under chaos faults — via sampled [`ObsProbe`] observations.
+//!   under chaos faults — via sampled [`ObsProbe`] observations;
+//! - [`paging_lints`] (`LMA28x`): paged KV pools — page geometry vs the
+//!   plan's KV block, refcount conservation across page tables, and
+//!   copy-on-write discipline — via sampled [`PagingProbe`]
+//!   observations.
 //!
 //! Every finding carries a stable `LMAnnn` code (see [`LintCode`]) —
 //! codes keep their meaning across releases and retired codes are never
@@ -37,6 +41,7 @@ pub mod diag;
 pub mod graph_lints;
 pub mod model_lints;
 pub mod obs_lints;
+pub mod paging_lints;
 pub mod plan_lints;
 pub mod serve_lints;
 
@@ -44,6 +49,7 @@ pub use diag::{Diagnostic, LintCode, Report, Severity};
 pub use graph_lints::lint_graph;
 pub use model_lints::{lint_model, ModelProbe};
 pub use obs_lints::{lint_obs, ObsProbe};
+pub use paging_lints::{lint_paging, PagingProbe};
 pub use plan_lints::{lint_bundles, lint_plan, lint_policy};
 pub use serve_lints::{lint_serve, lint_slo, ServeProbe, SloProbe};
 

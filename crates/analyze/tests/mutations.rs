@@ -7,8 +7,9 @@
 #![allow(clippy::unwrap_used)]
 
 use lm_analyze::{
-    analyze_deployment, lint_bundles, lint_graph, lint_model, lint_obs, lint_plan, lint_policy,
-    lint_serve, lint_slo, Deployment, LintCode, ModelProbe, ObsProbe, Report, ServeProbe, SloProbe,
+    analyze_deployment, lint_bundles, lint_graph, lint_model, lint_obs, lint_paging, lint_plan,
+    lint_policy, lint_serve, lint_slo, Deployment, LintCode, ModelProbe, ObsProbe, PagingProbe,
+    Report, ServeProbe, SloProbe,
 };
 use lm_hardware::{presets, Platform};
 use lm_models::{presets as models, DType, ModelConfig, Workload};
@@ -430,6 +431,48 @@ fn lma271_armed_flight_recorder_with_zero_capacity() {
     );
 }
 
+fn paging_probe() -> PagingProbe {
+    PagingProbe {
+        page_tokens: 16,
+        page_bytes: 16 * 2048,
+        bytes_per_token: 2048,
+        kv_block_tokens: 512,
+        pages_total: 256,
+        pages_in_use: 64,
+        page_refcount_sum: 80,
+        seq_mapped_pages: 80,
+        shared_write_violations: 0,
+    }
+}
+
+#[test]
+fn lma280_page_does_not_tile_kv_block() {
+    let clean = lint_paging(&paging_probe());
+    let mut p = paging_probe();
+    p.kv_block_tokens = 500; // 500 % 16 != 0
+    assert_fires(&clean, &lint_paging(&p), LintCode::Lma280PageGeometryInvalid);
+}
+
+#[test]
+fn lma281_refcount_sum_drifts_from_page_tables() {
+    let clean = lint_paging(&paging_probe());
+    let mut p = paging_probe();
+    p.page_refcount_sum -= 1;
+    assert_fires(&clean, &lint_paging(&p), LintCode::Lma281PageRefcountImbalance);
+}
+
+#[test]
+fn lma282_in_place_write_on_shared_page() {
+    let clean = lint_paging(&paging_probe());
+    let mut p = paging_probe();
+    p.shared_write_violations = 2;
+    assert_fires(
+        &clean,
+        &lint_paging(&p),
+        LintCode::Lma282DoubleMappedWritablePage,
+    );
+}
+
 #[test]
 fn every_shipped_code_has_mutation_coverage() {
     // Guard against adding a code without a mutation test: the list of
@@ -465,6 +508,9 @@ fn every_shipped_code_has_mutation_coverage() {
         LintCode::Lma262PreemptSingleSlot,
         LintCode::Lma270SloWithoutTtftHistogram,
         LintCode::Lma271FlightRecorderZeroCapacity,
+        LintCode::Lma280PageGeometryInvalid,
+        LintCode::Lma281PageRefcountImbalance,
+        LintCode::Lma282DoubleMappedWritablePage,
     ];
     for code in LintCode::ALL {
         assert!(covered.contains(&code), "no mutation test for {}", code.as_str());

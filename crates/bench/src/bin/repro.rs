@@ -3,7 +3,7 @@
 //! Usage:
 //!   repro <experiment> [--fast] [--fault-seed N] [--tokens N]
 //!                      [--rps R] [--requests N] [--seed S]
-//!                      [--storm <profile>]
+//!                      [--storm <profile>] [--shared-prefix]
 //!   repro all [--fast]
 //!
 //! Experiments: analyze table1 table3 table4 table5 fig3 fig4 fig5 fig7
@@ -12,12 +12,16 @@
 //! the `lm-analyze` static linter over the shipped presets (plus the
 //! default serving plan and SLO policy) and exits non-zero on any
 //! `Error`-level diagnostic. `serve` replays a seeded traffic trace
-//! through the continuous-batching scheduler and both baselines
-//! (`--rps`, `--requests`, `--seed`) and exits non-zero unless
-//! continuous batching dominates. `chaos` drives the scheduler under a
+//! through the continuous-batching scheduler (paged and slab KV modes)
+//! and both baselines (`--rps`, `--requests`, `--seed`) and exits
+//! non-zero unless continuous batching dominates and the paged
+//! scheduler rejects nothing; `--shared-prefix` adds the cross-request
+//! prefix-sharing study, which must beat its unshared control
+//! super-linearly. `chaos` drives the scheduler under a
 //! seeded fault storm (`--seed`, `--storm default|pool-squeeze|`
 //! `disconnects|crashes|blackout`) and exits non-zero unless every
-//! resilience invariant holds (zero leaked KV leases, total resolution,
+//! resilience invariant holds (zero leaked KV leases and pages, total
+//! resolution,
 //! conservation, solo-run transparency, byte-identical replay). `slo`
 //! serves the trace in observe vs enforcing mode under a TTFT objective
 //! and exits non-zero unless enforcement meets the SLO that observe mode
@@ -467,55 +471,88 @@ fn run_trace(tokens: u64) {
     save("trace_drift", &r);
 }
 
-fn run_serve(seed: u64, rps: f64, requests: usize) {
-    println!(
-        "\n== Serving: continuous batching vs baselines (OPT-30B, {requests} requests @ {rps} rps, seed {seed}) =="
-    );
-    let r = serve::run(seed, rps, requests);
-    println!(
-        "plan: {} slots x {} ctx, {:.1} MiB/slot lease, pool {:.1} MiB, kahn width {}, est {:.1} tok/s",
-        r.plan.slots,
-        r.plan.slot_context,
-        r.plan.kv_bytes_per_slot as f64 / (1 << 20) as f64,
-        r.plan.kv_pool_bytes as f64 / (1 << 20) as f64,
-        r.plan.kahn_width,
-        r.plan.est_tokens_per_s
-    );
-    let rendered: Vec<Vec<String>> = r
-        .modes
+fn serve_mode_table(modes: &[serve::ModeRow]) -> String {
+    let rendered: Vec<Vec<String>> = modes
         .iter()
         .map(|m| {
             vec![
                 m.mode.clone(),
+                m.kv_mode.clone(),
                 format!("{}/{}", m.completed, m.completed + m.rejected),
                 f(m.sim_seconds, 1),
                 f(m.tokens_per_s, 2),
                 f(m.ttft.p50_s, 1),
                 f(m.ttft.p95_s, 1),
-                f(m.ttft.p99_s, 1),
                 f(m.latency.p95_s, 1),
                 m.padding_tokens.to_string(),
+                m.kv_pages_peak.to_string(),
+                m.shared_tokens.to_string(),
                 m.deadline_misses.to_string(),
             ]
         })
         .collect();
+    render(
+        &["mode", "kv", "done", "sim (s)", "tok/s", "ttft p50", "p95", "lat p95", "pad", "pages", "shared", "miss"],
+        &rendered,
+    )
+}
+
+fn run_serve(seed: u64, rps: f64, requests: usize, shared_prefix: bool) {
     println!(
-        "{}",
-        render(
-            &["mode", "done", "sim (s)", "tok/s", "ttft p50", "p95", "p99", "lat p95", "pad", "miss"],
-            &rendered
-        )
+        "\n== Serving: continuous batching vs baselines (OPT-30B, {requests} requests @ {rps} rps, seed {seed}) =="
     );
+    let mut r = serve::run(seed, rps, requests);
     println!(
-        "speedup: {:.2}x vs sequential (floor {:.1}x), {:.2}x vs static",
+        "plan: {} slots x {} ctx, {:.1} MiB/slot, pool {:.1} MiB = {} pages x {} tok, kahn width {}, est {:.1} tok/s",
+        r.plan.slots,
+        r.plan.slot_context,
+        r.plan.kv_bytes_per_slot as f64 / (1 << 20) as f64,
+        r.plan.kv_pool_bytes as f64 / (1 << 20) as f64,
+        r.plan.pages_total,
+        r.plan.page_tokens,
+        r.plan.kahn_width,
+        r.plan.est_tokens_per_s
+    );
+    println!("{}", serve_mode_table(&r.modes));
+    println!(
+        "speedup: {:.2}x vs sequential (floor {:.1}x), {:.2}x vs static; paged rejections: {}",
         r.speedup_vs_sequential,
         serve::MIN_SPEEDUP_VS_SEQUENTIAL,
-        r.speedup_vs_static
+        r.speedup_vs_static,
+        r.modes[0].rejected
     );
+    if shared_prefix {
+        let sp = serve::run_shared_prefix(seed, rps, requests, serve::DEFAULT_PREFIX_LEN);
+        println!(
+            "\n-- shared-prefix study: {} requests sharing a {}-token system prompt --",
+            sp.requests, sp.prefix_len
+        );
+        println!("{}", serve_mode_table(&sp.modes));
+        println!(
+            "effective speedup vs unshared control: {:.3}x ({} prefix hits, {} shared tokens, {} COW forks, {} paged rejections)",
+            sp.effective_speedup,
+            sp.modes[0].shared_prefix_hits,
+            sp.modes[0].shared_tokens,
+            sp.modes[0].cow_forks,
+            sp.paged_rejections
+        );
+        r.shared_prefix = Some(sp);
+    }
     save("serve", &r);
     if !r.dominance_ok {
         eprintln!("error: continuous batching failed to dominate the baselines");
         std::process::exit(1);
+    }
+    if !r.paged_zero_rejections {
+        eprintln!("error: the paged scheduler rejected requests at the default plan");
+        std::process::exit(1);
+    }
+    if let Some(sp) = &r.shared_prefix {
+        if !sp.superlinear_ok {
+            eprintln!("error: prefix sharing failed to beat the unshared control");
+            std::process::exit(1);
+        }
+        println!("superlinear_ok: sharing beats the unshared control with zero rejections");
     }
 }
 
@@ -549,8 +586,9 @@ fn run_chaos(seed: u64, storm: lm_fault::StormProfile, rps: f64, requests: usize
         r.faults.dropped_events
     );
     println!(
-        "invariants: leases={} resolution={} conservation={} transparency={} ({} survivors) replay={}",
+        "invariants: leases={} pages={} resolution={} conservation={} transparency={} ({} survivors) replay={}",
         r.invariants.zero_leaked_leases,
+        r.invariants.zero_leaked_pages,
         r.invariants.all_resolved,
         r.invariants.admissions_balanced,
         r.invariants.survivors_transparent,
@@ -712,6 +750,7 @@ fn run_bench() {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fast = false;
+    let mut shared_prefix = false;
     let mut fault_seed = faults::DEFAULT_FAULT_SEED;
     let mut tokens = trace::DEFAULT_TOKENS;
     let mut rps = serve::DEFAULT_RPS;
@@ -812,6 +851,8 @@ fn main() {
             };
         } else if a == "--fast" {
             fast = true;
+        } else if a == "--shared-prefix" {
+            shared_prefix = true;
         } else if !a.starts_with("--") && which.is_none() {
             which = Some(a.clone());
         }
@@ -839,7 +880,7 @@ fn main() {
         "analyze" => run_analyze(),
         "faults" => run_faults(fault_seed),
         "trace" => run_trace(tokens),
-        "serve" => run_serve(serve_seed, rps, requests),
+        "serve" => run_serve(serve_seed, rps, requests, shared_prefix),
         "chaos" => run_chaos(serve_seed, storm, rps, requests),
         "slo" => run_slo(serve_seed, rps, requests),
         "obs" => run_obs(serve_seed, rps, requests),
@@ -864,7 +905,7 @@ fn main() {
             run_fig9();
             run_faults(fault_seed);
             run_trace(tokens);
-            run_serve(serve_seed, rps, requests);
+            run_serve(serve_seed, rps, requests, shared_prefix);
             run_chaos(serve_seed, storm, rps, requests);
             run_slo(serve_seed, rps, requests);
             run_obs(serve_seed, rps, requests);

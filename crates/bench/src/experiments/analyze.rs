@@ -3,7 +3,8 @@
 //! combination the harness derives the real parallelism plan with the
 //! controller, then lints the graph, the plan, the policy placements, the
 //! bundling decision and a sampled cost-model probe. The default serving
-//! plan rides along under the `LMA25x` family and the default SLO policy
+//! plan rides along under the `LMA25x` family, its page geometry under
+//! `LMA28x`, and the default SLO policy
 //! under `LMA26x`. Shipped presets must produce zero `Error`
 //! diagnostics; warnings are reported but allowed.
 
@@ -95,6 +96,28 @@ fn serve_plan_row() -> AnalyzeRow {
     }
 }
 
+/// Lint the default plan's page geometry with the `LMA28x` family: the
+/// derived page size must tile the KV block exactly, the pool must hold
+/// at least one page, and the quiescent probe must balance. The row
+/// columns carry the paged shape: `inter_op_total` the pool capacity in
+/// pages, `intra_op_compute` the pages one slot's context spans.
+fn paging_lint_row() -> AnalyzeRow {
+    use lm_analyze::lint_paging;
+    use lm_serve::{plan_admission, AnalyticBackend, ServeConfig};
+    let backend = AnalyticBackend::opt_30b();
+    let plan = plan_admission(&backend, &ServeConfig::default())
+        .unwrap_or_else(|e| panic!("default serve plan is infeasible: {e}"));
+    let report = lint_paging(&plan.paging_probe());
+    AnalyzeRow {
+        preset: "opt-30b/serve/default-paging".to_string(),
+        inter_op_total: plan.pages_total as u32,
+        intra_op_compute: plan.pages_per_slot as u32,
+        errors: report.error_count(),
+        warnings: report.warning_count(),
+        diagnostics: report.diagnostics,
+    }
+}
+
 /// Lint the default SLO configuration (the one `repro slo` enforces)
 /// with the `LMA26x` family: the objective must clear the plan's
 /// physical TTFT floor and at least one actuator must be armed.
@@ -149,6 +172,7 @@ pub fn run() -> Vec<AnalyzeRow> {
             &flexgen,
         ),
         serve_plan_row(),
+        paging_lint_row(),
         slo_policy_row(),
     ]
 }
@@ -171,7 +195,7 @@ mod tests {
     #[test]
     fn rows_cover_the_preset_matrix() {
         let rows = run();
-        assert_eq!(rows.len(), 6);
+        assert_eq!(rows.len(), 7);
         for row in &rows {
             assert!(row.inter_op_total > 5, "{}", row.preset);
             assert!(row.intra_op_compute >= 1, "{}", row.preset);

@@ -4,7 +4,9 @@
 //! and the run is judged on hard invariants rather than throughput:
 //!
 //! 1. **Zero leaked KV leases** — every slot's RAII lease returns to the
-//!    serve pool no matter how the admission ended;
+//!    serve pool no matter how the admission ended — and **zero leaked
+//!    pages**: the paged pool's page table is empty once every sequence
+//!    has reached a terminal state;
 //! 2. **Total resolution** — every request reaches exactly one terminal
 //!    state (response, rejection, or cancellation);
 //! 3. **Conservation** — admissions balance completions, in-slot
@@ -35,6 +37,11 @@ pub const DEFAULT_REQUESTS: usize = 32;
 pub struct ChaosInvariants {
     /// Serve-pool bytes still leased at end of run == 0.
     pub zero_leaked_leases: bool,
+    /// Paged-pool pages still mapped at end of run == 0 — the
+    /// page-granular sibling of the lease invariant: every terminal
+    /// state (completion, cancellation, preemption, crash) must drop
+    /// its whole page table, shared refcounts included.
+    pub zero_leaked_pages: bool,
     /// responses + rejections + cancellations == submitted requests.
     pub all_resolved: bool,
     /// admitted == completed + cancelled_in_slot + preemptions + crashes.
@@ -48,6 +55,7 @@ pub struct ChaosInvariants {
 impl ChaosInvariants {
     pub fn all_hold(&self) -> bool {
         self.zero_leaked_leases
+            && self.zero_leaked_pages
             && self.all_resolved
             && self.admissions_balanced
             && self.survivors_transparent
@@ -69,6 +77,8 @@ pub struct ChaosReport {
     /// Terminal states reached (must equal `requests`).
     pub resolved: usize,
     pub kv_leaked_bytes: u64,
+    /// KV pages still mapped when the run ended (must be zero).
+    pub kv_pages_leaked: u64,
     /// Admission-lifecycle accounting from the scheduler.
     pub stats: ServeStats,
     /// Injected-fault counters from the storm injector.
@@ -146,6 +156,7 @@ pub fn run(seed: u64, profile: StormProfile, rps: f64, n: usize) -> ChaosReport 
 
     let invariants = ChaosInvariants {
         zero_leaked_leases: out.kv_leaked_bytes == 0 && replay.kv_leaked_bytes == 0,
+        zero_leaked_pages: out.kv_pages_leaked == 0 && replay.kv_pages_leaked == 0,
         all_resolved: out.terminal_count() == n,
         admissions_balanced: out.stats.admissions_balanced(),
         survivors_transparent,
@@ -163,6 +174,7 @@ pub fn run(seed: u64, profile: StormProfile, rps: f64, n: usize) -> ChaosReport 
         cancelled: out.cancellations.len(),
         resolved: out.terminal_count(),
         kv_leaked_bytes: out.kv_leaked_bytes as u64,
+        kv_pages_leaked: out.kv_pages_leaked,
         stats: out.stats,
         faults,
         survivors_checked,
@@ -192,7 +204,9 @@ mod tests {
         for profile in StormProfile::ALL {
             let r = run(3, profile, DEFAULT_RPS, 16);
             assert!(
-                r.invariants.zero_leaked_leases && r.invariants.all_resolved,
+                r.invariants.zero_leaked_leases
+                    && r.invariants.zero_leaked_pages
+                    && r.invariants.all_resolved,
                 "{}: {:?}",
                 profile.name(),
                 r.invariants

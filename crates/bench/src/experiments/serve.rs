@@ -1,13 +1,21 @@
 //! `repro serve` — the continuous-batching serving experiment: the same
-//! seeded OPT-30B traffic trace is served three ways (continuous
-//! batching, one-call-per-request, naive static batching) on the
+//! seeded OPT-30B traffic trace is served four ways (continuous batching
+//! over the paged KV pool, continuous batching over the legacy
+//! contiguous slab, one-call-per-request, naive static batching) on the
 //! analytic backend's virtual clock, and continuous batching must
 //! dominate both baselines. TTFT and end-to-end latency percentiles come
 //! from each run's own `lm-trace` histogram snapshot.
+//!
+//! `--shared-prefix` adds the cross-request prefix-sharing study: the
+//! same arrival process and generation lengths are served once with a
+//! common system-prompt prefix and once with unique control prefixes;
+//! the paged pool maps the shared pages copy-on-write, skips their
+//! prefill, and must deliver super-linear effective throughput relative
+//! to the unshared control (with zero admission rejections).
 
 use lm_serve::{
-    serve_continuous, serve_sequential, serve_static, synth_traffic, AnalyticBackend,
-    ServeConfig, ServeOutcome, ServePlan,
+    serve_continuous, serve_sequential, serve_static, synth_shared_prefix_traffic, synth_traffic,
+    AnalyticBackend, KvMode, ServeConfig, ServeOutcome, ServePlan,
 };
 use lm_trace::Tracer;
 use serde::{Deserialize, Serialize};
@@ -15,6 +23,16 @@ use serde::{Deserialize, Serialize};
 pub const DEFAULT_RPS: f64 = 4.0;
 pub const DEFAULT_REQUESTS: usize = 32;
 pub const DEFAULT_SEED: u64 = 7;
+
+/// Shared system-prompt length for the `--shared-prefix` study: twenty
+/// whole 16-token pages, so every request past the first maps 320 prompt
+/// tokens straight out of the prefix index. The length is chosen to make
+/// the study memory-bound: at offload scale prefill is weight-stream
+/// dominated (skipping prefix *compute* saves almost no wall time), so
+/// the sharing win is page residency — unshared requests need ~22 pages
+/// each and the pool caps concurrency below the planned slot count,
+/// while sharers keep only ~2-3 private pages and all run at once.
+pub const DEFAULT_PREFIX_LEN: usize = 320;
 
 /// The dominance bar the experiment (and the verify gate) enforces:
 /// continuous batching must deliver at least this multiple of the
@@ -48,13 +66,28 @@ impl LatencyStats {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ModeRow {
     pub mode: String,
+    /// KV residency strategy this row ran under: `paged`, `slab`, or
+    /// `-` for the baselines that serve one batch shape at a time.
+    pub kv_mode: String,
     pub completed: usize,
     pub rejected: usize,
     pub sim_seconds: f64,
     pub tokens_per_s: f64,
     pub generated_tokens: u64,
+    /// KV tokens charged beyond what the request actually used — the
+    /// padded-slab envelope. Structurally zero in paged mode, which is
+    /// the point of the paged-vs-slab columns.
     pub padding_tokens: u64,
     pub kv_peak_bytes: u64,
+    /// High-water mark of live KV pages (paged mode only).
+    pub kv_pages_peak: u64,
+    /// Page mappings served from the prefix index instead of fresh
+    /// allocation + prefill.
+    pub shared_prefix_hits: u64,
+    /// Prompt tokens covered by those shared mappings.
+    pub shared_tokens: u64,
+    /// Copy-on-write forks taken on first divergent write.
+    pub cow_forks: u64,
     /// Deadline misses — *reported* by every mode, enforced by none
     /// here: the continuous scheduler counts deadline-reason rejections,
     /// the baselines count requests whose service started past their
@@ -64,19 +97,45 @@ pub struct ModeRow {
     pub latency: LatencyStats,
 }
 
+/// The `--shared-prefix` study: identical arrival process and decode
+/// work, three residency strategies. `shared_paged` must beat
+/// `unshared_paged` on effective throughput — the prefill skipped by
+/// prefix sharing is the only difference between them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SharedPrefixReport {
+    pub seed: u64,
+    pub rps: f64,
+    pub requests: usize,
+    pub prefix_len: usize,
+    /// `shared_paged`, `unshared_paged` (control), `shared_slab`.
+    pub modes: Vec<ModeRow>,
+    /// shared_paged tok/s over unshared_paged tok/s.
+    pub effective_speedup: f64,
+    /// Admission rejections across the paged runs (gate: zero).
+    pub paged_rejections: usize,
+    /// The verify.sh gate: sharing actually engaged (hits > 0), beat
+    /// the unshared control, and rejected nothing.
+    pub superlinear_ok: bool,
+}
+
 /// Everything `repro serve` writes to `results/serve.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeReport {
     pub seed: u64,
     pub rps: f64,
     pub requests: usize,
-    /// The `LMA25x`-linted admission plan every mode shares.
+    /// The `LMA25x`/`LMA28x`-linted admission plan every mode shares.
     pub plan: ServePlan,
     pub modes: Vec<ModeRow>,
     pub speedup_vs_sequential: f64,
     pub speedup_vs_static: f64,
     /// Continuous ≥ 1.3× sequential and > static — the verify.sh gate.
     pub dominance_ok: bool,
+    /// Page-aware admission gate: the paged scheduler rejects nothing
+    /// at the default seed.
+    pub paged_zero_rejections: bool,
+    /// Filled by `repro serve --shared-prefix`, `null` otherwise.
+    pub shared_prefix: Option<SharedPrefixReport>,
 }
 
 fn histogram(tracer: &Tracer, name: &str) -> LatencyStats {
@@ -95,9 +154,10 @@ fn histogram(tracer: &Tracer, name: &str) -> LatencyStats {
         .unwrap_or_else(LatencyStats::empty)
 }
 
-fn mode_row(mode: &str, tracer: &Tracer, out: &ServeOutcome) -> ModeRow {
+fn mode_row(mode: &str, kv_mode: &str, tracer: &Tracer, out: &ServeOutcome) -> ModeRow {
     ModeRow {
         mode: mode.to_string(),
+        kv_mode: kv_mode.to_string(),
         completed: out.responses.len(),
         rejected: out.rejections.len(),
         sim_seconds: out.sim_seconds,
@@ -105,24 +165,45 @@ fn mode_row(mode: &str, tracer: &Tracer, out: &ServeOutcome) -> ModeRow {
         generated_tokens: out.generated_tokens,
         padding_tokens: out.padding_tokens,
         kv_peak_bytes: out.kv_peak_bytes as u64,
+        kv_pages_peak: out.kv_pages_peak,
+        shared_prefix_hits: out.shared_prefix_hits,
+        shared_tokens: out.shared_tokens,
+        cow_forks: out.cow_forks,
         deadline_misses: out.deadline_misses,
         ttft: histogram(tracer, "serve.ttft_s"),
         latency: histogram(tracer, "serve.latency_s"),
     }
 }
 
-/// Serve `n` seeded requests at `rps` through all three schedulers.
+fn continuous_row(
+    backend: &AnalyticBackend,
+    kv_mode: KvMode,
+    label: &str,
+    traffic: Vec<lm_serve::Request>,
+) -> (ServePlan, ModeRow) {
+    let tracer = Tracer::new();
+    let cfg = ServeConfig {
+        tracer: tracer.clone(),
+        kv_mode,
+        ..ServeConfig::default()
+    };
+    let (plan, out) = serve_continuous(backend, &cfg, traffic)
+        .unwrap_or_else(|e| panic!("continuous serving ({label}) failed: {e}"));
+    let kv = match kv_mode {
+        KvMode::Paged => "paged",
+        KvMode::Slab => "slab",
+    };
+    (plan, mode_row(label, kv, &tracer, &out))
+}
+
+/// Serve `n` seeded requests at `rps` through all four schedulers.
 pub fn run(seed: u64, rps: f64, n: usize) -> ServeReport {
     let backend = AnalyticBackend::opt_30b();
     let traffic = synth_traffic(seed, rps, n, lm_serve::ServeBackend::model(&backend));
 
-    let cont_tracer = Tracer::new();
-    let cfg = ServeConfig {
-        tracer: cont_tracer.clone(),
-        ..ServeConfig::default()
-    };
-    let (plan, cont) = serve_continuous(&backend, &cfg, traffic.clone())
-        .unwrap_or_else(|e| panic!("continuous serving failed: {e}"));
+    let (plan, paged) =
+        continuous_row(&backend, KvMode::Paged, "continuous_paged", traffic.clone());
+    let (_, slab) = continuous_row(&backend, KvMode::Slab, "continuous_slab", traffic.clone());
 
     let seq_tracer = Tracer::new();
     let seq_cfg = ServeConfig {
@@ -141,17 +222,18 @@ pub fn run(seed: u64, rps: f64, n: usize) -> ServeReport {
         .unwrap_or_else(|e| panic!("static baseline failed: {e}"));
 
     let speedup_vs_sequential = if seq.tokens_per_s() > 0.0 {
-        cont.tokens_per_s() / seq.tokens_per_s()
+        paged.tokens_per_s / seq.tokens_per_s()
     } else {
         0.0
     };
     let speedup_vs_static = if stat.tokens_per_s() > 0.0 {
-        cont.tokens_per_s() / stat.tokens_per_s()
+        paged.tokens_per_s / stat.tokens_per_s()
     } else {
         0.0
     };
     let dominance_ok = speedup_vs_sequential >= MIN_SPEEDUP_VS_SEQUENTIAL
-        && cont.tokens_per_s() > stat.tokens_per_s();
+        && paged.tokens_per_s > stat.tokens_per_s();
+    let paged_zero_rejections = paged.rejected == 0;
 
     ServeReport {
         seed,
@@ -159,13 +241,58 @@ pub fn run(seed: u64, rps: f64, n: usize) -> ServeReport {
         requests: n,
         plan,
         modes: vec![
-            mode_row("continuous", &cont_tracer, &cont),
-            mode_row("sequential", &seq_tracer, &seq),
-            mode_row("static", &stat_tracer, &stat),
+            paged,
+            slab,
+            mode_row("sequential", "-", &seq_tracer, &seq),
+            mode_row("static", "-", &stat_tracer, &stat),
         ],
         speedup_vs_sequential,
         speedup_vs_static,
         dominance_ok,
+        paged_zero_rejections,
+        shared_prefix: None,
+    }
+}
+
+/// The `--shared-prefix` study: `n` requests sharing one `prefix_len`-
+/// token system prompt vs the same trace with unique control prefixes,
+/// plus the slab strategy on the shared trace to show what the padded
+/// envelope pays for the identical workload.
+pub fn run_shared_prefix(seed: u64, rps: f64, n: usize, prefix_len: usize) -> SharedPrefixReport {
+    let backend = AnalyticBackend::opt_30b();
+    let (shared, control) = synth_shared_prefix_traffic(
+        seed,
+        rps,
+        n,
+        lm_serve::ServeBackend::model(&backend),
+        prefix_len,
+    );
+
+    let (_, shared_paged) =
+        continuous_row(&backend, KvMode::Paged, "shared_paged", shared.clone());
+    let (_, unshared_paged) =
+        continuous_row(&backend, KvMode::Paged, "unshared_paged", control);
+    let (_, shared_slab) = continuous_row(&backend, KvMode::Slab, "shared_slab", shared);
+
+    let effective_speedup = if unshared_paged.tokens_per_s > 0.0 {
+        shared_paged.tokens_per_s / unshared_paged.tokens_per_s
+    } else {
+        0.0
+    };
+    let paged_rejections = shared_paged.rejected + unshared_paged.rejected;
+    let superlinear_ok = effective_speedup > 1.0
+        && shared_paged.shared_prefix_hits > 0
+        && paged_rejections == 0;
+
+    SharedPrefixReport {
+        seed,
+        rps,
+        requests: n,
+        prefix_len,
+        modes: vec![shared_paged, unshared_paged, shared_slab],
+        effective_speedup,
+        paged_rejections,
+        superlinear_ok,
     }
 }
 
@@ -181,8 +308,9 @@ mod tests {
             "continuous must dominate: vs seq {:.2}x, vs static {:.2}x",
             r.speedup_vs_sequential, r.speedup_vs_static
         );
-        assert_eq!(r.modes.len(), 3);
+        assert_eq!(r.modes.len(), 4);
         let cont = &r.modes[0];
+        assert_eq!(cont.kv_mode, "paged");
         assert!(cont.completed > 0);
         assert_eq!(
             cont.ttft.count as usize, cont.completed,
@@ -190,6 +318,59 @@ mod tests {
         );
         assert!(cont.ttft.p50_s <= cont.ttft.p99_s);
         assert!(cont.latency.p50_s >= cont.ttft.p50_s);
+    }
+
+    #[test]
+    fn paged_admission_rejects_nothing_at_default_seed() {
+        let r = run(DEFAULT_SEED, DEFAULT_RPS, DEFAULT_REQUESTS);
+        assert!(
+            r.paged_zero_rejections,
+            "paged mode rejected {} requests",
+            r.modes[0].rejected
+        );
+        assert!(r.modes[0].kv_pages_peak > 0, "paged run tracks page peak");
+    }
+
+    #[test]
+    fn paged_mode_charges_no_padding_and_slab_does() {
+        let r = run(DEFAULT_SEED, DEFAULT_RPS, DEFAULT_REQUESTS);
+        let paged = &r.modes[0];
+        let slab = &r.modes[1];
+        assert_eq!(slab.kv_mode, "slab");
+        assert_eq!(paged.padding_tokens, 0, "pages track the exact context");
+        assert!(
+            slab.padding_tokens > 0,
+            "the padded slab envelope must be visible in the report"
+        );
+        assert!(
+            paged.tokens_per_s >= slab.tokens_per_s,
+            "exact-context prefill can't be slower than the padded envelope: \
+             paged {:.1} vs slab {:.1}",
+            paged.tokens_per_s,
+            slab.tokens_per_s
+        );
+    }
+
+    #[test]
+    fn shared_prefix_study_is_superlinear_at_default_seed() {
+        let r = run_shared_prefix(DEFAULT_SEED, DEFAULT_RPS, 16, DEFAULT_PREFIX_LEN);
+        assert!(
+            r.superlinear_ok,
+            "sharing must beat the unshared control: {:.3}x, {} hits, {} rejections",
+            r.effective_speedup,
+            r.modes[0].shared_prefix_hits,
+            r.paged_rejections
+        );
+        assert_eq!(r.modes.len(), 3);
+        assert!(r.modes[0].shared_tokens > 0);
+        assert_eq!(
+            r.modes[1].shared_prefix_hits, 0,
+            "unique control prefixes must not share"
+        );
+        assert_eq!(
+            r.modes[0].generated_tokens, r.modes[1].generated_tokens,
+            "shared and control traces carry identical decode work"
+        );
     }
 
     #[test]
@@ -202,5 +383,11 @@ mod tests {
         );
         assert_eq!(a.modes[0].sim_seconds.to_bits(), b.modes[0].sim_seconds.to_bits());
         assert_eq!(a.modes[0].generated_tokens, b.modes[0].generated_tokens);
+        let sa = run_shared_prefix(DEFAULT_SEED, DEFAULT_RPS, 12, DEFAULT_PREFIX_LEN);
+        let sb = run_shared_prefix(DEFAULT_SEED, DEFAULT_RPS, 12, DEFAULT_PREFIX_LEN);
+        assert_eq!(
+            sa.effective_speedup.to_bits(),
+            sb.effective_speedup.to_bits()
+        );
     }
 }

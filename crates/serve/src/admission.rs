@@ -13,7 +13,7 @@
 
 use crate::backend::ServeBackend;
 use crate::slo::{DegradeLadder, SloPolicy};
-use lm_analyze::{lint_serve, Report, ServeProbe, SloProbe};
+use lm_analyze::{lint_paging, lint_serve, PagingProbe, Report, ServeProbe, SloProbe};
 use lm_engine::EngineError;
 use lm_fault::{FaultInjector, RetryPolicy};
 use lm_parallelism::{analyze, attention_block_graph};
@@ -21,10 +21,30 @@ use lm_trace::Tracer;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
+/// How the scheduler backs each slot's KV cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KvMode {
+    /// One contiguous worst-case lease per slot (`slot_context` tokens),
+    /// acquired whole at admission. Simple, but pads every request to
+    /// the envelope and rejects admissions the paged pool would accept.
+    Slab,
+    /// Block-granular pages from `lm-kvpool`: per-request page tables,
+    /// prompt-prefix sharing across requests, copy-on-write forks on
+    /// divergence. Admission reserves exactly the pages a request can
+    /// touch, so decode never allocates.
+    #[default]
+    Paged,
+}
+
+
+
 /// Operator-facing serving knobs.
 #[derive(Clone)]
 pub struct ServeConfig {
-    /// Upper bound on concurrent sequences (slots).
+    /// Worst-case-slab budget: in slab mode, the upper bound on
+    /// concurrent sequences; in paged mode it only sizes the derived
+    /// pool (`max_slots` worst-case leases), and the slot count comes
+    /// from page residency instead.
     pub max_slots: usize,
     /// KV pool capacity in bytes; `0` derives `max_slots` worst-case
     /// leases so the configured ceiling is reachable.
@@ -36,6 +56,12 @@ pub struct ServeConfig {
     /// Head groups of the per-sequence attention graph (the Kahn-width
     /// bound input).
     pub head_groups: usize,
+    /// KV backing for slots; paged is the default (DESIGN.md §14).
+    pub kv_mode: KvMode,
+    /// Tokens per KV page in paged mode; `0` derives the largest
+    /// divisor of the planning context not exceeding 16, so pages
+    /// always tile the KV block exactly (`LMA280`).
+    pub page_tokens: usize,
     /// Retry budget for admissions that hit transient pool pressure.
     pub retry: RetryPolicy,
     /// Fault plan attached to the serve KV pool.
@@ -61,6 +87,8 @@ impl Default for ServeConfig {
             kv_pool_bytes: 0,
             slot_context: 0,
             head_groups: 7,
+            kv_mode: KvMode::default(),
+            page_tokens: 0,
             retry: RetryPolicy::none(),
             fault: FaultInjector::disabled(),
             tracer: Tracer::disabled(),
@@ -90,19 +118,65 @@ pub struct ServePlan {
     pub est_step_seconds: f64,
     /// Modelled steady-state throughput, tokens/second.
     pub est_tokens_per_s: f64,
+    /// KV backing the scheduler will use.
+    pub kv_mode: KvMode,
+    /// Tokens per KV page (tiles `slot_context` exactly in paged mode).
+    pub page_tokens: u64,
+    /// Bytes one page leases (`page_tokens · kv_bytes_at(1)`).
+    pub page_bytes: u64,
+    /// Pages the pool holds in total (`kv_pool_bytes / page_bytes`).
+    pub pages_total: u64,
+    /// Pages one worst-case slot maps (`slot_context / page_tokens`).
+    pub pages_per_slot: u64,
 }
 
 impl ServePlan {
-    /// The observation `lm-analyze`'s `LMA25x` lints judge.
+    /// The observation `lm-analyze`'s `LMA25x` lints judge. Slab mode
+    /// reports the worst-case lease per slot; paged mode reports the
+    /// *planned page residency* per sequence (half the envelope, the
+    /// statistical bound admission banks on), because that — not the
+    /// slab worst case — is what `slots` of them must fit in the pool.
     pub fn probe(&self) -> ServeProbe {
+        let per_slot = match self.kv_mode {
+            KvMode::Slab => self.kv_bytes_per_slot,
+            KvMode::Paged => self.pages_per_slot.div_ceil(2).max(1) * self.page_bytes,
+        };
         ServeProbe {
             slots: self.slots as u64,
-            kv_bytes_per_slot: self.kv_bytes_per_slot,
+            kv_bytes_per_slot: per_slot,
             kv_pool_bytes: self.kv_pool_bytes,
             block_size: self.slots as u64,
             kahn_width: self.kahn_width,
         }
     }
+
+    /// The static half of the `LMA28x` observation: geometry only, with
+    /// the runtime counters at their quiescent values. The scheduler
+    /// fills the live counters from the pool at block boundaries.
+    pub fn paging_probe(&self) -> PagingProbe {
+        PagingProbe {
+            page_tokens: self.page_tokens,
+            page_bytes: self.page_bytes,
+            bytes_per_token: self.page_bytes.checked_div(self.page_tokens).unwrap_or(0),
+            kv_block_tokens: self.slot_context as u64,
+            pages_total: self.pages_total,
+            pages_in_use: 0,
+            page_refcount_sum: 0,
+            seq_mapped_pages: 0,
+            shared_write_violations: 0,
+        }
+    }
+}
+
+/// Largest page size not exceeding 16 tokens that tiles `context`
+/// exactly. 16 matches FlexGen's block granularity at the default
+/// contexts (512 → 16, 128 → 16) and degrades to smaller divisors —
+/// ultimately 1, which divides everything — for odd contexts.
+fn derive_page_tokens(context: usize) -> usize {
+    (1..=context.min(16))
+        .rev()
+        .find(|d| context % d == 0)
+        .unwrap_or(1)
 }
 
 /// Sample the `LMA26x` lint observation for an SLO policy paired with a
@@ -178,12 +252,36 @@ pub fn plan_admission(
     } else {
         cfg.max_slots.max(1) * per_slot
     };
-    // Throughput argmax under the pool and the configured ceiling: the
-    // shared weight stream makes k/step(k) non-decreasing, so take the
-    // largest feasible k (and let the lint reject a pool too small for
-    // even one).
+    let page_tokens = if cfg.page_tokens > 0 {
+        cfg.page_tokens
+    } else {
+        derive_page_tokens(context)
+    };
+    let page_bytes = page_tokens * backend.kv_bytes_at(1).max(1);
+    let pages_per_slot = context.div_ceil(page_tokens.max(1));
+    // Throughput argmax under the pool: the shared weight stream makes
+    // k/step(k) non-decreasing, so take the largest feasible k (and let
+    // the lint reject a pool too small for even one).
+    //
+    // Slab mode must fit `k` whole worst-case leases, so the pool bound
+    // is `pool / per_slot`, capped by the configured ceiling. Paged mode
+    // reasons about *pages*: a sequence's residency tracks its actual
+    // context — admission reserves `pages_for(prompt + gen)`, and the
+    // traffic envelope fills the planning context about halfway on
+    // average — so the same bytes multiplex roughly twice the sequences.
+    // The tail where every resident sequence simultaneously nears the
+    // envelope is absorbed by admission backpressure (a transiently full
+    // page pool requeues the candidate; it never rejects it), which is
+    // what makes the statistical bound safe to plan on.
     let by_pool = pool_bytes / per_slot;
-    let slots = cfg.max_slots.min(by_pool.max(1)).max(1);
+    let slots = match cfg.kv_mode {
+        KvMode::Slab => cfg.max_slots.min(by_pool.max(1)).max(1),
+        KvMode::Paged => {
+            let pages_total = (pool_bytes / page_bytes.max(1)).max(1);
+            let expected_pages = pages_per_slot.div_ceil(2).max(1);
+            (pages_total / expected_pages).max(1)
+        }
+    };
     let graph = attention_block_graph(
         1,
         slots as u64,
@@ -205,8 +303,16 @@ pub fn plan_admission(
         } else {
             0.0
         },
+        kv_mode: cfg.kv_mode,
+        page_tokens: page_tokens as u64,
+        page_bytes: page_bytes as u64,
+        pages_total: (pool_bytes / page_bytes.max(1)) as u64,
+        pages_per_slot: pages_per_slot as u64,
     };
-    let report = lint_serve(&plan.probe());
+    let mut report = lint_serve(&plan.probe());
+    if cfg.kv_mode == KvMode::Paged {
+        report.extend(lint_paging(&plan.paging_probe()));
+    }
     if !report.is_clean() {
         return Err(ServeError::Plan(report));
     }
@@ -222,12 +328,26 @@ mod tests {
     #[test]
     fn default_plan_is_clean_and_model_guided() {
         let b = AnalyticBackend::opt_30b();
+        // Paged default: the same 8-slab pool admits 16 statistical
+        // slots at the expected half-envelope page residency.
         let plan = plan_admission(&b, &ServeConfig::default()).unwrap();
-        assert_eq!(plan.slots, 8);
-        assert!(plan.kahn_width >= plan.slots as u64);
+        assert_eq!(plan.slots, 16);
         assert!(plan.est_step_seconds > 0.0);
         assert!(plan.est_tokens_per_s > 0.0);
         assert!(lint_serve(&plan.probe()).is_clean());
+        // Slab mode keeps the worst-case-lease arithmetic: one slot per
+        // full-context slab.
+        let slab = plan_admission(
+            &b,
+            &ServeConfig {
+                kv_mode: KvMode::Slab,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(slab.slots, 8);
+        assert!(slab.kahn_width >= slab.slots as u64);
+        assert!(lint_serve(&slab.probe()).is_clean());
     }
 
     #[test]
@@ -239,10 +359,22 @@ mod tests {
         };
         let cfg = ServeConfig {
             kv_pool_bytes: 3 * per_slot + per_slot / 2,
+            kv_mode: KvMode::Slab,
             ..ServeConfig::default()
         };
         let plan = plan_admission(&b, &cfg).unwrap();
         assert_eq!(plan.slots, 3, "pool fits exactly three leases");
+        // The same 3.5-slab pool repacked into pages: 112 pages over an
+        // expected residency of 16 pages per sequence admits 7.
+        let paged = plan_admission(
+            &b,
+            &ServeConfig {
+                kv_pool_bytes: 3 * per_slot + per_slot / 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(paged.slots, 7, "page residency outpacks worst-case slabs");
     }
 
     #[test]
@@ -258,6 +390,63 @@ mod tests {
             }
             other => panic!("expected plan rejection, got ok={}", other.is_ok()),
         }
+    }
+
+    #[test]
+    fn default_plan_page_geometry_tiles_the_block() {
+        let b = AnalyticBackend::opt_30b();
+        let plan = plan_admission(&b, &ServeConfig::default()).unwrap();
+        assert_eq!(plan.kv_mode, KvMode::Paged);
+        assert_eq!(plan.page_tokens, 16, "512-token context derives 16-token pages");
+        assert_eq!(plan.slot_context as u64 % plan.page_tokens, 0);
+        assert_eq!(
+            plan.page_bytes * plan.pages_per_slot,
+            plan.kv_bytes_per_slot,
+            "pages tile the worst-case slab exactly"
+        );
+        // The plan over-subscribes slots against worst-case envelopes
+        // (that is the point of paging); what it must guarantee is the
+        // *expected* residency — half the per-slot envelope per slot —
+        // with scheduler backpressure absorbing the tail.
+        assert!(
+            plan.pages_total >= plan.pages_per_slot.div_ceil(2) * plan.slots as u64,
+            "paged pool holds the expected residency: {} vs {}",
+            plan.pages_total,
+            plan.pages_per_slot.div_ceil(2) * plan.slots as u64
+        );
+        assert!(lint_paging(&plan.paging_probe()).is_clean());
+    }
+
+    #[test]
+    fn odd_context_derives_a_dividing_page_size() {
+        assert_eq!(derive_page_tokens(512), 16);
+        assert_eq!(derive_page_tokens(128), 16);
+        assert_eq!(derive_page_tokens(100), 10);
+        assert_eq!(derive_page_tokens(7), 7);
+        assert_eq!(derive_page_tokens(13), 13);
+        assert_eq!(derive_page_tokens(17), 1, "primes above 16 fall back to 1");
+    }
+
+    #[test]
+    fn explicit_non_dividing_page_size_rejected_with_lma280() {
+        let b = AnalyticBackend::opt_30b();
+        let cfg = ServeConfig {
+            page_tokens: 11, // 512 % 11 != 0
+            ..ServeConfig::default()
+        };
+        match plan_admission(&b, &cfg) {
+            Err(ServeError::Plan(report)) => {
+                assert!(report.has(LintCode::Lma280PageGeometryInvalid), "{report}")
+            }
+            other => panic!("expected plan rejection, got ok={}", other.is_ok()),
+        }
+        // The same misconfiguration is ignored in slab mode: no pages.
+        let slab = ServeConfig {
+            kv_mode: KvMode::Slab,
+            page_tokens: 11,
+            ..ServeConfig::default()
+        };
+        assert!(plan_admission(&b, &slab).is_ok());
     }
 
     #[test]

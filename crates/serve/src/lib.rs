@@ -50,14 +50,14 @@ pub mod request;
 pub mod scheduler;
 pub mod slo;
 
-pub use admission::{plan_admission, slo_probe, ServeConfig, ServeError, ServePlan};
+pub use admission::{plan_admission, slo_probe, KvMode, ServeConfig, ServeError, ServePlan};
 pub use obs::{
     obs_probe, serve_timeline, BoundaryObs, LifecycleEvent, RequestPhase, ServeObs, TtftSample,
 };
 pub use backend::{AnalyticBackend, EngineBackend, ServeBackend};
 pub use request::{
-    synth_traffic, ArrivalQueue, CancelReason, CancelToken, Cancellation, RejectReason, Rejection,
-    Request, Response,
+    synth_shared_prefix_traffic, synth_traffic, ArrivalQueue, CancelReason, CancelToken,
+    Cancellation, RejectReason, Rejection, Request, Response,
 };
 pub use scheduler::{
     serve_continuous, serve_continuous_with, serve_sequential, serve_static, ServeOutcome,

@@ -98,6 +98,17 @@ pub struct BoundaryObs {
     pub active_slots: usize,
     /// Plan slot count (constant; kept per-sample for self-containment).
     pub slots: usize,
+    /// Pages mapped by resident sequences at this boundary (0 in slab
+    /// mode) — the residency series the paged drift audit integrates.
+    pub pages_in_use: u64,
+    /// Model-side page demand of the resident sequences: the paging
+    /// geometry applied to each active request's metadata
+    /// (`pages_for(prompt + gen_len)`), assuming no cross-request
+    /// sharing. Under eager reservation the pool's realized residency
+    /// must track this exactly, so the paged occupancy audit compares
+    /// the two: observed above predicted means leaked or double-mapped
+    /// pages, observed below means the prefix index is deduplicating.
+    pub pages_demand: u64,
     /// [`TtftModel`](crate::TtftModel) p99 TTFT over the wait queue,
     /// microseconds; `None` when the queue is empty.
     pub predicted_ttft_p99_us: Option<u64>,
@@ -173,11 +184,29 @@ impl ServeObs {
                 v.iter().sum::<f64>() / v.len() as f64
             }
         };
+        // Occupancy is audited in the binding resource's units: slab
+        // mode fills slots, paged mode fills pages (DESIGN.md §14). The
+        // paged prediction is the analytic geometry applied to the
+        // resident requests' metadata (`pages_demand`), capped by the
+        // pool — eager reservation makes realized residency track it
+        // exactly, so drift here means leaked/double-mapped pages
+        // (observed high) or prefix-sharing dedup (observed low).
         let slots = plan.slots.max(1) as f64;
-        let occ_pred = self.time_weighted_mean(|b| {
-            ((b.active_slots + b.queued).min(b.slots)) as f64 / slots
-        });
-        let occ_obs = self.time_weighted_mean(|b| b.active_slots as f64 / slots);
+        let (occ_pred, occ_obs) = match plan.kv_mode {
+            crate::KvMode::Paged => {
+                let total = plan.pages_total.max(1) as f64;
+                (
+                    self.time_weighted_mean(|b| (b.pages_demand as f64).min(total) / total),
+                    self.time_weighted_mean(|b| b.pages_in_use as f64 / total),
+                )
+            }
+            crate::KvMode::Slab => (
+                self.time_weighted_mean(|b| {
+                    ((b.active_slots + b.queued).min(b.slots)) as f64 / slots
+                }),
+                self.time_weighted_mean(|b| b.active_slots as f64 / slots),
+            ),
+        };
         let depth_obs = self.time_weighted_mean(|b| b.queued as f64);
         // Little's law over the audited window: arrival rate λ of the
         // requests that got a first token, times their mean predicted
@@ -309,6 +338,11 @@ mod tests {
             kahn_width: 2,
             est_step_seconds: 0.1,
             est_tokens_per_s: 20.0,
+            kv_mode: crate::KvMode::Paged,
+            page_tokens: 16,
+            page_bytes: 128,
+            pages_total: 16,
+            pages_per_slot: 8,
         }
     }
 
@@ -319,6 +353,11 @@ mod tests {
             pending_arrivals: 0,
             active_slots: active,
             slots: 2,
+            // Realized residency equal to the model-side demand (4
+            // pages per resident request, 16-page pool) so perfect
+            // predictions stay unit-ratio.
+            pages_in_use: (((active + queued) * 4).min(16)) as u64,
+            pages_demand: (((active + queued) * 4).min(16)) as u64,
             predicted_ttft_p99_us: Some(500_000),
             degrade_factor: 1.0,
         }
@@ -337,10 +376,14 @@ mod tests {
         let r = obs.audit(&plan());
         assert_eq!(r.metric("ttft_mean_s").unwrap().ratio, Some(1.0));
         assert_eq!(r.metric("ttft_p99_s").unwrap().ratio, Some(1.0));
-        // Occupancy: first interval predicts (1+1)/2=1.0 but ran at 0.5.
+        // Paged occupancy is audited in page units: both intervals
+        // carry exactly the predicted residency, so the ratio is unit.
+        // Interval 1 predicts (1+1)·4/16 = 0.5, interval 2 predicts
+        // (2+1)·4/16 = 0.75; time-weighted mean 0.625 on both sides.
         let occ = r.metric("slot_occupancy_mean").unwrap();
-        assert!((occ.predicted - 1.0).abs() < 1e-9);
-        assert!((occ.observed - 0.75).abs() < 1e-9);
+        assert!((occ.predicted - 0.625).abs() < 1e-9);
+        assert!((occ.observed - 0.625).abs() < 1e-9);
+        assert_eq!(occ.ratio, Some(1.0));
         // Little's law: λ = 2 req / 2 s, mean wait 0.3 s → depth 0.3.
         let d = r.metric("queue_depth_mean").unwrap();
         assert!((d.predicted - 0.3).abs() < 1e-9);

@@ -425,6 +425,53 @@ pub fn synth_traffic(seed: u64, rps: f64, n: usize, cfg: &ModelConfig) -> Vec<Re
     out
 }
 
+/// Synthesize chat-shaped traffic for the prefix-sharing scenario:
+/// every request's prompt opens with the same `prefix_len`-token system
+/// prompt followed by a short unique user suffix. Returns
+/// `(shared, control)` — the control trace carries identical arrivals,
+/// lengths, priorities, and generation seeds, but a per-request unique
+/// prefix of the same length, so any throughput difference between the
+/// two runs is attributable to prefix sharing alone. Identical
+/// `(seed, rps, n, prefix_len)` always produce identical traces.
+pub fn synth_shared_prefix_traffic(
+    seed: u64,
+    rps: f64,
+    n: usize,
+    cfg: &ModelConfig,
+    prefix_len: usize,
+) -> (Vec<Request>, Vec<Request>) {
+    assert!(rps > 0.0, "rps must be positive");
+    assert!(prefix_len >= 1, "a shared prefix needs at least one token");
+    assert!(
+        prefix_len + 16 + 32 <= cfg.max_seq_len as usize,
+        "prefix must leave room for suffix and generation"
+    );
+    let vocab = cfg.vocab_size as u32;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5A5A_5A5A_5A5A_5A5A);
+    let prefix: Vec<u32> = (0..prefix_len).map(|_| rng.gen_range(1..vocab)).collect();
+    let mut t_us = 0u64;
+    let mut shared = Vec::with_capacity(n);
+    let mut control = Vec::with_capacity(n);
+    for id in 0..n as u64 {
+        let u: f64 = rng.gen();
+        t_us += micros(-(1.0 - u).ln() / rps);
+        let suffix_len = rng.gen_range(4usize..16);
+        let gen_len = rng.gen_range(8usize..32);
+        let suffix: Vec<u32> = (0..suffix_len).map(|_| rng.gen_range(1..vocab)).collect();
+        let unique: Vec<u32> = (0..prefix_len).map(|_| rng.gen_range(1..vocab)).collect();
+        let req_seed = seed ^ (id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let make = |head: &[u32]| {
+            let prompt: Vec<u32> = head.iter().chain(&suffix).copied().collect();
+            Request::new(id, prompt, gen_len)
+                .with_arrival_us(t_us)
+                .with_seed(req_seed)
+        };
+        shared.push(make(&prefix));
+        control.push(make(&unique));
+    }
+    (shared, control)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -509,6 +556,26 @@ mod tests {
         let copy = req.clone();
         token.cancel_now();
         assert!(copy.cancel.is_cancelled_at(0));
+    }
+
+    #[test]
+    fn shared_prefix_traffic_pairs_shared_and_control() {
+        let cfg = presets::opt_30b();
+        let (s1, c1) = synth_shared_prefix_traffic(7, 4.0, 16, &cfg, 96);
+        let (s2, c2) = synth_shared_prefix_traffic(7, 4.0, 16, &cfg, 96);
+        assert_eq!(s1, s2, "shared trace is deterministic");
+        assert_eq!(c1, c2, "control trace is deterministic");
+        let prefix = &s1[0].prompt[..96];
+        for (s, c) in s1.iter().zip(&c1) {
+            assert_eq!(&s.prompt[..96], prefix, "all shared requests open alike");
+            assert_eq!(s.prompt.len(), c.prompt.len(), "paired lengths match");
+            assert_eq!(s.arrival_us, c.arrival_us, "paired arrivals match");
+            assert_eq!(s.gen_len, c.gen_len, "paired generations match");
+            assert_eq!(&s.prompt[96..], &c.prompt[96..], "suffixes match pairwise");
+        }
+        let distinct: std::collections::BTreeSet<_> =
+            c1.iter().map(|r| r.prompt[..96].to_vec()).collect();
+        assert_eq!(distinct.len(), c1.len(), "control prefixes are unique");
     }
 
     #[test]

@@ -11,13 +11,18 @@
 //! and machines.
 //!
 //! Slot lifecycle: a request is admitted at a block boundary when a slot
-//! is free and its KV lease (worst case for its padded context) is
-//! granted by the serve pool; transient grant failures retry under the
-//! configured `lm-fault` policy, then defer to the next boundary while
-//! other sequences still hold leases. Each decode step delivers one
-//! token to every active slot (streamed through the `on_token`
-//! callback); a finished sequence drops its lease at the boundary, and
-//! the freed bytes admit the next queued request.
+//! is free and its KV backing is granted by the serve pool — in paged
+//! mode (the default, DESIGN.md §14) a page table from the shared
+//! [`PagedKvPool`] covering exactly the tokens it can touch, with prompt
+//! prefixes mapped copy-on-write onto pages other requests already hold;
+//! in slab mode one contiguous lease sized for the padded worst case.
+//! Transient grant failures retry under the configured `lm-fault`
+//! policy, then defer to the next boundary while other sequences still
+//! hold KV. Each decode step delivers one token to every active slot
+//! (streamed through the `on_token` callback) and, in paged mode,
+//! appends it to the slot's page table (forking a shared page on first
+//! divergent write); a finished sequence drops its KV at the boundary,
+//! and the freed bytes admit the next queued request.
 //!
 //! Overload protection (DESIGN.md §12): every boundary also sweeps slot
 //! fates — explicit cancels and injected client disconnects resolve as
@@ -31,7 +36,7 @@
 //! slot, sheds doomed admissions, or climbs the degrade ladder. Every
 //! request resolves exactly once: response, rejection, or cancellation.
 
-use crate::admission::{ServeConfig, ServeError, ServePlan};
+use crate::admission::{KvMode, ServeConfig, ServeError, ServePlan};
 use crate::backend::ServeBackend;
 use crate::obs::{BoundaryObs, LifecycleEvent, RequestPhase, ServeObs, TtftSample};
 use crate::request::{
@@ -39,8 +44,10 @@ use crate::request::{
 };
 use crate::slo::TtftModel;
 use lm_engine::{validate_request, EngineError, Lease, MemPool};
+use lm_kvpool::{PageConfig, PagedKvPool, SeqKv};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One streamed token, delivered as it is generated (virtual time).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +124,22 @@ pub struct ServeOutcome {
     /// Admission-lifecycle accounting (continuous scheduler only;
     /// baselines leave it default).
     pub stats: ServeStats,
+    /// High-water mark of mapped pages in the paged KV pool (0 in slab
+    /// mode and for the baselines).
+    pub kv_pages_peak: u64,
+    /// Pages still mapped when the run ended; the page-table RAII
+    /// invariant demands zero, and the chaos harness gates on it
+    /// independently of `kv_leaked_bytes`.
+    pub kv_pages_leaked: u64,
+    /// Admissions that mapped at least one already-resident page
+    /// (prompt-prefix sharing).
+    pub shared_prefix_hits: u64,
+    /// Prompt tokens whose KV was already resident at admission — the
+    /// prefill work sharing skipped.
+    pub shared_tokens: u64,
+    /// Copy-on-write forks taken when a shared page saw its first
+    /// divergent write.
+    pub cow_forks: u64,
     /// Observability record (DESIGN.md §13): request lifecycle events,
     /// per-boundary state samples, and TTFT prediction audit pairs.
     /// Pure virtual-clock data, so it is as replay-deterministic as the
@@ -192,7 +215,17 @@ struct Slot {
     /// Stable slot index for the serve timeline: the smallest index free
     /// at admission, returned to the pool when the residency ends.
     slot_idx: u32,
-    _lease: Lease,
+    kv: SlotKv,
+}
+
+/// KV backing one slot holds. Both variants reclaim their bytes on drop
+/// (RAII), so every slot exit — retire, cancel, crash, preemption —
+/// returns its KV without a dedicated release path.
+enum SlotKv {
+    /// Contiguous worst-case lease, held only for its drop.
+    Slab(#[allow(dead_code)] Lease),
+    /// Per-request page table; decode appends tokens into it.
+    Paged(SeqKv),
 }
 
 impl Slot {
@@ -202,11 +235,27 @@ impl Slot {
 }
 
 /// Total admission order: priority desc, then arrival asc, then id asc.
-fn admission_order(ready: &mut [Pending]) {
+///
+/// With `edf` set (paged mode), queued requests still waiting on their
+/// admission deadline jump the queue in earliest-deadline-first order.
+/// Slab mode cannot afford this: its admission pads the whole group to
+/// the longest prompt, so pulling a long deadline-holder forward
+/// inflates every peer's envelope. Paged admission prices each request
+/// by its exact page demand, which makes deadline-first ordering free.
+fn admission_order(ready: &mut [Pending], edf: bool) {
+    let deadline_key = |p: &Pending| {
+        // Once a request has streamed a token its admission deadline is
+        // satisfied; only fresh deadline-holders are under the clock.
+        if edf && p.emitted == 0 {
+            p.req.deadline_us.unwrap_or(u64::MAX)
+        } else {
+            u64::MAX
+        }
+    };
     ready.sort_by(|a, b| {
-        b.req
-            .priority
-            .cmp(&a.req.priority)
+        deadline_key(a)
+            .cmp(&deadline_key(b))
+            .then(b.req.priority.cmp(&a.req.priority))
             .then(a.req.arrival_us.cmp(&b.req.arrival_us))
             .then(a.req.id.cmp(&b.req.id))
     });
@@ -217,12 +266,19 @@ fn admission_order(ready: &mut [Pending]) {
 /// prefill from the wait queue's padding envelope, both scaled by the
 /// current degrade factor — the same model that times the run predicts
 /// it.
+///
+/// In paged mode the plan's slot count is only a ceiling: pages are the
+/// binding resource (DESIGN.md §14). The predictor therefore prices
+/// `free_slots` by walking the wait queue in admission order until the
+/// pool's free pages run out, and caps turnover concurrency at what the
+/// pool can hold at the *observed* per-sequence page residency.
 fn ttft_model(
     plan: &ServePlan,
     backend: &dyn ServeBackend,
     active: &[Slot],
     ready: &[Pending],
     degrade_factor: f64,
+    paged: Option<&Arc<PagedKvPool>>,
 ) -> TtftModel {
     let mut remaining: Vec<u64> = active.iter().map(Slot::remaining).collect();
     remaining.sort_unstable();
@@ -237,14 +293,61 @@ fn ttft_model(
         .map(Pending::effective_prompt_len)
         .max()
         .unwrap_or(1);
-    let free = plan.slots.saturating_sub(active.len());
+    let mut slots = plan.slots;
+    let mut free = plan.slots.saturating_sub(active.len());
+    if let Some(pp) = paged {
+        // Immediate admissions: queue positions fit until free pages do.
+        let mut pages_free = pp.capacity_pages().saturating_sub(pp.pages_in_use());
+        let mut admissible = 0usize;
+        for p in ready.iter().take(free) {
+            let need = pp.required_pages(
+                p.effective_prompt_len(),
+                p.req.gen_len.saturating_sub(p.emitted),
+            );
+            if need > pages_free {
+                break;
+            }
+            pages_free -= need;
+            admissible += 1;
+        }
+        free = admissible;
+        // Turnover concurrency: observed residency when sequences are
+        // resident, the plan's expected half-envelope otherwise.
+        let mapped: usize = active
+            .iter()
+            .map(|s| match &s.kv {
+                SlotKv::Paged(seq) => seq.mapped_pages(),
+                SlotKv::Slab(_) => 0,
+            })
+            .sum();
+        let per_seq = if active.is_empty() || mapped == 0 {
+            (plan.pages_per_slot.div_ceil(2).max(1)) as usize
+        } else {
+            (mapped / active.len()).max(1)
+        };
+        slots = slots.min((pp.capacity_pages() / per_seq).max(1));
+    }
+    // Step quote from the same cost source the boundary charger uses:
+    // the live contexts plus this boundary's admissions. The plan's
+    // `est_step_seconds` is a full-occupancy, full-context envelope —
+    // fine for capacity planning, but as a TTFT term it over-quotes
+    // every step of a partially filled block.
+    let mut contexts: Vec<u64> = active.iter().map(|s| s.context).collect();
+    for p in ready.iter().take(free) {
+        contexts.push(p.effective_prompt_len() as u64 + 1);
+    }
+    let step_s = if contexts.is_empty() {
+        plan.est_step_seconds
+    } else {
+        backend.decode_step_seconds(&contexts)
+    };
     TtftModel {
-        slots: plan.slots,
+        slots,
         free_slots: free,
         remaining_sorted: remaining,
         mean_gen_steps,
         prefill_s: backend.prefill_seconds(pad_guess, free.max(1)) * degrade_factor,
-        step_s: plan.est_step_seconds * degrade_factor,
+        step_s: step_s * degrade_factor,
     }
 }
 
@@ -287,6 +390,18 @@ pub fn serve_continuous_with(
     }
     let pool = MemPool::new("serve.kv", plan.kv_pool_bytes as usize);
     pool.attach_fault(cfg.fault.clone());
+    // Paged mode layers the block-granular allocator over the same
+    // MemPool, so byte accounting (peak, leak detection, injected
+    // pressure) stays unified across modes.
+    let paged = (plan.kv_mode == KvMode::Paged).then(|| {
+        PagedKvPool::new(
+            pool.clone(),
+            PageConfig {
+                page_tokens: plan.page_tokens as usize,
+                bytes_per_token: (plan.page_bytes / plan.page_tokens.max(1)) as usize,
+            },
+        )
+    });
 
     let total = requests.len();
     let mut queue = ArrivalQueue::new(requests);
@@ -319,6 +434,8 @@ pub fn serve_continuous_with(
         pending_arrivals: pending,
         active_slots: 0,
         slots: plan.slots,
+        pages_in_use: 0,
+        pages_demand: 0,
         predicted_ttft_p99_us: None,
         degrade_factor: degrade,
     };
@@ -492,7 +609,7 @@ pub fn serve_continuous_with(
             true
         });
 
-        admission_order(&mut ready);
+        admission_order(&mut ready, paged.is_some());
 
         // ---- TTFT audit: sample the predictor once per request --------
         // The first boundary that sees a request in the wait queue asks
@@ -502,7 +619,7 @@ pub fn serve_continuous_with(
             .iter()
             .any(|p| !predicted_ttft.contains_key(&p.req.id))
         {
-            let model = ttft_model(&plan, backend, &active, &ready, degrade_factor);
+            let model = ttft_model(&plan, backend, &active, &ready, degrade_factor, paged.as_ref());
             for (pos, p) in ready.iter().enumerate() {
                 predicted_ttft.entry(p.req.id).or_insert_with(|| {
                     clock_us
@@ -515,7 +632,7 @@ pub fn serve_continuous_with(
         // ---- SLO monitor: predict, then actuate -----------------------
         if let Some(slo) = cfg.slo.as_ref() {
             if !ready.is_empty() {
-                let model = ttft_model(&plan, backend, &active, &ready, degrade_factor);
+                let model = ttft_model(&plan, backend, &active, &ready, degrade_factor, paged.as_ref());
                 if let Some(p99) = model.predicted_p99_us(ready.len()) {
                     tracer.gauge_set("serve.predicted_ttft_p99_s", p99 as f64 / 1e6);
                     if p99 > slo.ttft_p99_us() {
@@ -574,7 +691,7 @@ pub fn serve_continuous_with(
                                         first_token_us: slot.first_token_us,
                                         crashes: slot.crashes,
                                     });
-                                    admission_order(&mut ready);
+                                    admission_order(&mut ready, paged.is_some());
                                     acted = true;
                                 }
                             }
@@ -615,7 +732,7 @@ pub fn serve_continuous_with(
         // ---- load shedding: reject doomed admissions up front ---------
         if let Some(slo) = cfg.slo.as_ref() {
             if slo.enforce && slo.shed && !ready.is_empty() {
-                let model = ttft_model(&plan, backend, &active, &ready, degrade_factor);
+                let model = ttft_model(&plan, backend, &active, &ready, degrade_factor, paged.as_ref());
                 let mut kept = Vec::with_capacity(ready.len());
                 let mut pos = 0usize;
                 for p in ready.drain(..) {
@@ -722,8 +839,11 @@ pub fn serve_continuous_with(
             }
         }
 
-        // The group pads to its longest (effective) prompt; leases cover
-        // the padded worst case so a slot never outgrows its reservation.
+        // Slab mode pads the group to its longest (effective) prompt and
+        // leases the padded worst case so a slot never outgrows its
+        // reservation. Paged mode reserves exactly the pages `known +
+        // generation` can touch — no padding, and prompt prefixes
+        // already resident in the pool are mapped instead of refilled.
         // A resume's effective prompt includes its generated prefix,
         // whose re-prefill is the (only) cost of resumption.
         let pad_len = candidates
@@ -731,22 +851,142 @@ pub fn serve_continuous_with(
             .map(|(p, _)| p.effective_prompt_len())
             .max()
             .unwrap_or(0);
+        // Longest span of *unshared* known tokens in the admitted group:
+        // what paged-mode prefill actually pays for.
+        let mut prefill_span = 0usize;
         let mut admitted: Vec<Slot> = Vec::new();
         for (mut p, tokens) in candidates {
             let remaining = tokens.len() - p.emitted;
-            let bytes = backend.kv_bytes_at(pad_len + remaining);
-            let grant = cfg.retry.run(
-                |_| pool.alloc(bytes),
-                |_, _| {
-                    cfg.fault.note_retry();
-                    tracer.counter_add("serve.admission_retries", 1);
-                },
-            );
+            let on_retry = |_: u32, _: &lm_engine::PoolExhausted| {
+                cfg.fault.note_retry();
+                tracer.counter_add("serve.admission_retries", 1);
+            };
+            let paged_known: Option<Vec<u32>> = paged.as_ref().map(|_| {
+                p.req
+                    .prompt
+                    .iter()
+                    .chain(&tokens[..p.emitted])
+                    .copied()
+                    .collect()
+            });
+            let (mut grant, demand_bytes) = match (paged.as_ref(), paged_known.as_ref()) {
+                (Some(pp), Some(known)) => {
+                    let demand =
+                        pp.required_pages(known.len(), remaining) * pp.cfg().page_bytes();
+                    let grant = cfg
+                        .retry
+                        .run(|_| pp.admit(known, remaining).map(SlotKv::Paged), on_retry);
+                    (grant, demand)
+                }
+                _ => {
+                    let bytes = backend.kv_bytes_at(pad_len + remaining);
+                    let grant = cfg
+                        .retry
+                        .run(|_| pool.alloc(bytes).map(SlotKv::Slab), on_retry);
+                    (grant, bytes)
+                }
+            };
+            // ---- deadline rescue (paged only) -------------------------
+            // A queued deadline-holder must not starve behind residents
+            // that have no clock on them: page granularity makes partial
+            // eviction cheap, so reclaim pages from the least-invested
+            // active slots until the grant fits. The victim re-queues
+            // with its stream cached and resumes when pages free up —
+            // its own admission deadline (if any) was satisfied the
+            // moment it first held a slot, so nothing is lost but the
+            // re-prefill of its generated prefix.
+            if grant.is_err()
+                && p.emitted == 0
+                && p.req.deadline_us.is_some()
+                && demand_bytes <= pool.capacity()
+            {
+                if let (Some(pp), Some(known)) = (paged.as_ref(), paged_known.as_ref()) {
+                    while grant.is_err() {
+                        let victim = active
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, s)| {
+                                (s.req.priority, s.emitted, std::cmp::Reverse(s.req.id))
+                            })
+                            .map(|(i, _)| i);
+                        let Some(i) = victim else { break };
+                        let Slot {
+                            req: v_req,
+                            tokens: v_tokens,
+                            emitted: v_emitted,
+                            first_token_us: v_first_token_us,
+                            crashes: v_crashes,
+                            slot_idx: v_slot_idx,
+                            kv: v_kv,
+                            ..
+                        } = active.swap_remove(i);
+                        // Return the victim's pages to the pool before
+                        // retrying the grant.
+                        drop(v_kv);
+                        stats.preemptions += 1;
+                        tracer.counter_add("serve.preemptions", 1);
+                        tracer.instant("serve.preempted", "serve");
+                        obs.lifecycle.push(LifecycleEvent {
+                            t_us: clock_us,
+                            dur_us: 0,
+                            request: v_req.id,
+                            slot: Some(v_slot_idx),
+                            phase: RequestPhase::Preempted,
+                        });
+                        obs.lifecycle.push(LifecycleEvent {
+                            t_us: clock_us,
+                            dur_us: 0,
+                            request: v_req.id,
+                            slot: None,
+                            phase: RequestPhase::Queued,
+                        });
+                        if flight.is_enabled() {
+                            flight.record(
+                                clock_us,
+                                "sched",
+                                format!(
+                                    "deadline-rescue preempt request={} pages for request={}",
+                                    v_req.id, p.req.id
+                                ),
+                            );
+                        }
+                        free_slot_ids.push(v_slot_idx);
+                        ready.push(Pending {
+                            req: v_req,
+                            tokens: Some(v_tokens),
+                            emitted: v_emitted,
+                            first_token_us: v_first_token_us,
+                            crashes: v_crashes,
+                        });
+                        grant = cfg
+                            .retry
+                            .run(|_| pp.admit(known, remaining).map(SlotKv::Paged), on_retry);
+                    }
+                }
+            }
             match grant {
-                Ok(lease) => {
-                    let pad_tokens = (pad_len - p.effective_prompt_len()) as u64;
-                    padding += pad_tokens;
-                    tracer.counter_add("serve.padding_tokens", pad_tokens);
+                Ok(kv) => {
+                    let context = match &kv {
+                        // Exact residency: attention runs over the real
+                        // sequence, and no padding tokens are charged.
+                        SlotKv::Paged(seq) => {
+                            let shared = seq.shared_tokens();
+                            if shared > 0 {
+                                tracer.counter_add("serve.shared_prefix_hits", 1);
+                                tracer.counter_add("serve.shared_tokens", shared as u64);
+                            }
+                            prefill_span =
+                                prefill_span.max(p.effective_prompt_len() - shared);
+                            p.effective_prompt_len() as u64
+                        }
+                        SlotKv::Slab(_) => {
+                            let pad_tokens = (pad_len - p.effective_prompt_len()) as u64;
+                            padding += pad_tokens;
+                            tracer.counter_add("serve.padding_tokens", pad_tokens);
+                            prefill_span = pad_len;
+                            pad_len as u64
+                        }
+                    };
                     tracer.counter_add("serve.admitted", 1);
                     stats.admitted += 1;
                     let slot_idx = free_slot_ids.pop().unwrap_or(0);
@@ -762,7 +1002,7 @@ pub fn serve_continuous_with(
                             clock_us,
                             "sched",
                             format!(
-                                "admit request={} slot={slot_idx} lease_bytes={bytes}",
+                                "admit request={} slot={slot_idx} lease_bytes={demand_bytes}",
                                 p.req.id
                             ),
                         );
@@ -783,18 +1023,18 @@ pub fn serve_continuous_with(
                     admitted.push(Slot {
                         tokens,
                         emitted: p.emitted,
-                        context: pad_len as u64,
+                        context,
                         first_token_us: p.first_token_us,
                         disconnect_at,
                         crash_at,
                         crashes: p.crashes,
                         slot_idx,
                         req: p.req,
-                        _lease: lease,
+                        kv,
                     });
                 }
                 Err(err) => {
-                    if bytes > pool.capacity() {
+                    if demand_bytes > pool.capacity() {
                         // Unservable under this plan, ever.
                         tracer.counter_add("serve.rejected", 1);
                         obs.lifecycle.push(LifecycleEvent {
@@ -807,7 +1047,7 @@ pub fn serve_continuous_with(
                         rejections.push(Rejection {
                             id: p.req.id,
                             reason: RejectReason::PoolOverCommit {
-                                bytes,
+                                bytes: demand_bytes,
                                 capacity: pool.capacity(),
                             },
                         });
@@ -837,7 +1077,9 @@ pub fn serve_continuous_with(
         }
 
         if !admitted.is_empty() {
-            let dt = backend.prefill_seconds(pad_len, admitted.len()) * degrade_factor;
+            // Paged mode prefills only unshared tokens (shared-prefix KV
+            // is already resident); slab mode pays the padded envelope.
+            let dt = backend.prefill_seconds(prefill_span.max(1), admitted.len()) * degrade_factor;
             let prefill_start = clock_us;
             clock_us += micros(dt);
             tracer.histogram_record("serve.prefill_s", dt);
@@ -863,7 +1105,7 @@ pub fn serve_continuous_with(
         let predicted_p99 = if ready.is_empty() {
             None
         } else {
-            ttft_model(&plan, backend, &active, &ready, degrade_factor)
+            ttft_model(&plan, backend, &active, &ready, degrade_factor, paged.as_ref())
                 .predicted_p99_us(ready.len())
         };
         obs.boundaries.push(BoundaryObs {
@@ -872,6 +1114,19 @@ pub fn serve_continuous_with(
             pending_arrivals: queue.len(),
             active_slots: active.len(),
             slots: plan.slots,
+            pages_in_use: paged
+                .as_ref()
+                .map(|pp| pp.pages_in_use() as u64)
+                .unwrap_or(0),
+            pages_demand: paged
+                .as_ref()
+                .map(|pp| {
+                    active
+                        .iter()
+                        .map(|s| pp.required_pages(s.req.prompt.len(), s.req.gen_len) as u64)
+                        .sum()
+                })
+                .unwrap_or(0),
             predicted_ttft_p99_us: predicted_p99,
             degrade_factor,
         });
@@ -904,6 +1159,11 @@ pub fn serve_continuous_with(
                 token,
                 t_us: clock_us,
             });
+            // Land the token's KV in the slot's page table; a page still
+            // shared with another sequence forks copy-on-write here.
+            if let SlotKv::Paged(seq) = &mut slot.kv {
+                seq.append(token);
+            }
             slot.emitted += 1;
             slot.context += 1;
             generated += 1;
@@ -984,6 +1244,35 @@ pub fn serve_continuous_with(
         total
     );
     debug_assert!(stats.admissions_balanced(), "admissions must conserve");
+    let (kv_pages_peak, kv_pages_leaked, paging) = match paged.as_ref() {
+        Some(pp) => {
+            // Live LMA28x check: with every sequence retired, refcounts,
+            // page residency, and MemPool byte accounting must all be
+            // back at quiescence, and no write may ever have landed on a
+            // shared page.
+            debug_assert!(pp.accounting_balanced(), "page/byte accounting diverged");
+            let counters = pp.counters();
+            let s = pp.stats();
+            let probe = lm_analyze::PagingProbe {
+                page_tokens: plan.page_tokens,
+                page_bytes: plan.page_bytes,
+                bytes_per_token: plan.page_bytes / plan.page_tokens.max(1),
+                kv_block_tokens: plan.slot_context as u64,
+                pages_total: plan.pages_total,
+                pages_in_use: counters.pages_in_use,
+                page_refcount_sum: counters.refcount_sum,
+                seq_mapped_pages: counters.refcount_sum,
+                shared_write_violations: s.shared_write_violations,
+            };
+            debug_assert!(
+                lm_analyze::lint_paging(&probe).is_clean(),
+                "{}",
+                lm_analyze::lint_paging(&probe)
+            );
+            (pp.peak_pages() as u64, pp.pages_in_use() as u64, s)
+        }
+        None => (0, 0, lm_kvpool::PagingStats::default()),
+    };
     responses.sort_by_key(|r| r.id);
     rejections.sort_by_key(|r| r.id);
     cancellations.sort_by_key(|c| c.id);
@@ -1000,6 +1289,11 @@ pub fn serve_continuous_with(
             kv_leaked_bytes: pool.used(),
             deadline_misses,
             stats,
+            kv_pages_peak,
+            kv_pages_leaked,
+            shared_prefix_hits: paging.shared_hits,
+            shared_tokens: paging.shared_tokens,
+            cow_forks: paging.cow_forks,
             obs,
         },
     ))
@@ -1106,6 +1400,11 @@ pub fn serve_sequential(
         kv_leaked_bytes: 0,
         deadline_misses,
         stats: ServeStats::default(),
+        kv_pages_peak: 0,
+        kv_pages_leaked: 0,
+        shared_prefix_hits: 0,
+        shared_tokens: 0,
+        cow_forks: 0,
         obs: ServeObs::default(),
     })
 }
@@ -1221,6 +1520,11 @@ pub fn serve_static(
         kv_leaked_bytes: 0,
         deadline_misses,
         stats: ServeStats::default(),
+        kv_pages_peak: 0,
+        kv_pages_leaked: 0,
+        shared_prefix_hits: 0,
+        shared_tokens: 0,
+        cow_forks: 0,
         obs: ServeObs::default(),
     })
 }
@@ -1348,11 +1652,14 @@ mod tests {
     fn priorities_jump_the_queue() {
         let b = AnalyticBackend::opt_30b();
         // One slot, both requests present at t=0: the high-priority one
-        // must be served first despite the larger id.
+        // must be served first despite the larger id. Slab mode, where
+        // `max_slots` is a hard concurrency ceiling — the paged planner
+        // repacks the same budget into more page-residency slots.
         let lo = Request::new(0, vec![1, 2], 4).with_priority(0);
         let hi = Request::new(1, vec![3, 4], 4).with_priority(2);
         let cfg = ServeConfig {
             max_slots: 1,
+            kv_mode: KvMode::Slab,
             ..ServeConfig::default()
         };
         let (_, out) = serve_continuous(&b, &cfg, vec![lo, hi]).unwrap();

@@ -26,6 +26,8 @@ cargo run --release -q -p lm-bench --bin repro -- analyze
     || { echo "verify: results/analyze.json missing or empty" >&2; exit 1; }
 grep -q '"diagnostics"' results/analyze.json \
     || { echo "verify: results/analyze.json has no diagnostics array" >&2; exit 1; }
+grep -q '"opt-30b/serve/default-paging"' results/analyze.json \
+    || { echo "verify: the LMA28x paging lint row is missing from results/analyze.json" >&2; exit 1; }
 
 if [ "${LOOM:-0}" = "1" ]; then
     echo "==> loom model checking (LOOM=1)"
@@ -44,12 +46,16 @@ if [ "${MIRI:-0}" = "1" ]; then
     fi
 fi
 
-echo "==> repro serve --rps 4 --requests 32 --seed 7 (serving gate)"
-cargo run --release -q -p lm-bench --bin repro -- serve --rps 4 --requests 32 --seed 7
+echo "==> repro serve --rps 4 --requests 32 --seed 7 --shared-prefix (serving gate)"
+cargo run --release -q -p lm-bench --bin repro -- serve --rps 4 --requests 32 --seed 7 --shared-prefix
 [ -s results/serve.json ] \
     || { echo "verify: results/serve.json missing or empty" >&2; exit 1; }
 grep -q '"dominance_ok": true' results/serve.json \
     || { echo "verify: continuous batching did not dominate the baselines" >&2; exit 1; }
+grep -q '"paged_zero_rejections": true' results/serve.json \
+    || { echo "verify: the paged planner rejected requests at the default seed" >&2; exit 1; }
+grep -q '"superlinear_ok": true' results/serve.json \
+    || { echo "verify: prefix sharing did not beat the unshared control" >&2; exit 1; }
 
 echo "==> repro chaos --seed 7 --storm default (resilience gate)"
 cargo run --release -q -p lm-bench --bin repro -- chaos --seed 7 --storm default

@@ -79,6 +79,58 @@ fn scheduled_outputs_equal_solo_engine_runs() {
     }
 }
 
+/// Output transparency under prefix sharing (DESIGN.md §14): requests
+/// funneled through the paged pool's prefix index — both fully
+/// identical prompts (which share the open tail page copy-on-write and
+/// fork it mid-decode) and prompts that only share whole prefix pages —
+/// must produce exactly the tokens of their solo `Engine::run`.
+#[test]
+fn shared_prompt_outputs_equal_solo_runs_across_cow_forks() {
+    let backend = EngineBackend::tiny_test(5).unwrap();
+    // 37 tokens = two full 16-token pages plus an unaligned 5-token
+    // tail, so full-page sharing AND the partial-tail COW path engage.
+    let system: Vec<u32> = (1..=37).collect();
+    let mut requests: Vec<Request> = (0..4u64)
+        .map(|i| Request::new(i, system.clone(), 3 + i as usize).with_arrival_us(i * 50))
+        .collect();
+    // Two more share only the aligned pages: a divergent suffix keeps
+    // their tails private from admission onward.
+    for i in 4..6u64 {
+        let mut prompt = system.clone();
+        prompt.extend([90 + i as u32, 95 + i as u32]);
+        requests.push(Request::new(i, prompt, 4).with_arrival_us(i * 50));
+    }
+    let prompts: Vec<Vec<u32>> = requests.iter().map(|r| r.prompt.clone()).collect();
+    let gens: Vec<usize> = requests.iter().map(|r| r.gen_len).collect();
+
+    let (_, out) = serve_continuous(&backend, &ServeConfig::default(), requests).unwrap();
+    assert_eq!(out.responses.len(), 6, "rejections: {:?}", out.rejections);
+    assert!(
+        out.shared_prefix_hits > 0,
+        "identical prompts must hit the prefix index"
+    );
+    assert!(out.shared_tokens > 0);
+    assert!(
+        out.cow_forks >= 1,
+        "a sharer's first divergent append must fork the shared tail"
+    );
+    assert_eq!(out.kv_pages_leaked, 0);
+    for r in &out.responses {
+        let solo = backend
+            .engine()
+            .run(&GenerateRequest::new(
+                vec![prompts[r.id as usize].clone()],
+                gens[r.id as usize],
+            ))
+            .unwrap();
+        assert_eq!(
+            r.tokens, solo.tokens[0],
+            "request {} diverged from its solo run under sharing",
+            r.id
+        );
+    }
+}
+
 #[test]
 fn invalid_requests_surface_typed_rejections_not_panics() {
     let backend = EngineBackend::tiny_test(11).unwrap();

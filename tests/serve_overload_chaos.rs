@@ -7,8 +7,8 @@
 
 use lm_fault::{FaultConfig, FaultInjector, RetryPolicy, StormProfile};
 use lm_serve::{
-    serve_continuous, serve_continuous_with, synth_traffic, AnalyticBackend, RejectReason,
-    Request, ServeBackend, ServeConfig,
+    serve_continuous, serve_continuous_with, synth_traffic, AnalyticBackend, KvMode,
+    RejectReason, Request, ServeBackend, ServeConfig,
 };
 use proptest::prelude::*;
 
@@ -38,6 +38,13 @@ proptest! {
             out.kv_leaked_bytes, 0,
             "leaked {} bytes under {} storm seed {}", out.kv_leaked_bytes, profile.name(), seed
         );
+        // The page-table RAII invariant, independent of byte accounting:
+        // crashes, cancellations and preemptions must unmap every page
+        // (shared mappings included) by end of run.
+        prop_assert_eq!(
+            out.kv_pages_leaked, 0,
+            "leaked {} pages under {} storm seed {}", out.kv_pages_leaked, profile.name(), seed
+        );
         prop_assert_eq!(out.terminal_count(), n);
         prop_assert!(out.stats.admissions_balanced(), "stats: {:?}", out.stats);
     }
@@ -52,8 +59,13 @@ fn queued_deadline_expiry_rejects_without_ever_taking_a_slot() {
     let backend = AnalyticBackend::opt_30b();
     // One slot only, held for a long generation by a higher-priority
     // request; the doomed request's deadline expires while it waits.
+    // Slab mode: `max_slots` is a hard concurrency ceiling only there —
+    // the paged planner derives concurrency from page residency and
+    // would run both requests at once (and its deadline-rescue path
+    // exists precisely to preempt for fresh deadline-holders).
     let cfg = ServeConfig {
         max_slots: 1,
+        kv_mode: KvMode::Slab,
         ..ServeConfig::default()
     };
     let hog = Request::new(0, vec![1, 2, 3], 48)
