@@ -14,7 +14,12 @@
 //!   histogram; an armed flight recorder needs capacity);
 //! - `LMA28x` — paged-KV lints (page geometry must tile the KV block;
 //!   page refcounts must balance the live page tables; no page may be
-//!   writable while mapped by more than one sequence).
+//!   writable while mapped by more than one sequence);
+//! - `LMA29x` — verification lints over `lm-verify` runs (a sweep whose
+//!   lattice collapsed to a point proves nothing; a lint-unsoundness
+//!   witness means a lint passed where executable ground truth failed;
+//!   a declared protocol transition the exploration never exercised is
+//!   unverified).
 //!
 //! A code, once shipped, keeps its meaning; retired codes are never
 //! reused.
@@ -97,6 +102,18 @@ pub enum LintCode {
     /// A page was written in place while mapped by more than one
     /// sequence — the copy-on-write discipline was bypassed.
     Lma282DoubleMappedWritablePage,
+    /// The verification sweep's config lattice is degenerate: an axis
+    /// holds fewer than two distinct values or the total point count is
+    /// below the coverage floor, so "zero witnesses" is vacuous.
+    Lma290SweepDomainDegenerate,
+    /// A deployment config passed its planner lints but an executable
+    /// ground-truth invariant failed on the same config — the lint is
+    /// unsound at that point and must be tightened.
+    Lma291LintUnsoundnessWitness,
+    /// A protocol transition declared in the state-machine's transition
+    /// table was never exercised by the bounded exploration — its
+    /// invariants are unverified.
+    Lma292UncheckedProtocolTransition,
 }
 
 impl LintCode {
@@ -135,11 +152,14 @@ impl LintCode {
             LintCode::Lma280PageGeometryInvalid => "LMA280",
             LintCode::Lma281PageRefcountImbalance => "LMA281",
             LintCode::Lma282DoubleMappedWritablePage => "LMA282",
+            LintCode::Lma290SweepDomainDegenerate => "LMA290",
+            LintCode::Lma291LintUnsoundnessWitness => "LMA291",
+            LintCode::Lma292UncheckedProtocolTransition => "LMA292",
         }
     }
 
     /// All codes, for enumeration in docs and coverage tests.
-    pub const ALL: [LintCode; 32] = [
+    pub const ALL: [LintCode; 35] = [
         LintCode::Lma001CyclicGraph,
         LintCode::Lma002OrphanNode,
         LintCode::Lma003DuplicateEdge,
@@ -172,6 +192,9 @@ impl LintCode {
         LintCode::Lma280PageGeometryInvalid,
         LintCode::Lma281PageRefcountImbalance,
         LintCode::Lma282DoubleMappedWritablePage,
+        LintCode::Lma290SweepDomainDegenerate,
+        LintCode::Lma291LintUnsoundnessWitness,
+        LintCode::Lma292UncheckedProtocolTransition,
     ];
 }
 
@@ -311,6 +334,63 @@ mod tests {
             assert!(seen.insert(s), "duplicate code {s}");
         }
         assert_eq!(seen.len(), LintCode::ALL.len());
+    }
+
+    /// Golden registry: the full shipped code list, in order. A code
+    /// that disappears, changes its textual form, or collides with a
+    /// retired one breaks downstream JSON consumers — this test turns
+    /// any such drift into a deliberate diff of the golden list.
+    #[test]
+    fn code_registry_is_stable_against_golden_list() {
+        const GOLDEN: &[&str] = &[
+            "LMA001", "LMA002", "LMA003", "LMA004", "LMA005", "LMA006", "LMA007", "LMA101",
+            "LMA102", "LMA103", "LMA104", "LMA105", "LMA106", "LMA107", "LMA108", "LMA109",
+            "LMA110", "LMA201", "LMA202", "LMA203", "LMA204", "LMA250", "LMA251", "LMA252",
+            "LMA260", "LMA261", "LMA262", "LMA270", "LMA271", "LMA280", "LMA281", "LMA282",
+            "LMA290", "LMA291", "LMA292",
+        ];
+        let shipped: Vec<&str> = LintCode::ALL.iter().map(|c| c.as_str()).collect();
+        assert_eq!(shipped, GOLDEN, "LMA registry drifted from the golden list");
+    }
+
+    /// Codes are never reused across families: every code's numeric part
+    /// must sit inside exactly the family range its variant name claims,
+    /// and the registry must be strictly ascending (a new code can only
+    /// be appended to its family, never inserted over a retired number).
+    #[test]
+    fn codes_stay_in_their_family_ranges() {
+        let family_of = |n: u32| match n {
+            1..=99 => "graph",
+            100..=199 => "plan",
+            200..=249 => "model",
+            250..=259 => "serve",
+            260..=269 => "slo",
+            270..=279 => "obs",
+            280..=289 => "paging",
+            290..=299 => "verify",
+            _ => "unassigned",
+        };
+        let mut prev = 0u32;
+        for code in LintCode::ALL {
+            let s = code.as_str();
+            let n: u32 = s[3..].parse().unwrap_or_else(|_| panic!("bad code {s}"));
+            assert!(n > prev, "{s}: registry not strictly ascending (codes reused)");
+            prev = n;
+            assert_ne!(family_of(n), "unassigned", "{s} falls outside every family range");
+            let name = format!("{code:?}");
+            let claimed = match &name {
+                _ if name.starts_with("Lma0") => "graph",
+                _ if name.starts_with("Lma1") => "plan",
+                _ if name.starts_with("Lma20") => "model",
+                _ if name.starts_with("Lma25") => "serve",
+                _ if name.starts_with("Lma26") => "slo",
+                _ if name.starts_with("Lma27") => "obs",
+                _ if name.starts_with("Lma28") => "paging",
+                _ if name.starts_with("Lma29") => "verify",
+                _ => "unknown",
+            };
+            assert_eq!(claimed, family_of(n), "{s} ({name}) strays from its family");
+        }
     }
 
     #[test]

@@ -28,7 +28,11 @@
 //! - [`paging_lints`] (`LMA28x`): paged KV pools — page geometry vs the
 //!   plan's KV block, refcount conservation across page tables, and
 //!   copy-on-write discipline — via sampled [`PagingProbe`]
-//!   observations.
+//!   observations;
+//! - [`verify_lints`] (`LMA29x`): `lm-verify` runs — sweep-lattice
+//!   degeneracy, lint-unsoundness witnesses from the planner-space
+//!   sweep, and unexercised protocol transitions — via sampled
+//!   [`VerifyProbe`] observations.
 //!
 //! Every finding carries a stable `LMAnnn` code (see [`LintCode`]) —
 //! codes keep their meaning across releases and retired codes are never
@@ -44,6 +48,7 @@ pub mod obs_lints;
 pub mod paging_lints;
 pub mod plan_lints;
 pub mod serve_lints;
+pub mod verify_lints;
 
 pub use diag::{Diagnostic, LintCode, Report, Severity};
 pub use graph_lints::lint_graph;
@@ -52,6 +57,7 @@ pub use obs_lints::{lint_obs, ObsProbe};
 pub use paging_lints::{lint_paging, PagingProbe};
 pub use plan_lints::{lint_bundles, lint_plan, lint_policy};
 pub use serve_lints::{lint_serve, lint_slo, ServeProbe, SloProbe};
+pub use verify_lints::{lint_verify, UnsoundnessWitness, VerifyProbe};
 
 use lm_hardware::Platform;
 use lm_models::{ModelConfig, Workload};

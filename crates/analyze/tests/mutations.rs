@@ -8,8 +8,8 @@
 
 use lm_analyze::{
     analyze_deployment, lint_bundles, lint_graph, lint_model, lint_obs, lint_paging, lint_plan,
-    lint_policy, lint_serve, lint_slo, Deployment, LintCode, ModelProbe, ObsProbe, PagingProbe,
-    Report, ServeProbe, SloProbe,
+    lint_policy, lint_serve, lint_slo, lint_verify, Deployment, LintCode, ModelProbe, ObsProbe,
+    PagingProbe, Report, ServeProbe, SloProbe, UnsoundnessWitness, VerifyProbe,
 };
 use lm_hardware::{presets, Platform};
 use lm_models::{presets as models, DType, ModelConfig, Workload};
@@ -473,6 +473,56 @@ fn lma282_in_place_write_on_shared_page() {
     );
 }
 
+fn verify_probe() -> VerifyProbe {
+    VerifyProbe {
+        axes: vec![
+            ("model".into(), 3),
+            ("pool_bytes".into(), 4),
+            ("page_tokens".into(), 4),
+            ("slo".into(), 3),
+            ("ladder".into(), 2),
+        ],
+        configs_explored: 288,
+        configs_floor: 200,
+        unsoundness_witnesses: Vec::new(),
+        declared_transitions: vec!["admit/fresh".into(), "append/cow-fork".into()],
+        exercised_transitions: vec!["admit/fresh".into(), "append/cow-fork".into()],
+        interleavings: 12_000,
+    }
+}
+
+#[test]
+fn lma290_sweep_axis_collapsed_to_a_point() {
+    let clean = lint_verify(&verify_probe());
+    let mut p = verify_probe();
+    p.axes[2].1 = 1;
+    assert_fires(&clean, &lint_verify(&p), LintCode::Lma290SweepDomainDegenerate);
+}
+
+#[test]
+fn lma291_lint_passed_where_ground_truth_failed() {
+    let clean = lint_verify(&verify_probe());
+    let mut p = verify_probe();
+    p.unsoundness_witnesses.push(UnsoundnessWitness {
+        config: "opt-30b/pool=8GiB/page=16/slo=none/ladder=flat".into(),
+        invariant: "pool_capacity".into(),
+        detail: "admission granted 257 of 256 pages".into(),
+    });
+    assert_fires(&clean, &lint_verify(&p), LintCode::Lma291LintUnsoundnessWitness);
+}
+
+#[test]
+fn lma292_declared_transition_never_exercised() {
+    let clean = lint_verify(&verify_probe());
+    let mut p = verify_probe();
+    p.exercised_transitions.retain(|t| t != "append/cow-fork");
+    assert_fires(
+        &clean,
+        &lint_verify(&p),
+        LintCode::Lma292UncheckedProtocolTransition,
+    );
+}
+
 #[test]
 fn every_shipped_code_has_mutation_coverage() {
     // Guard against adding a code without a mutation test: the list of
@@ -511,6 +561,9 @@ fn every_shipped_code_has_mutation_coverage() {
         LintCode::Lma280PageGeometryInvalid,
         LintCode::Lma281PageRefcountImbalance,
         LintCode::Lma282DoubleMappedWritablePage,
+        LintCode::Lma290SweepDomainDegenerate,
+        LintCode::Lma291LintUnsoundnessWitness,
+        LintCode::Lma292UncheckedProtocolTransition,
     ];
     for code in LintCode::ALL {
         assert!(covered.contains(&code), "no mutation test for {}", code.as_str());

@@ -4,10 +4,12 @@
 //!   repro <experiment> [--fast] [--fault-seed N] [--tokens N]
 //!                      [--rps R] [--requests N] [--seed S]
 //!                      [--storm <profile>] [--shared-prefix]
+//!                      [--sweep quick|full]
 //!   repro all [--fast]
 //!
 //! Experiments: analyze table1 table3 table4 table5 fig3 fig4 fig5 fig7
-//! fig8 fig9 whatif faults summary trace serve chaos slo obs bench.
+//! fig8 fig9 whatif faults summary trace serve chaos slo obs bench
+//! verify.
 //! `analyze` runs
 //! the `lm-analyze` static linter over the shipped presets (plus the
 //! default serving plan and SLO policy) and exits non-zero on any
@@ -39,7 +41,15 @@
 //! plus the Perfetto serve timeline to `results/serve_timeline.json`,
 //! and exits non-zero unless every gate holds. `bench` regenerates the
 //! tracked perf trajectory (`BENCH_kernels.json` / `BENCH_serve.json`
-//! at the repo root, schema `{bench, metric, value, unit}`).
+//! at the repo root, schema `{bench, metric, value, unit}`). `verify`
+//! runs the exhaustive bounded verification lane (DESIGN.md §15): the
+//! planner-space sweep against executable ground truth (`--sweep
+//! quick|full` picks the lattice), a seeded over-grant mutation that
+//! must be caught as `LMA291`, preemption-bounded model checking of the
+//! paged-KV and scheduler protocols, the `LMA29x` lints over the
+//! assembled probe, and the zero-cost-off throughput comparison —
+//! writing deterministic `results/verify.json` and exiting non-zero
+//! unless every gate holds.
 
 use lm_bench::experiments::*;
 use lm_bench::table::{f, render};
@@ -747,6 +757,72 @@ fn run_bench() {
     }
 }
 
+fn run_verify(depth: lm_verify::SweepDepth) {
+    println!("\n== Verification: planner-space sweep + protocol model checking (DESIGN.md §15) ==");
+    let r = verify::run(depth, "BENCH_serve.json");
+    println!(
+        "sweep ({}): {} configs over {} axes -> {} consistent, {} incomplete, {} unsound (floor {})",
+        r.sweep_depth,
+        r.configs_explored,
+        r.axes.len(),
+        r.consistent,
+        r.incompleteness,
+        r.unsoundness.len(),
+        r.configs_floor
+    );
+    for w in &r.unsoundness {
+        println!("  UNSOUND [{}] {}: {}", w.config, w.invariant, w.detail);
+    }
+    println!(
+        "mutation: over-grant-one-page -> {} witnesses, LMA291 {} (caught={})",
+        r.mutation_witnesses,
+        if r.mutated_lint_has_lma291 { "fires" } else { "SILENT" },
+        r.mutation_caught
+    );
+    for p in &r.protocols {
+        println!(
+            "protocol {}: {} interleavings, {}/{} transitions exercised, {}{}",
+            p.name,
+            p.interleavings,
+            p.exercised.len(),
+            p.declared.len(),
+            if p.passed() { "passed" } else { "FAILED" },
+            p.failure
+                .as_deref()
+                .map(|f| format!(" ({f})"))
+                .unwrap_or_default()
+        );
+    }
+    println!(
+        "interleavings: {} total (floor {}); lints: {} errors / {} warnings",
+        r.interleavings_total, r.interleavings_floor, r.lint_errors, r.lint_warnings
+    );
+    for d in &r.diagnostics {
+        println!("  {d}");
+    }
+    match (r.zero_cost.snapshot_tokens_per_s, r.zero_cost.rel_delta) {
+        (Some(snap), Some(rel)) => println!(
+            "zero-cost-off: {:.6} tok/s vs snapshot {:.6} (rel delta {:.2e}) -> {}",
+            r.zero_cost.measured_tokens_per_s,
+            snap,
+            rel,
+            if r.zero_cost.ok { "ok" } else { "REGRESSED" }
+        ),
+        _ => println!(
+            "zero-cost-off: {:.6} tok/s (no BENCH_serve.json snapshot; skipped)",
+            r.zero_cost.measured_tokens_per_s
+        ),
+    }
+    let ok = r.verify_ok;
+    save("verify", &r);
+    if ok {
+        println!("verify_ok: every verification gate holds");
+    } else {
+        eprintln!("error: a verification gate failed");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fast = false;
@@ -757,6 +833,7 @@ fn main() {
     let mut requests = serve::DEFAULT_REQUESTS;
     let mut serve_seed = serve::DEFAULT_SEED;
     let mut storm = lm_fault::StormProfile::Default;
+    let mut sweep = lm_verify::SweepDepth::Quick;
     let mut which: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -797,7 +874,22 @@ fn main() {
         } else {
             a.strip_prefix("--storm=").map(String::from)
         };
-        if let Some(v) = storm_value {
+        let sweep_value = if a == "--sweep" {
+            i += 1;
+            Some(args.get(i).cloned().unwrap_or_default())
+        } else {
+            a.strip_prefix("--sweep=").map(String::from)
+        };
+        if let Some(v) = sweep_value {
+            sweep = match v.as_str() {
+                "quick" => lm_verify::SweepDepth::Quick,
+                "full" => lm_verify::SweepDepth::Full,
+                _ => {
+                    eprintln!("--sweep expects quick|full, got '{v}'");
+                    std::process::exit(2);
+                }
+            };
+        } else if let Some(v) = storm_value {
             storm = match lm_fault::StormProfile::parse(&v) {
                 Some(p) => p,
                 None => {
@@ -885,6 +977,7 @@ fn main() {
         "slo" => run_slo(serve_seed, rps, requests),
         "obs" => run_obs(serve_seed, rps, requests),
         "bench" => run_bench(),
+        "verify" => run_verify(sweep),
         "summary" => {
             let s = summary::run(lens);
             print_summary(&s);
@@ -909,10 +1002,11 @@ fn main() {
             run_chaos(serve_seed, storm, rps, requests);
             run_slo(serve_seed, rps, requests);
             run_obs(serve_seed, rps, requests);
+            run_verify(sweep);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("choose from: analyze table1 table3 table4 table5 fig3 fig4 fig5 fig7 fig8 fig9 whatif faults summary trace serve chaos slo obs bench all");
+            eprintln!("choose from: analyze table1 table3 table4 table5 fig3 fig4 fig5 fig7 fig8 fig9 whatif faults summary trace serve chaos slo obs bench verify all");
             std::process::exit(2);
         }
     }

@@ -4,9 +4,9 @@
 //! controller, then lints the graph, the plan, the policy placements, the
 //! bundling decision and a sampled cost-model probe. The default serving
 //! plan rides along under the `LMA25x` family, its page geometry under
-//! `LMA28x`, and the default SLO policy
-//! under `LMA26x`. Shipped presets must produce zero `Error`
-//! diagnostics; warnings are reported but allowed.
+//! `LMA28x`, the default SLO policy under `LMA26x`, and the verification
+//! instrument itself under `LMA29x`. Shipped presets must produce zero
+//! `Error` diagnostics; warnings are reported but allowed.
 
 use lm_analyze::{analyze_deployment, lint_serve, Deployment, Diagnostic};
 use lm_hardware::presets;
@@ -143,6 +143,37 @@ fn slo_policy_row() -> AnalyzeRow {
     }
 }
 
+/// Lint the verification instrument itself with the `LMA29x` family: a
+/// real quick planner-space sweep plus both protocol explorations (at
+/// the cheap unit-suite preemption bound; `repro verify` runs the deep
+/// lane) assembled into a probe that must clear the domain, witness and
+/// transition-coverage lints. The row columns carry the verification
+/// shape: `inter_op_total` the lattice configs explored,
+/// `intra_op_compute` the declared protocol transitions exercised.
+fn verify_lint_row() -> AnalyzeRow {
+    use lm_analyze::lint_verify;
+    use lm_verify::{
+        build_probe, check_kvpool_protocol, check_scheduler_protocol, run_sweep, Mutation,
+        SweepDepth,
+    };
+    let opts = || loom::Options {
+        preemption_bound: 2,
+        max_iterations: 50_000,
+    };
+    let sweep = run_sweep(SweepDepth::Quick, Mutation::None);
+    let protocols = [check_kvpool_protocol(opts()), check_scheduler_protocol(opts())];
+    let probe = build_probe(&sweep, &protocols);
+    let report = lint_verify(&probe);
+    AnalyzeRow {
+        preset: "verify/lma29x/quick-sweep".to_string(),
+        inter_op_total: probe.configs_explored as u32,
+        intra_op_compute: probe.exercised_transitions.len() as u32,
+        errors: report.error_count(),
+        warnings: report.warning_count(),
+        diagnostics: report.diagnostics,
+    }
+}
+
 /// Lint every shipped preset configuration plus the default serve plan.
 pub fn run() -> Vec<AnalyzeRow> {
     let flexgen = Policy::flexgen_default();
@@ -174,6 +205,7 @@ pub fn run() -> Vec<AnalyzeRow> {
         serve_plan_row(),
         paging_lint_row(),
         slo_policy_row(),
+        verify_lint_row(),
     ]
 }
 
@@ -195,7 +227,7 @@ mod tests {
     #[test]
     fn rows_cover_the_preset_matrix() {
         let rows = run();
-        assert_eq!(rows.len(), 7);
+        assert_eq!(rows.len(), 8);
         for row in &rows {
             assert!(row.inter_op_total > 5, "{}", row.preset);
             assert!(row.intra_op_compute >= 1, "{}", row.preset);

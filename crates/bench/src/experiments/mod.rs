@@ -18,3 +18,4 @@ pub mod table3;
 pub mod table4;
 pub mod table5;
 pub mod trace;
+pub mod verify;

@@ -32,6 +32,7 @@
 //! returns the same pages, which is what lets the serve scheduler stay
 //! byte-identical across runs.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![cfg_attr(not(test), deny(clippy::expect_used))]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 use lm_engine::{Lease, MemPool, PoolExhausted};
@@ -64,6 +65,49 @@ impl PageConfig {
         tokens.div_ceil(self.page_tokens.max(1))
     }
 }
+
+/// A paged-KV protocol violation: the caller broke the admit/append
+/// contract (appending past the admitted capacity, or drawing from an
+/// exhausted growth reserve). These were panics before the
+/// `expect_used` deny; as typed errors the serve scheduler can surface
+/// them as request failures instead of bringing the process down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvProtocolError {
+    /// `append` called on a sequence already at its admitted capacity.
+    AppendPastCapacity {
+        /// Tokens already written.
+        len: usize,
+        /// Tokens the admission reserved for.
+        capacity_tokens: usize,
+    },
+    /// The growth reserve was empty where the admission contract says a
+    /// page must be banked (fresh growth page, COW fork target, or the
+    /// collapsed-fork spare).
+    ReserveExhausted {
+        /// Tokens already written when the draw failed.
+        len: usize,
+        /// What the page was needed for.
+        needed_for: &'static str,
+    },
+}
+
+impl std::fmt::Display for KvProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvProtocolError::AppendPastCapacity { len, capacity_tokens } => write!(
+                f,
+                "append past reserved capacity: {len} tokens written of {capacity_tokens} admitted"
+            ),
+            KvProtocolError::ReserveExhausted { len, needed_for } => write!(
+                f,
+                "growth reserve empty at token {len} (needed for {needed_for}); \
+                 admission should have banked this page"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KvProtocolError {}
 
 /// Cumulative allocator counters, exposed for `results/serve.json` and
 /// the paging probe.
@@ -273,6 +317,13 @@ impl PagedKvPool {
         let pending_tail_fork = shared_tail.is_some() && gen_len > 0;
         let reserve_discount = usize::from(gen_len == 0 && shared_tail.is_some());
         let private_needed = total_pages - shared_full.len() - reserve_discount;
+        // How the private pages will be spent, fixed up front so the
+        // commit below can split `fresh` by construction instead of
+        // drawing from an iterator that could (if the arithmetic ever
+        // drifted) run dry mid-commit.
+        let unshared_fulls = full_chunks - shared_full.len();
+        let needs_private_tail = tail_fill > 0 && shared_tail.is_none();
+        debug_assert!(unshared_fulls + usize::from(needs_private_tail) <= private_needed);
 
         // Allocate every private page up front; roll back on failure.
         let mut fresh: Vec<usize> = Vec::with_capacity(private_needed);
@@ -311,9 +362,14 @@ impl PagedKvPool {
             pages.push(pid);
         }
         let mut shared_tokens = shared_full.len() * page;
-        let mut fresh_iter = fresh.into_iter();
-        for k in shared_full.len()..full_chunks {
-            let pid = fresh_iter.next().expect("reserved above");
+        // Partition the fresh pages: unshared full chunks, then the
+        // optional private tail, then the growth reserve. The split
+        // points are the counts fixed above, so every branch gets
+        // exactly the pages its arithmetic claimed — no fallible draws.
+        let reserve: Vec<usize> =
+            fresh.split_off((unshared_fulls + usize::from(needs_private_tail)).min(fresh.len()));
+        let private_tail = if needs_private_tail { fresh.pop() } else { None };
+        for (k, pid) in (shared_full.len()..full_chunks).zip(fresh) {
             let chunk = &known[k * page..(k + 1) * page];
             inner.pages[pid].content.extend_from_slice(chunk);
             let key = known[..(k + 1) * page].to_vec();
@@ -327,8 +383,7 @@ impl PagedKvPool {
                 inner.stats.shared_hits += 1;
                 shared_tokens += tail_fill;
                 pages.push(pid);
-            } else {
-                let pid = fresh_iter.next().expect("reserved above");
+            } else if let Some(pid) = private_tail {
                 inner.pages[pid]
                     .content
                     .extend_from_slice(&known[full_chunks * page..]);
@@ -337,7 +392,6 @@ impl PagedKvPool {
                 pages.push(pid);
             }
         }
-        let reserve: Vec<usize> = fresh_iter.collect();
         inner.stats.shared_tokens += shared_tokens as u64;
         drop(inner);
 
@@ -436,25 +490,31 @@ impl SeqKv {
         self.pages.iter().chain(self.reserve.iter()).copied().collect()
     }
 
-    /// Append one generated token. Never fails: the admission
-    /// reservation covers every page this sequence can come to own.
-    /// Writing into a page mapped by another sequence forks it first
-    /// (copy-on-write), so no shared page is ever mutated.
-    pub fn append(&mut self, token: u32) {
-        assert!(
-            self.len < self.capacity_tokens,
-            "append past reserved capacity ({} tokens)",
-            self.capacity_tokens
-        );
+    /// Append one generated token. The admission reservation covers
+    /// every page this sequence can come to own, so under the protocol
+    /// this cannot fail; a broken caller (appending past capacity, or a
+    /// reservation-arithmetic regression draining the reserve) gets a
+    /// typed [`KvProtocolError`] instead of a panic, with the pool left
+    /// untouched. Writing into a page mapped by another sequence forks
+    /// it first (copy-on-write), so no shared page is ever mutated.
+    pub fn append(&mut self, token: u32) -> Result<(), KvProtocolError> {
+        if self.len >= self.capacity_tokens {
+            return Err(KvProtocolError::AppendPastCapacity {
+                len: self.len,
+                capacity_tokens: self.capacity_tokens,
+            });
+        }
         let page = self.pool.cfg.page_tokens;
         let off = self.len % page;
         let mut inner = self.pool.inner.lock();
         if off == 0 {
             // Token starts a fresh page: take one from the reserve.
-            let pid = self
-                .reserve
-                .pop()
-                .expect("admission reserved every growth page");
+            let Some(pid) = self.reserve.pop() else {
+                return Err(KvProtocolError::ReserveExhausted {
+                    len: self.len,
+                    needed_for: "a fresh growth page",
+                });
+            };
             debug_assert!(self.len / page == self.pages.len());
             inner.pages[pid].content.push(token);
             self.pages.push(pid);
@@ -462,16 +522,17 @@ impl SeqKv {
             let idx = self.pages.len() - 1;
             let pid = self.pages[idx];
             let must_fork = self.pending_tail_fork;
-            self.pending_tail_fork = false;
             if must_fork && inner.pages[pid].refs > 1 {
                 // COW fork: copy the shared prefix of the open page
                 // into a private one and remap; other readers keep the
                 // original untouched. The fork target was reserved at
                 // admission (a tail sharer always carries one).
-                let fork = self
-                    .reserve
-                    .pop()
-                    .expect("admission reserved the fork target");
+                let Some(fork) = self.reserve.pop() else {
+                    return Err(KvProtocolError::ReserveExhausted {
+                        len: self.len,
+                        needed_for: "the copy-on-write fork target",
+                    });
+                };
                 let prefix: Vec<u32> = inner.pages[pid].content[..off].to_vec();
                 inner.stats.cow_forks += 1;
                 inner.stats.copied_tokens += off as u64;
@@ -486,10 +547,12 @@ impl SeqKv {
                     // Sharing collapsed before the first divergent
                     // write; the provisioned fork page goes straight
                     // back to the pool instead of idling in reserve.
-                    let spare = self
-                        .reserve
-                        .pop()
-                        .expect("a tail sharer always reserves a fork page");
+                    let Some(spare) = self.reserve.pop() else {
+                        return Err(KvProtocolError::ReserveExhausted {
+                            len: self.len,
+                            needed_for: "the collapsed-fork spare",
+                        });
+                    };
                     PagedKvPool::release_locked(&mut inner, spare);
                 }
                 // In-place write. Safe even while shared: the page's
@@ -508,8 +571,10 @@ impl SeqKv {
                 dst.truncate(off);
                 dst.push(token);
             }
+            self.pending_tail_fork = false;
         }
         self.len += 1;
+        Ok(())
     }
 
     /// Reconstruct the logical token stream from the page table. The
@@ -570,7 +635,7 @@ mod tests {
         assert_eq!(p.pages_in_use(), 4);
         assert_eq!(seq.shared_tokens(), 0);
         for t in 100..106 {
-            seq.append(t);
+            seq.append(t).unwrap();
         }
         assert_eq!(
             seq.tokens(),
@@ -612,11 +677,11 @@ mod tests {
         assert_eq!(p.stats().cow_forks, 0);
         // The tail's creator extends in place — sharers only cover the
         // registered fill, so nothing they can read changes.
-        a.append(77);
+        a.append(77).unwrap();
         assert_eq!(p.stats().cow_forks, 0);
         // The sharer's first divergent write forks the tail it mapped,
         // using the fork page its admission reserved.
-        b.append(88);
+        b.append(88).unwrap();
         assert_eq!(p.stats().cow_forks, 1);
         assert_eq!(p.stats().copied_tokens, 2);
         let mut want_a = prompt.clone();

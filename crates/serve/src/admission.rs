@@ -214,6 +214,11 @@ pub enum ServeError {
     Plan(Report),
     /// The backend failed (engine construction, materialization).
     Engine(EngineError),
+    /// A paged-KV sequence broke the admit/append protocol mid-decode
+    /// (reserve exhausted, append past admitted capacity). Admission
+    /// reservations make this unreachable; surfacing it as an error
+    /// keeps the scheduler panic-free if the arithmetic ever regresses.
+    KvProtocol(lm_kvpool::KvProtocolError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -223,6 +228,7 @@ impl std::fmt::Display for ServeError {
                 write!(f, "serve plan rejected by pre-flight analysis:\n{report}")
             }
             ServeError::Engine(e) => write!(f, "backend error: {e}"),
+            ServeError::KvProtocol(e) => write!(f, "paged-KV protocol violation: {e}"),
         }
     }
 }
@@ -235,11 +241,19 @@ impl From<EngineError> for ServeError {
     }
 }
 
-/// Derive and lint the slot plan for `backend` under `cfg`.
-pub fn plan_admission(
-    backend: &dyn ServeBackend,
-    cfg: &ServeConfig,
-) -> Result<ServePlan, ServeError> {
+impl From<lm_kvpool::KvProtocolError> for ServeError {
+    fn from(e: lm_kvpool::KvProtocolError) -> Self {
+        ServeError::KvProtocol(e)
+    }
+}
+
+/// Derive the slot plan for `backend` under `cfg` and lint it, without
+/// gating on the verdict. This is the planner's full arithmetic —
+/// [`plan_admission`] is the gated wrapper serving uses; `lm-verify`
+/// calls this directly so executable ground truth can be evaluated even
+/// on configs the lints reject (the lint-incompleteness half of the
+/// sweep needs the plan the lints said no to).
+pub fn derive_plan(backend: &dyn ServeBackend, cfg: &ServeConfig) -> (ServePlan, Report) {
     let model = backend.model();
     let context = if cfg.slot_context > 0 {
         cfg.slot_context
@@ -313,6 +327,16 @@ pub fn plan_admission(
     if cfg.kv_mode == KvMode::Paged {
         report.extend(lint_paging(&plan.paging_probe()));
     }
+    (plan, report)
+}
+
+/// Derive and lint the slot plan for `backend` under `cfg`, rejecting
+/// on any `Error`-severity finding.
+pub fn plan_admission(
+    backend: &dyn ServeBackend,
+    cfg: &ServeConfig,
+) -> Result<ServePlan, ServeError> {
+    let (plan, report) = derive_plan(backend, cfg);
     if !report.is_clean() {
         return Err(ServeError::Plan(report));
     }

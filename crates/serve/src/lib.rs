@@ -41,6 +41,7 @@
 //! across runs and machines, which is what makes the `repro serve`
 //! experiment reproducible.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![cfg_attr(not(test), deny(clippy::expect_used))]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod admission;
@@ -50,7 +51,9 @@ pub mod request;
 pub mod scheduler;
 pub mod slo;
 
-pub use admission::{plan_admission, slo_probe, KvMode, ServeConfig, ServeError, ServePlan};
+pub use admission::{
+    derive_plan, plan_admission, slo_probe, KvMode, ServeConfig, ServeError, ServePlan,
+};
 pub use obs::{
     obs_probe, serve_timeline, BoundaryObs, LifecycleEvent, RequestPhase, ServeObs, TtftSample,
 };

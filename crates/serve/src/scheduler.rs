@@ -1162,7 +1162,7 @@ pub fn serve_continuous_with(
             // Land the token's KV in the slot's page table; a page still
             // shared with another sequence forks copy-on-write here.
             if let SlotKv::Paged(seq) = &mut slot.kv {
-                seq.append(token);
+                seq.append(token)?;
             }
             slot.emitted += 1;
             slot.context += 1;

@@ -5,7 +5,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # Keep results/ free of scratch files even when a gate fails mid-run.
-trap 'rm -f results/chaos.json.first' EXIT
+trap 'rm -f results/chaos.json.first results/verify.json.first' EXIT
 
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
@@ -28,6 +28,25 @@ grep -q '"diagnostics"' results/analyze.json \
     || { echo "verify: results/analyze.json has no diagnostics array" >&2; exit 1; }
 grep -q '"opt-30b/serve/default-paging"' results/analyze.json \
     || { echo "verify: the LMA28x paging lint row is missing from results/analyze.json" >&2; exit 1; }
+grep -q '"verify/lma29x/quick-sweep"' results/analyze.json \
+    || { echo "verify: the LMA29x verification lint row is missing from results/analyze.json" >&2; exit 1; }
+
+# Exhaustive bounded verification (DESIGN.md §15): planner-space sweep vs
+# executable ground truth, seeded-mutation self-check, preemption-bounded
+# protocol model checking. VERIFY_SWEEP=full widens the lattice.
+echo "==> repro verify --sweep ${VERIFY_SWEEP:-quick} (bounded verification gate)"
+cargo run --release -q -p lm-bench --bin repro -- verify --sweep "${VERIFY_SWEEP:-quick}"
+[ -s results/verify.json ] \
+    || { echo "verify: results/verify.json missing or empty" >&2; exit 1; }
+grep -q '"verify_ok": true' results/verify.json \
+    || { echo "verify: a bounded-verification gate failed" >&2; exit 1; }
+grep -q '"mutation_caught": true' results/verify.json \
+    || { echo "verify: the seeded over-grant mutation was not caught as LMA291" >&2; exit 1; }
+cp results/verify.json results/verify.json.first
+cargo run --release -q -p lm-bench --bin repro -- verify --sweep "${VERIFY_SWEEP:-quick}"
+cmp -s results/verify.json results/verify.json.first \
+    || { echo "verify: results/verify.json is not byte-identical across runs" >&2; exit 1; }
+rm -f results/verify.json.first  # the EXIT trap also covers failure paths
 
 if [ "${LOOM:-0}" = "1" ]; then
     echo "==> loom model checking (LOOM=1)"

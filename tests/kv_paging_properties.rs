@@ -123,7 +123,7 @@ proptest! {
                         let l = &mut live[idx];
                         if l.appends_left > 0 {
                             fresh_token += 1;
-                            l.seq.append(fresh_token);
+                            l.seq.append(fresh_token).unwrap();
                             l.expected.push(fresh_token);
                             l.appends_left -= 1;
                         }
@@ -195,9 +195,9 @@ proptest! {
         let mut ea = prompt.clone();
         let mut eb = prompt.clone();
         for i in 0..steps as u32 {
-            a.append(100_000 + i);
+            a.append(100_000 + i).unwrap();
             ea.push(100_000 + i);
-            b.append(200_000 + i);
+            b.append(200_000 + i).unwrap();
             eb.push(200_000 + i);
         }
         prop_assert_eq!(a.tokens(), ea);

@@ -36,7 +36,7 @@ pub mod thread;
 #[cfg(test)]
 mod tests;
 
-pub use sched::model;
+pub use sched::{explore, model, Exploration, Options};
 
 /// Model-internal cell types. The real loom requires `loom::cell::Cell`
 /// etc. for non-atomic shared data; here plain captured state behind

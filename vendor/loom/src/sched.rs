@@ -325,22 +325,71 @@ fn advance(path: &mut Vec<Branch>) -> bool {
     false
 }
 
-/// Explore the closure under every schedule the bounded search reaches.
+/// Tunables for one programmatic exploration ([`explore`]).
 ///
-/// Panics (with the first failing thread's message) if any execution
-/// panics, deadlocks, or trips an assertion.
-pub fn model<F>(f: F)
+/// `Default` uses the same fixed bounds as the env-driven [`model`]
+/// defaults (preemption bound 2, 20 000 executions) without consulting
+/// the environment, so callers embedding the checker get deterministic
+/// behavior regardless of ambient `LOOM_*` variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Options {
+    /// Involuntary context switches allowed per execution (CHESS bound).
+    pub preemption_bound: usize,
+    /// Cap on explored executions before the search is truncated.
+    pub max_iterations: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            preemption_bound: 2,
+            max_iterations: 20_000,
+        }
+    }
+}
+
+/// Outcome of a bounded exploration ([`explore`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exploration {
+    /// Executions actually run. The decision tree and its DFS order are
+    /// deterministic, so for a fixed closure and [`Options`] this count
+    /// is reproducible run-over-run.
+    pub executions: usize,
+    /// First failure observed (assertion message, user panic payload, or
+    /// a deadlock report), if any. The search stops at the first failing
+    /// execution.
+    pub failure: Option<String>,
+    /// `true` when the search hit `max_iterations` before exhausting the
+    /// bounded tree — coverage is partial and `executions` undercounts.
+    pub truncated: bool,
+}
+
+impl Exploration {
+    /// `true` when the bounded tree was fully explored without failure.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none() && !self.truncated
+    }
+}
+
+/// Explore the closure under every schedule the bounded search reaches,
+/// returning the outcome instead of panicking.
+///
+/// This is the programmatic twin of [`model`]: verification harnesses
+/// use it to count interleavings and detect seeded failures without
+/// `catch_unwind` at the call site.
+pub fn explore<F>(opts: Options, f: F) -> Exploration
 where
     F: Fn() + Send + Sync + 'static,
 {
     let f = Arc::new(f);
-    let preemption_bound = env_usize("LOOM_PREEMPTION_BOUND", 2);
-    let max_iterations = env_usize("LOOM_MAX_ITERATIONS", 20_000);
     let mut path: Vec<Branch> = Vec::new();
     let mut iterations = 0usize;
     loop {
         iterations += 1;
-        let sched = Arc::new(Scheduler::new(std::mem::take(&mut path), preemption_bound));
+        let sched = Arc::new(Scheduler::new(
+            std::mem::take(&mut path),
+            opts.preemption_bound,
+        ));
         let root_tid = sched.register_thread();
         {
             let mut g = sched.lock();
@@ -367,25 +416,59 @@ where
         if let Some(msg) = g.failure.take() {
             let decisions = g.depth;
             drop(g);
-            panic!(
-                "loom: model check failed on execution {iterations} \
-                 (after {decisions} scheduling decisions): {msg}"
-            );
+            return Exploration {
+                executions: iterations,
+                failure: Some(format!(
+                    "model check failed on execution {iterations} \
+                     (after {decisions} scheduling decisions): {msg}"
+                )),
+                truncated: false,
+            };
         }
         path = std::mem::take(&mut g.path);
         drop(g);
         if !advance(&mut path) {
-            break;
+            return Exploration {
+                executions: iterations,
+                failure: None,
+                truncated: false,
+            };
         }
-        if iterations >= max_iterations {
-            eprintln!(
-                "loom: stopping after {iterations} executions \
-                 (LOOM_MAX_ITERATIONS cap); coverage is partial"
-            );
-            break;
+        if iterations >= opts.max_iterations {
+            return Exploration {
+                executions: iterations,
+                failure: None,
+                truncated: true,
+            };
         }
     }
+}
+
+/// Explore the closure under every schedule the bounded search reaches.
+///
+/// Panics (with the first failing thread's message) if any execution
+/// panics, deadlocks, or trips an assertion. Bounds come from the
+/// `LOOM_PREEMPTION_BOUND` / `LOOM_MAX_ITERATIONS` environment knobs.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let opts = Options {
+        preemption_bound: env_usize("LOOM_PREEMPTION_BOUND", 2),
+        max_iterations: env_usize("LOOM_MAX_ITERATIONS", 20_000),
+    };
+    let outcome = explore(opts, f);
+    if let Some(msg) = outcome.failure {
+        panic!("loom: {msg}");
+    }
+    if outcome.truncated {
+        eprintln!(
+            "loom: stopping after {} executions \
+             (LOOM_MAX_ITERATIONS cap); coverage is partial",
+            outcome.executions
+        );
+    }
     if std::env::var("LOOM_LOG").is_ok() {
-        eprintln!("loom: explored {iterations} executions");
+        eprintln!("loom: explored {} executions", outcome.executions);
     }
 }
