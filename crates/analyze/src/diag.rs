@@ -19,7 +19,12 @@
 //!   lattice collapsed to a point proves nothing; a lint-unsoundness
 //!   witness means a lint passed where executable ground truth failed;
 //!   a declared protocol transition the exploration never exercised is
-//!   unverified).
+//!   unverified);
+//! - `LMA30x` — async-runtime lints (`ServeSession::run_async`
+//!   configurations: a zero-capacity streaming channel can never carry a
+//!   token; a wall-clock SLO below the cost model's physical TTFT floor
+//!   is unmeetable; a non-positive or non-finite time scale breaks the
+//!   wall→virtual clock mapping).
 //!
 //! A code, once shipped, keeps its meaning; retired codes are never
 //! reused.
@@ -114,6 +119,19 @@ pub enum LintCode {
     /// table was never exercised by the bounded exploration — its
     /// invariants are unverified.
     Lma292UncheckedProtocolTransition,
+    /// An async serving session configured a zero-capacity per-request
+    /// token channel: the bounded mpsc cannot hold a single token, so
+    /// every delivery would stall into the backpressure path and every
+    /// stream would resolve as a spurious disconnect.
+    Lma300AsyncZeroChannelCapacity,
+    /// A wall-clock SLO on an async session sits at or below the cost
+    /// model's physical TTFT floor (one worst-case group prefill plus
+    /// one full-occupancy decode step): no scheduling decision can meet
+    /// it, and wall jitter only pushes further past it.
+    Lma301AsyncSloBelowFloor,
+    /// The async session's virtual-per-wall time scale is non-finite or
+    /// non-positive, so wall time can never map onto the modelled clock.
+    Lma302AsyncBadTimeScale,
 }
 
 impl LintCode {
@@ -155,11 +173,14 @@ impl LintCode {
             LintCode::Lma290SweepDomainDegenerate => "LMA290",
             LintCode::Lma291LintUnsoundnessWitness => "LMA291",
             LintCode::Lma292UncheckedProtocolTransition => "LMA292",
+            LintCode::Lma300AsyncZeroChannelCapacity => "LMA300",
+            LintCode::Lma301AsyncSloBelowFloor => "LMA301",
+            LintCode::Lma302AsyncBadTimeScale => "LMA302",
         }
     }
 
     /// All codes, for enumeration in docs and coverage tests.
-    pub const ALL: [LintCode; 35] = [
+    pub const ALL: [LintCode; 38] = [
         LintCode::Lma001CyclicGraph,
         LintCode::Lma002OrphanNode,
         LintCode::Lma003DuplicateEdge,
@@ -195,6 +216,9 @@ impl LintCode {
         LintCode::Lma290SweepDomainDegenerate,
         LintCode::Lma291LintUnsoundnessWitness,
         LintCode::Lma292UncheckedProtocolTransition,
+        LintCode::Lma300AsyncZeroChannelCapacity,
+        LintCode::Lma301AsyncSloBelowFloor,
+        LintCode::Lma302AsyncBadTimeScale,
     ];
 }
 
@@ -347,7 +371,7 @@ mod tests {
             "LMA102", "LMA103", "LMA104", "LMA105", "LMA106", "LMA107", "LMA108", "LMA109",
             "LMA110", "LMA201", "LMA202", "LMA203", "LMA204", "LMA250", "LMA251", "LMA252",
             "LMA260", "LMA261", "LMA262", "LMA270", "LMA271", "LMA280", "LMA281", "LMA282",
-            "LMA290", "LMA291", "LMA292",
+            "LMA290", "LMA291", "LMA292", "LMA300", "LMA301", "LMA302",
         ];
         let shipped: Vec<&str> = LintCode::ALL.iter().map(|c| c.as_str()).collect();
         assert_eq!(shipped, GOLDEN, "LMA registry drifted from the golden list");
@@ -368,6 +392,7 @@ mod tests {
             270..=279 => "obs",
             280..=289 => "paging",
             290..=299 => "verify",
+            300..=309 => "async",
             _ => "unassigned",
         };
         let mut prev = 0u32;
@@ -387,6 +412,7 @@ mod tests {
                 _ if name.starts_with("Lma27") => "obs",
                 _ if name.starts_with("Lma28") => "paging",
                 _ if name.starts_with("Lma29") => "verify",
+                _ if name.starts_with("Lma30") => "async",
                 _ => "unknown",
             };
             assert_eq!(claimed, family_of(n), "{s} ({name}) strays from its family");

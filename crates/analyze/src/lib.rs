@@ -32,7 +32,11 @@
 //! - [`verify_lints`] (`LMA29x`): `lm-verify` runs — sweep-lattice
 //!   degeneracy, lint-unsoundness witnesses from the planner-space
 //!   sweep, and unexercised protocol transitions — via sampled
-//!   [`VerifyProbe`] observations.
+//!   [`VerifyProbe`] observations;
+//! - [`async_lints`] (`LMA30x`): async serving sessions — zero-capacity
+//!   token channels, wall-clock SLOs below the physical TTFT floor, and
+//!   degenerate wall→virtual time scales — via sampled [`AsyncProbe`]
+//!   observations.
 //!
 //! Every finding carries a stable `LMAnnn` code (see [`LintCode`]) —
 //! codes keep their meaning across releases and retired codes are never
@@ -41,6 +45,7 @@
 //! `repro analyze`.
 
 #![cfg_attr(test, allow(clippy::unwrap_used))]
+pub mod async_lints;
 pub mod diag;
 pub mod graph_lints;
 pub mod model_lints;
@@ -50,6 +55,7 @@ pub mod plan_lints;
 pub mod serve_lints;
 pub mod verify_lints;
 
+pub use async_lints::{lint_async, AsyncProbe};
 pub use diag::{Diagnostic, LintCode, Report, Severity};
 pub use graph_lints::lint_graph;
 pub use model_lints::{lint_model, ModelProbe};

@@ -8,8 +8,9 @@
 
 use lm_analyze::{
     analyze_deployment, lint_bundles, lint_graph, lint_model, lint_obs, lint_paging, lint_plan,
-    lint_policy, lint_serve, lint_slo, lint_verify, Deployment, LintCode, ModelProbe, ObsProbe,
-    PagingProbe, Report, ServeProbe, SloProbe, UnsoundnessWitness, VerifyProbe,
+    lint_async, lint_policy, lint_serve, lint_slo, lint_verify, AsyncProbe, Deployment, LintCode,
+    ModelProbe, ObsProbe, PagingProbe, Report, ServeProbe, SloProbe, UnsoundnessWitness,
+    VerifyProbe,
 };
 use lm_hardware::{presets, Platform};
 use lm_models::{presets as models, DType, ModelConfig, Workload};
@@ -523,6 +524,39 @@ fn lma292_declared_transition_never_exercised() {
     );
 }
 
+fn async_probe() -> AsyncProbe {
+    AsyncProbe {
+        channel_capacity: 32,
+        time_scale: 1.0,
+        ttft_p99_slo_s: Some(300.0),
+        floor_ttft_s: 12.0,
+    }
+}
+
+#[test]
+fn lma300_zero_capacity_token_channel() {
+    let clean = lint_async(&async_probe());
+    let mut p = async_probe();
+    p.channel_capacity = 0;
+    assert_fires(&clean, &lint_async(&p), LintCode::Lma300AsyncZeroChannelCapacity);
+}
+
+#[test]
+fn lma301_wall_slo_at_or_below_physical_floor() {
+    let clean = lint_async(&async_probe());
+    let mut p = async_probe();
+    p.ttft_p99_slo_s = Some(p.floor_ttft_s);
+    assert_fires(&clean, &lint_async(&p), LintCode::Lma301AsyncSloBelowFloor);
+}
+
+#[test]
+fn lma302_degenerate_time_scale() {
+    let clean = lint_async(&async_probe());
+    let mut p = async_probe();
+    p.time_scale = f64::NAN;
+    assert_fires(&clean, &lint_async(&p), LintCode::Lma302AsyncBadTimeScale);
+}
+
 #[test]
 fn every_shipped_code_has_mutation_coverage() {
     // Guard against adding a code without a mutation test: the list of
@@ -564,6 +598,9 @@ fn every_shipped_code_has_mutation_coverage() {
         LintCode::Lma290SweepDomainDegenerate,
         LintCode::Lma291LintUnsoundnessWitness,
         LintCode::Lma292UncheckedProtocolTransition,
+        LintCode::Lma300AsyncZeroChannelCapacity,
+        LintCode::Lma301AsyncSloBelowFloor,
+        LintCode::Lma302AsyncBadTimeScale,
     ];
     for code in LintCode::ALL {
         assert!(covered.contains(&code), "no mutation test for {}", code.as_str());

@@ -4,8 +4,9 @@
 //! controller, then lints the graph, the plan, the policy placements, the
 //! bundling decision and a sampled cost-model probe. The default serving
 //! plan rides along under the `LMA25x` family, its page geometry under
-//! `LMA28x`, the default SLO policy under `LMA26x`, and the verification
-//! instrument itself under `LMA29x`. Shipped presets must produce zero
+//! `LMA28x`, the default SLO policy under `LMA26x`, the verification
+//! instrument itself under `LMA29x`, and the default async session
+//! shape under `LMA30x`. Shipped presets must produce zero
 //! `Error` diagnostics; warnings are reported but allowed.
 
 use lm_analyze::{analyze_deployment, lint_serve, Deployment, Diagnostic};
@@ -174,6 +175,37 @@ fn verify_lint_row() -> AnalyzeRow {
     }
 }
 
+/// Lint the default async session configuration (the one
+/// `ServeSession::run_async` ships with) against the default plan with
+/// the `LMA30x` family: a non-zero token channel, a sane wall→virtual
+/// time scale, and — when an SLO is set — an objective above the
+/// physical TTFT floor. The row columns carry the async shape:
+/// `inter_op_total` the per-request channel capacity,
+/// `intra_op_compute` the planned slots.
+fn async_lint_row() -> AnalyzeRow {
+    use lm_analyze::{lint_async, AsyncProbe};
+    use lm_serve::{plan_admission, AnalyticBackend, AsyncConfig, ServeBackend, ServeConfig};
+    let backend = AnalyticBackend::opt_30b();
+    let plan = plan_admission(&backend, &ServeConfig::default())
+        .unwrap_or_else(|e| panic!("default serve plan is infeasible: {e}"));
+    let floor = backend.prefill_seconds(plan.slot_context, plan.slots) + plan.est_step_seconds;
+    let acfg = AsyncConfig::default();
+    let report = lint_async(&AsyncProbe {
+        channel_capacity: acfg.channel_capacity as u64,
+        time_scale: acfg.time_scale,
+        ttft_p99_slo_s: None,
+        floor_ttft_s: floor,
+    });
+    AnalyzeRow {
+        preset: "opt-30b/serve/default-async".to_string(),
+        inter_op_total: acfg.channel_capacity as u32,
+        intra_op_compute: plan.slots as u32,
+        errors: report.error_count(),
+        warnings: report.warning_count(),
+        diagnostics: report.diagnostics,
+    }
+}
+
 /// Lint every shipped preset configuration plus the default serve plan.
 pub fn run() -> Vec<AnalyzeRow> {
     let flexgen = Policy::flexgen_default();
@@ -206,6 +238,7 @@ pub fn run() -> Vec<AnalyzeRow> {
         paging_lint_row(),
         slo_policy_row(),
         verify_lint_row(),
+        async_lint_row(),
     ]
 }
 
@@ -227,7 +260,7 @@ mod tests {
     #[test]
     fn rows_cover_the_preset_matrix() {
         let rows = run();
-        assert_eq!(rows.len(), 8);
+        assert_eq!(rows.len(), 9);
         for row in &rows {
             assert!(row.inter_op_total > 5, "{}", row.preset);
             assert!(row.intra_op_compute >= 1, "{}", row.preset);

@@ -23,8 +23,8 @@
 use lm_engine::GenerateRequest;
 use lm_fault::{FaultConfig, FaultInjector, FaultStats, RetryPolicy, StormProfile};
 use lm_serve::{
-    serve_continuous, synth_traffic, AnalyticBackend, EngineBackend, Request, ServeBackend,
-    ServeConfig, ServeOutcome, ServePlan, ServeStats,
+    synth_traffic, AnalyticBackend, EngineBackend, Request, ServeBackend, ServeConfig,
+    ServeOutcome, ServePlan, ServeSession, ServeStats,
 };
 use serde::{Deserialize, Serialize};
 
@@ -107,8 +107,11 @@ fn storm_pass(
         retry: RetryPolicy::fast_test().with_seeded_jitter(seed, 0.5),
         ..ServeConfig::default()
     };
-    let (plan, out) = serve_continuous(&backend, &cfg, traffic)
-        .unwrap_or_else(|e| panic!("chaos serving failed: {e}"));
+    let (plan, out) = ServeSession::new(&backend)
+        .config(cfg)
+        .run(traffic)
+        .unwrap_or_else(|e| panic!("chaos serving failed: {e}"))
+        .into_continuous();
     (plan, out, injector.stats())
 }
 
@@ -130,8 +133,11 @@ fn engine_transparency_pass(seed: u64, profile: StormProfile) -> (usize, bool) {
         retry: RetryPolicy::fast_test().with_seeded_jitter(seed, 0.5),
         ..ServeConfig::default()
     };
-    let (_, out) = serve_continuous(&backend, &cfg, requests)
-        .unwrap_or_else(|e| panic!("engine chaos serving failed: {e}"));
+    let out = ServeSession::new(&backend)
+        .config(cfg)
+        .run(requests)
+        .unwrap_or_else(|e| panic!("engine chaos serving failed: {e}"))
+        .outcome;
     let mut all_matched = true;
     for r in &out.responses {
         let prompt = prompts[r.id as usize].to_vec();

@@ -7,7 +7,8 @@ use lm_hardware::presets;
 use lm_models::{presets as models, Workload};
 use lm_offload::{derive_plan, quant_aware_provider, QuantCostParams, ThreadFactors};
 use lm_parallelism::ParallelismPlan;
-use lm_sim::{render_gantt, simulate, simulate_traced, Policy, TaskKind};
+use lm_sim::{simulate, simulate_traced, Policy};
+use lm_trace::{render_gantt, TaskKind};
 use serde::{Deserialize, Serialize};
 
 #[derive(Debug, Clone, Serialize, Deserialize)]

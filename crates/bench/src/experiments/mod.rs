@@ -2,6 +2,7 @@
 //! per-experiment index of DESIGN.md §4.
 
 pub mod analyze;
+pub mod async_rt;
 pub mod chaos;
 pub mod faults;
 pub mod fig3;

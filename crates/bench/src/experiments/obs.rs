@@ -19,8 +19,8 @@
 //! timeline of the audited run goes to `results/serve_timeline.json`.
 
 use lm_serve::{
-    obs_probe, plan_admission, serve_continuous, serve_timeline, synth_traffic, AnalyticBackend,
-    ServeBackend, ServeConfig, ServePlan, SloPolicy,
+    obs_probe, plan_admission, serve_timeline, synth_traffic, AnalyticBackend, ServeBackend,
+    ServeConfig, ServePlan, ServeSession, SloPolicy,
 };
 use lm_trace::{expo, FlightDump, FlightRecorder, ServeDriftReport, Tracer};
 use serde::{Deserialize, Serialize};
@@ -119,7 +119,9 @@ fn flight_pass(seed: u64, rps: f64, n: usize) -> FlightDump {
         .unwrap_or_else(|e| panic!("flight-pass planning failed: {e}"));
     let floor = backend.prefill_seconds(plan.slot_context, plan.slots) + plan.est_step_seconds;
     cfg.slo = Some(SloPolicy::observe(floor * 1.01));
-    serve_continuous(&backend, &cfg, traffic)
+    ServeSession::new(&backend)
+        .config(cfg)
+        .run(traffic)
         .unwrap_or_else(|e| panic!("flight-pass serving failed: {e}"));
     flight
         .dump()
@@ -136,8 +138,11 @@ pub fn run(seed: u64, rps: f64, n: usize) -> (ObsReport, String) {
         flight: FlightRecorder::new(256),
         ..ServeConfig::default()
     };
-    let (plan, out) = serve_continuous(&backend, &cfg, traffic)
-        .unwrap_or_else(|e| panic!("obs serving failed: {e}"));
+    let (plan, out) = ServeSession::new(&backend)
+        .config(cfg.clone())
+        .run(traffic)
+        .unwrap_or_else(|e| panic!("obs serving failed: {e}"))
+        .into_continuous();
 
     // 1. Drift: the scheduler's own record vs the model's predictions.
     let drift = out.obs.audit(&plan);

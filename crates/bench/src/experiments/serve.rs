@@ -14,8 +14,8 @@
 //! to the unshared control (with zero admission rejections).
 
 use lm_serve::{
-    serve_continuous, serve_sequential, serve_static, synth_shared_prefix_traffic, synth_traffic,
-    AnalyticBackend, KvMode, ServeConfig, ServeOutcome, ServePlan,
+    synth_shared_prefix_traffic, synth_traffic, AnalyticBackend, KvMode, ServeConfig, ServeMode,
+    ServeOutcome, ServePlan, ServeSession,
 };
 use lm_trace::Tracer;
 use serde::{Deserialize, Serialize};
@@ -187,8 +187,11 @@ fn continuous_row(
         kv_mode,
         ..ServeConfig::default()
     };
-    let (plan, out) = serve_continuous(backend, &cfg, traffic)
-        .unwrap_or_else(|e| panic!("continuous serving ({label}) failed: {e}"));
+    let (plan, out) = ServeSession::new(backend)
+        .config(cfg)
+        .run(traffic)
+        .unwrap_or_else(|e| panic!("continuous serving ({label}) failed: {e}"))
+        .into_continuous();
     let kv = match kv_mode {
         KvMode::Paged => "paged",
         KvMode::Slab => "slab",
@@ -210,16 +213,24 @@ pub fn run(seed: u64, rps: f64, n: usize) -> ServeReport {
         tracer: seq_tracer.clone(),
         ..ServeConfig::default()
     };
-    let seq = serve_sequential(&backend, &seq_cfg, traffic.clone())
-        .unwrap_or_else(|e| panic!("sequential baseline failed: {e}"));
+    let seq = ServeSession::new(&backend)
+        .config(seq_cfg)
+        .mode(ServeMode::Sequential)
+        .run(traffic.clone())
+        .unwrap_or_else(|e| panic!("sequential baseline failed: {e}"))
+        .outcome;
 
     let stat_tracer = Tracer::new();
     let stat_cfg = ServeConfig {
         tracer: stat_tracer.clone(),
         ..ServeConfig::default()
     };
-    let stat = serve_static(&backend, &stat_cfg, plan.slots, traffic)
-        .unwrap_or_else(|e| panic!("static baseline failed: {e}"));
+    let stat = ServeSession::new(&backend)
+        .config(stat_cfg)
+        .mode(ServeMode::Static { batch: plan.slots })
+        .run(traffic)
+        .unwrap_or_else(|e| panic!("static baseline failed: {e}"))
+        .outcome;
 
     let speedup_vs_sequential = if seq.tokens_per_s() > 0.0 {
         paged.tokens_per_s / seq.tokens_per_s()

@@ -14,8 +14,8 @@
 
 use lm_offload::{DegradationController, QuantCostParams, ServeDegradeLadder};
 use lm_serve::{
-    serve_continuous, serve_sequential, synth_traffic, AnalyticBackend, RejectReason, ServeBackend,
-    ServeConfig, ServeOutcome, ServePlan, SloPolicy,
+    synth_traffic, AnalyticBackend, RejectReason, ServeBackend, ServeConfig, ServeMode,
+    ServeOutcome, ServePlan, ServeSession, SloPolicy,
 };
 use lm_trace::Tracer;
 use serde::{Deserialize, Serialize};
@@ -139,8 +139,11 @@ pub fn run(seed: u64, rps: f64, n: usize) -> SloReport {
         slo: Some(SloPolicy::observe(slo_s)),
         ..ServeConfig::default()
     };
-    let (plan, observe_out) = serve_continuous(&backend, &observe_cfg, traffic.clone())
-        .unwrap_or_else(|e| panic!("observe-mode serving failed: {e}"));
+    let (plan, observe_out) = ServeSession::new(&backend)
+        .config(observe_cfg)
+        .run(traffic.clone())
+        .unwrap_or_else(|e| panic!("observe-mode serving failed: {e}"))
+        .into_continuous();
 
     let enforced_cfg = ServeConfig {
         tracer: Tracer::new(),
@@ -148,11 +151,17 @@ pub fn run(seed: u64, rps: f64, n: usize) -> SloReport {
         ladder: Some(ladder),
         ..ServeConfig::default()
     };
-    let (_, enforced_out) = serve_continuous(&backend, &enforced_cfg, traffic.clone())
-        .unwrap_or_else(|e| panic!("enforcing-mode serving failed: {e}"));
+    let (_, enforced_out) = ServeSession::new(&backend)
+        .config(enforced_cfg)
+        .run(traffic.clone())
+        .unwrap_or_else(|e| panic!("enforcing-mode serving failed: {e}"))
+        .into_continuous();
 
-    let seq = serve_sequential(&backend, &ServeConfig::default(), traffic)
-        .unwrap_or_else(|e| panic!("sequential baseline failed: {e}"));
+    let seq = ServeSession::new(&backend)
+        .mode(ServeMode::Sequential)
+        .run(traffic)
+        .unwrap_or_else(|e| panic!("sequential baseline failed: {e}"))
+        .outcome;
 
     let observe = mode_row("observe", slo_s, &observe_out);
     let enforced = mode_row("enforcing", slo_s, &enforced_out);

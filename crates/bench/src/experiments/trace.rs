@@ -14,7 +14,7 @@
 //!    golden property the integration tests pin. Against the real engine
 //!    the same report form measures genuine model error.
 //! 2. **Engine timeline** (`results/trace.json`): a real traced
-//!    `Engine::generate_zigzag` run exported as Chrome/Perfetto trace
+//!    zig-zag `Engine::run` exported as Chrome/Perfetto trace
 //!    JSON — `load_weight` spans from the prefetch loader thread,
 //!    compute spans per (step, layer, batch), prefill/decode scopes, and
 //!    the run's metrics snapshot.

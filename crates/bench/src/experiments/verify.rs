@@ -24,7 +24,7 @@
 //! byte-compares the artifact across two runs.
 
 use lm_analyze::{lint_verify, Diagnostic, UnsoundnessWitness};
-use lm_serve::{serve_continuous, synth_traffic, AnalyticBackend, ServeBackend, ServeConfig};
+use lm_serve::{synth_traffic, AnalyticBackend, ServeBackend, ServeSession};
 use lm_verify::{
     build_probe, check_kvpool_protocol, check_scheduler_protocol, run_sweep, Mutation,
     ProtocolReport, SweepDepth, CONFIGS_FLOOR,
@@ -104,8 +104,8 @@ fn lane_opts() -> loom::Options {
 fn zero_cost_check(bench_serve_json: &str) -> ZeroCostCheck {
     let backend = AnalyticBackend::opt_30b();
     let traffic = synth_traffic(7, 4.0, 32, backend.model());
-    let measured = match serve_continuous(&backend, &ServeConfig::default(), traffic) {
-        Ok((_, out)) => out.tokens_per_s(),
+    let measured = match ServeSession::new(&backend).run(traffic) {
+        Ok(r) => r.outcome.tokens_per_s(),
         Err(_) => {
             return ZeroCostCheck {
                 snapshot_tokens_per_s: None,

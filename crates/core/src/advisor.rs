@@ -130,7 +130,7 @@ impl Advisor {
             self.params,
             self.threads,
         );
-        lm_sim::TaskKind::ALL.map(|k| (k.name().to_string(), p.cost(k, token)))
+        lm_trace::TaskKind::ALL.map(|k| (k.name().to_string(), p.cost(k, token)))
     }
 }
 

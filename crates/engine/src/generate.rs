@@ -485,34 +485,6 @@ impl Engine {
         result
     }
 
-    /// Generate `gen_len` tokens for a batch of equal-length prompts.
-    ///
-    /// Thin shim over [`Self::run`]; byte-identical outputs.
-    #[deprecated(since = "0.1.0", note = "use Engine::run(&GenerateRequest::new(...))")]
-    pub fn generate(
-        &self,
-        prompts: &[Vec<u32>],
-        gen_len: usize,
-    ) -> Result<Generation, EngineError> {
-        self.run(&GenerateRequest::new(prompts.to_vec(), gen_len))
-    }
-
-    /// Generate with FlexGen's zig-zag block schedule.
-    ///
-    /// Thin shim over [`Self::run`]; byte-identical outputs.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Engine::run(&GenerateRequest::new(...).with_batches(n))"
-    )]
-    pub fn generate_zigzag(
-        &self,
-        prompts: &[Vec<u32>],
-        gen_len: usize,
-        num_batches: usize,
-    ) -> Result<Generation, EngineError> {
-        self.run(&GenerateRequest::new(prompts.to_vec(), gen_len).with_batches(num_batches))
-    }
-
     /// The validated block schedule: prompts are well-formed and divide
     /// into `num_batches` equal batches (enforced by [`Self::run`]).
     fn run_block(
@@ -845,20 +817,6 @@ mod tests {
         let e = engine_with(256 << 20, true);
         let reason = invalid_reason(e.run(&GenerateRequest::new(vec![vec![1, 2], vec![3]], 2)));
         assert!(reason.contains("share a length"), "{reason}");
-    }
-
-    #[test]
-    fn deprecated_shims_delegate_to_run() {
-        #![allow(deprecated)]
-        let e = engine_with(256 << 20, true);
-        let via_run = e.run(&GenerateRequest::new(prompts(), 5)).unwrap();
-        let via_generate = e.generate(&prompts(), 5).unwrap();
-        assert_eq!(via_run.tokens, via_generate.tokens);
-        assert_eq!(via_run.weight_bytes_streamed, via_generate.weight_bytes_streamed);
-        let via_block = e.run(&GenerateRequest::new(prompts(), 5).with_batches(2)).unwrap();
-        let via_zigzag = e.generate_zigzag(&prompts(), 5, 2).unwrap();
-        assert_eq!(via_block.tokens, via_zigzag.tokens);
-        assert_eq!(via_block.kv_bytes_at_rest, via_zigzag.kv_bytes_at_rest);
     }
 
     #[test]

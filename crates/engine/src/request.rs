@@ -3,11 +3,11 @@
 //! `lm-serve` admission controller.
 //!
 //! Historically the engine exposed two batch-synchronous entry points
-//! (`generate` and `generate_zigzag`) whose copy-pasted validation
-//! preambles `assert!`ed on malformed input — acceptable for offline
-//! experiments, fatal for a serving process admitting untrusted traffic.
-//! Both are now thin deprecated shims over [`crate::Engine::run`], and
-//! every check lives in [`validate_request`], which returns a typed
+//! (`generate` and `generate_zigzag`, deleted in 0.2) whose copy-pasted
+//! validation preambles `assert!`ed on malformed input — acceptable for
+//! offline experiments, fatal for a serving process admitting untrusted
+//! traffic. [`crate::Engine::run`] is the sole entry point, and every
+//! check lives in [`validate_request`], which returns a typed
 //! [`EngineError::InvalidRequest`](crate::EngineError::InvalidRequest)
 //! instead of panicking.
 
@@ -38,7 +38,7 @@ pub struct GenerateRequest {
 }
 
 impl GenerateRequest {
-    /// A single-batch request (the old `generate` shape).
+    /// A single-batch request.
     pub fn new(prompts: impl Into<Vec<Vec<u32>>>, gen_len: usize) -> Self {
         GenerateRequest {
             prompts: prompts.into(),
@@ -47,8 +47,7 @@ impl GenerateRequest {
         }
     }
 
-    /// Split the prompts into `num_batches` zig-zag batches (the old
-    /// `generate_zigzag` shape).
+    /// Split the prompts into `num_batches` zig-zag batches.
     pub fn with_batches(mut self, num_batches: usize) -> Self {
         self.num_batches = num_batches;
         self
@@ -67,7 +66,7 @@ impl GenerateRequest {
 }
 
 /// The one request checker: every malformed shape that used to trip an
-/// `assert!` in the `generate`/`generate_zigzag` preambles surfaces here
+/// `assert!` in the pre-0.2 entry-point preambles surfaces here
 /// as [`EngineError::InvalidRequest`]. The `lm-serve` admission
 /// controller calls this per request before leasing a slot, so bad
 /// serving traffic is rejected instead of panicking the engine.

@@ -21,7 +21,13 @@ use rand::{rngs::SmallRng, Rng, SeedableRng};
 
 /// What the scheduler needs from an execution substrate: tokens,
 /// per-task costs, and KV footprints.
-pub trait ServeBackend {
+///
+/// `Send + Sync` because [`ServeSession::run_async`]
+/// (crate::ServeSession::run_async) drives the scheduler on its own
+/// thread while the caller's client code consumes token streams — both
+/// backends are plain data or `Arc`-shared state, so the bound costs
+/// nothing.
+pub trait ServeBackend: Send + Sync {
     /// The model configuration requests are validated against.
     fn model(&self) -> &ModelConfig;
 

@@ -20,9 +20,14 @@
 //! - [`admission`]: the model-guided admission controller producing an
 //!   `LMA25x`-linted [`ServePlan`] (slots vs KV pool headroom vs the
 //!   block graph's Kahn width);
-//! - [`scheduler`]: the continuous scheduler ([`serve_continuous`],
-//!   streaming variant [`serve_continuous_with`]) and its two baselines
-//!   ([`serve_sequential`], [`serve_static`]);
+//! - [`scheduler`]: the continuous scheduler core and its two baselines,
+//!   all parameterized over the [`driver`] clock/transport split;
+//! - [`session`]: the unified serve API — [`ServeSession`] subsumes the
+//!   deprecated `serve_*` free functions behind one builder (mode,
+//!   backend, SLO policy, fault plan, observability sinks) and adds the
+//!   real-time front end [`ServeSession::run_async`]: wall-clock pacing
+//!   ([`AsyncConfig::time_scale`]), per-request bounded tokio token
+//!   channels, disconnect-on-drop, and `LMA30x` pre-flight;
 //! - [`slo`]: the overload-protection layer (DESIGN.md §12) — the
 //!   [`SloPolicy`] objective, the model-driven [`TtftModel`] predictor,
 //!   and the [`DegradeLadder`] the scheduler climbs when preemption
@@ -46,9 +51,11 @@
 
 pub mod admission;
 pub mod backend;
+pub mod driver;
 pub mod obs;
 pub mod request;
 pub mod scheduler;
+pub mod session;
 pub mod slo;
 
 pub use admission::{
@@ -62,8 +69,11 @@ pub use request::{
     synth_shared_prefix_traffic, synth_traffic, ArrivalQueue, CancelReason, CancelToken,
     Cancellation, RejectReason, Rejection, Request, Response,
 };
+pub use driver::{Delivery, NullDriver, ServeDriver, VirtualDriver};
+#[allow(deprecated)]
 pub use scheduler::{
     serve_continuous, serve_continuous_with, serve_sequential, serve_static, ServeOutcome,
     ServeStats, TokenEvent,
 };
+pub use session::{AsyncConfig, ServeMode, ServeRun, ServeSession, TokenStreams};
 pub use slo::{DegradeLadder, DegradeRung, SloPolicy, StaticLadder, TtftModel};

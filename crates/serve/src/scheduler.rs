@@ -38,6 +38,7 @@
 
 use crate::admission::{KvMode, ServeConfig, ServeError, ServePlan};
 use crate::backend::ServeBackend;
+use crate::driver::{Delivery, NullDriver, ServeDriver, VirtualDriver};
 use crate::obs::{BoundaryObs, LifecycleEvent, RequestPhase, ServeObs, TtftSample};
 use crate::request::{
     micros, ArrivalQueue, CancelReason, Cancellation, RejectReason, Rejection, Request, Response,
@@ -353,20 +354,46 @@ fn ttft_model(
 
 /// Run the continuous-batching scheduler over `requests`; the plan is
 /// derived (and `LMA25x`-linted) by [`crate::plan_admission`] first.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ServeSession::new(backend).run(requests)` — the unified serve API"
+)]
 pub fn serve_continuous(
     backend: &dyn ServeBackend,
     cfg: &ServeConfig,
     requests: Vec<Request>,
 ) -> Result<(ServePlan, ServeOutcome), ServeError> {
-    serve_continuous_with(backend, cfg, requests, &mut |_| {})
+    run_continuous(backend, cfg, requests, &mut NullDriver)
 }
 
 /// [`serve_continuous`] with per-token streaming delivery.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ServeSession::new(backend).run_streaming(requests, on_token)`"
+)]
 pub fn serve_continuous_with(
     backend: &dyn ServeBackend,
     cfg: &ServeConfig,
     requests: Vec<Request>,
     on_token: &mut dyn FnMut(TokenEvent),
+) -> Result<(ServePlan, ServeOutcome), ServeError> {
+    run_continuous(backend, cfg, requests, &mut VirtualDriver::new(on_token))
+}
+
+/// The continuous-batching core, parameterized over the clock/transport
+/// [`ServeDriver`] (DESIGN.md §16). With [`VirtualDriver`] or
+/// [`NullDriver`] this is byte-for-byte the pre-split scheduler: `pace`
+/// is the identity and every delivery succeeds, so outcomes are a pure
+/// function of `(requests, backend, config)` exactly as before. A
+/// real-time driver may stretch the clock (wall jitter feeds the same
+/// deadline/SLO machinery) and may report a token undeliverable, which
+/// resolves at the next boundary through the scheduler's existing
+/// client-disconnect vocabulary.
+pub(crate) fn run_continuous(
+    backend: &dyn ServeBackend,
+    cfg: &ServeConfig,
+    requests: Vec<Request>,
+    driver: &mut dyn ServeDriver,
 ) -> Result<(ServePlan, ServeOutcome), ServeError> {
     let plan = crate::admission::plan_admission(backend, cfg)?;
     // SLO pre-flight: an unmeetable or actuator-less policy is a typed
@@ -426,6 +453,10 @@ pub fn serve_continuous_with(
     // Predicted TTFT (relative to arrival, µs) sampled once per request
     // the first time it is seen in the wait queue.
     let mut predicted_ttft: BTreeMap<u64, u64> = BTreeMap::new();
+    // Requests whose transport failed a delivery (receiver dropped, or
+    // backpressure grace exhausted); resolved as client disconnects at
+    // the next boundary sweep. Always empty under the virtual drivers.
+    let mut transport_drops: BTreeMap<u64, Delivery> = BTreeMap::new();
     // Free stable slot indices for the timeline; smallest index first.
     let mut free_slot_ids: Vec<u32> = (0..plan.slots as u32).rev().collect();
     let idle_boundary = |t_us: u64, pending: usize, degrade: f64| BoundaryObs {
@@ -458,7 +489,7 @@ pub fn serve_continuous_with(
                     // covers it (nothing runs until the next arrival).
                     obs.boundaries
                         .push(idle_boundary(clock_us, queue.len(), degrade_factor));
-                    clock_us = t;
+                    clock_us = driver.pace(t);
                     continue;
                 }
                 None => {
@@ -500,7 +531,15 @@ pub fn serve_continuous_with(
                     delivered: slot.emitted,
                     cancel_us: clock_us,
                 });
-            } else if slot.disconnect_at == Some(slot.emitted) {
+                driver.retire(slot.req.id);
+            } else if slot.disconnect_at == Some(slot.emitted)
+                || transport_drops.contains_key(&slot.req.id)
+            {
+                // Injected disconnects and real transport failures land
+                // in the same terminal state: the client is gone.
+                if transport_drops.remove(&slot.req.id) == Some(Delivery::Backpressured) {
+                    tracer.counter_add("serve.backpressure_disconnects", 1);
+                }
                 stats.cancelled_in_slot += 1;
                 tracer.counter_add("serve.cancelled", 1);
                 tracer.counter_add("serve.disconnects", 1);
@@ -525,6 +564,7 @@ pub fn serve_continuous_with(
                     delivered: slot.emitted,
                     cancel_us: clock_us,
                 });
+                driver.retire(slot.req.id);
             } else if slot.crash_at == Some(slot.emitted) {
                 stats.slot_crashes += 1;
                 tracer.counter_add("serve.slot_crashes", 1);
@@ -579,6 +619,7 @@ pub fn serve_continuous_with(
                     slot: None,
                     phase: RequestPhase::Cancelled,
                 });
+                driver.retire(p.req.id);
                 return false;
             }
             if p.emitted == 0 {
@@ -602,6 +643,7 @@ pub fn serve_continuous_with(
                                 now_us: clock_us,
                             },
                         });
+                        driver.retire(p.req.id);
                         return false;
                     }
                 }
@@ -776,6 +818,7 @@ pub fn serve_continuous_with(
                                 predicted_ttft_us: predicted_us,
                             },
                         });
+                        driver.retire(p.req.id);
                         // The queue shortened: later requests move up.
                     } else {
                         kept.push(p);
@@ -816,6 +859,7 @@ pub fn serve_continuous_with(
                             id: p.req.id,
                             reason: RejectReason::Invalid(reason),
                         });
+                        driver.retire(p.req.id);
                         continue;
                     }
                     match backend.materialize(&p.req) {
@@ -833,6 +877,7 @@ pub fn serve_continuous_with(
                                 id: p.req.id,
                                 reason: RejectReason::AdmissionFailed(e.to_string()),
                             });
+                            driver.retire(p.req.id);
                         }
                     }
                 }
@@ -1051,6 +1096,7 @@ pub fn serve_continuous_with(
                                 capacity: pool.capacity(),
                             },
                         });
+                        driver.retire(p.req.id);
                     } else if active.is_empty() && admitted.is_empty() {
                         // Nothing holds a lease, so waiting frees no
                         // bytes: the failure is not transient.
@@ -1066,6 +1112,7 @@ pub fn serve_continuous_with(
                             id: p.req.id,
                             reason: RejectReason::AdmissionFailed(err.to_string()),
                         });
+                        driver.retire(p.req.id);
                     } else {
                         // Defer to the next boundary; leases retire there.
                         tracer.counter_add("serve.deferred", 1);
@@ -1149,16 +1196,29 @@ pub fn serve_continuous_with(
             clock_us += micros(stall_s);
             tracer.histogram_record("serve.stall_s", stall_s);
         }
+        // A real-time driver blocks here until wall time catches the
+        // modelled clock and may return a later value, so wall jitter
+        // flows into step accounting, TTFT, and the deadline machinery.
+        // The virtual driver is the identity.
+        clock_us = driver.pace(clock_us);
         let step_dur = clock_us - step_start;
 
         for slot in &mut active {
             let token = slot.tokens[slot.emitted];
-            on_token(TokenEvent {
+            match driver.deliver(TokenEvent {
                 request_id: slot.req.id,
                 index: slot.emitted,
                 token,
                 t_us: clock_us,
-            });
+            }) {
+                Delivery::Delivered => {}
+                failed => {
+                    // Keep generating this step (the block already paid
+                    // for it); the next boundary sweep resolves the
+                    // request as a client disconnect.
+                    transport_drops.entry(slot.req.id).or_insert(failed);
+                }
+            }
             // Land the token's KV in the slot's page table; a page still
             // shared with another sequence forks copy-on-write here.
             if let SlotKv::Paged(seq) = &mut slot.kv {
@@ -1225,6 +1285,11 @@ pub fn serve_continuous_with(
                     phase: RequestPhase::Done,
                 });
                 free_slot_ids.push(slot.slot_idx);
+                // A transport failure on the final step loses the race:
+                // the stream is complete, so the request resolves as a
+                // response (matching the virtual path, where the last
+                // token always lands before any fate is swept).
+                transport_drops.remove(&slot.req.id);
                 responses.push(Response {
                     id: slot.req.id,
                     tokens: slot.tokens,
@@ -1232,6 +1297,7 @@ pub fn serve_continuous_with(
                     first_token_us: slot.first_token_us.unwrap_or(clock_us),
                     finish_us: clock_us,
                 });
+                driver.retire(slot.req.id);
             } else {
                 kept.push(slot);
             }
@@ -1318,7 +1384,19 @@ fn stats_cancel_queued(
 
 /// Baseline 1: one call per request, in arrival order — each request
 /// pays its own full weight stream (no amortisation at all).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ServeSession::new(backend).mode(ServeMode::Sequential).run(requests)`"
+)]
 pub fn serve_sequential(
+    backend: &dyn ServeBackend,
+    cfg: &ServeConfig,
+    requests: Vec<Request>,
+) -> Result<ServeOutcome, ServeError> {
+    run_sequential(backend, cfg, requests)
+}
+
+pub(crate) fn run_sequential(
     backend: &dyn ServeBackend,
     cfg: &ServeConfig,
     requests: Vec<Request>,
@@ -1413,7 +1491,20 @@ pub fn serve_sequential(
 /// arrival order; a group waits for its last member to arrive, pads
 /// prompts *and* generation lengths to the group max, and releases every
 /// response only when the whole group finishes.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ServeSession::new(backend).mode(ServeMode::Static { batch }).run(requests)`"
+)]
 pub fn serve_static(
+    backend: &dyn ServeBackend,
+    cfg: &ServeConfig,
+    batch: usize,
+    requests: Vec<Request>,
+) -> Result<ServeOutcome, ServeError> {
+    run_static(backend, cfg, batch, requests)
+}
+
+pub(crate) fn run_static(
     backend: &dyn ServeBackend,
     cfg: &ServeConfig,
     batch: usize,
@@ -1534,6 +1625,7 @@ mod tests {
     use super::*;
     use crate::backend::AnalyticBackend;
     use crate::request::synth_traffic;
+    use crate::session::{ServeMode, ServeSession};
 
     fn traffic(n: usize) -> (AnalyticBackend, Vec<Request>) {
         let b = AnalyticBackend::opt_30b();
@@ -1541,11 +1633,62 @@ mod tests {
         (b, reqs)
     }
 
+    // The suite drives the scheduler through the unified ServeSession
+    // API (the deprecated free-function shims are covered by a
+    // dedicated delegation test in `session`).
+    fn continuous(
+        b: &dyn ServeBackend,
+        cfg: &ServeConfig,
+        reqs: Vec<Request>,
+    ) -> Result<(ServePlan, ServeOutcome), ServeError> {
+        ServeSession::new(b)
+            .config(cfg.clone())
+            .run(reqs)
+            .map(|r| (r.plan.expect("continuous sessions plan"), r.outcome))
+    }
+
+    fn continuous_with(
+        b: &dyn ServeBackend,
+        cfg: &ServeConfig,
+        reqs: Vec<Request>,
+        on_token: &mut dyn FnMut(TokenEvent),
+    ) -> Result<(ServePlan, ServeOutcome), ServeError> {
+        ServeSession::new(b)
+            .config(cfg.clone())
+            .run_streaming(reqs, on_token)
+            .map(|r| (r.plan.expect("continuous sessions plan"), r.outcome))
+    }
+
+    fn sequential(
+        b: &dyn ServeBackend,
+        cfg: &ServeConfig,
+        reqs: Vec<Request>,
+    ) -> Result<ServeOutcome, ServeError> {
+        ServeSession::new(b)
+            .config(cfg.clone())
+            .mode(ServeMode::Sequential)
+            .run(reqs)
+            .map(|r| r.outcome)
+    }
+
+    fn static_batch(
+        b: &dyn ServeBackend,
+        cfg: &ServeConfig,
+        batch: usize,
+        reqs: Vec<Request>,
+    ) -> Result<ServeOutcome, ServeError> {
+        ServeSession::new(b)
+            .config(cfg.clone())
+            .mode(ServeMode::Static { batch })
+            .run(reqs)
+            .map(|r| r.outcome)
+    }
+
     #[test]
     fn every_request_is_answered_or_rejected() {
         let (b, reqs) = traffic(12);
         let n = reqs.len();
-        let (plan, out) = serve_continuous(&b, &ServeConfig::default(), reqs).unwrap();
+        let (plan, out) = continuous(&b, &ServeConfig::default(), reqs).unwrap();
         assert_eq!(out.responses.len() + out.rejections.len(), n);
         assert!(plan.slots >= 1);
         assert!(out.generated_tokens > 0);
@@ -1560,8 +1703,8 @@ mod tests {
     #[test]
     fn continuous_run_is_deterministic() {
         let (b, reqs) = traffic(12);
-        let (_, a) = serve_continuous(&b, &ServeConfig::default(), reqs.clone()).unwrap();
-        let (_, c) = serve_continuous(&b, &ServeConfig::default(), reqs).unwrap();
+        let (_, a) = continuous(&b, &ServeConfig::default(), reqs.clone()).unwrap();
+        let (_, c) = continuous(&b, &ServeConfig::default(), reqs).unwrap();
         assert_eq!(a.responses, c.responses);
         assert_eq!(a.rejections, c.rejections);
         assert_eq!(a.sim_seconds.to_bits(), c.sim_seconds.to_bits());
@@ -1571,9 +1714,9 @@ mod tests {
     fn continuous_beats_sequential_and_static() {
         let (b, reqs) = traffic(24);
         let cfg = ServeConfig::default();
-        let (plan, cont) = serve_continuous(&b, &cfg, reqs.clone()).unwrap();
-        let seq = serve_sequential(&b, &cfg, reqs.clone()).unwrap();
-        let stat = serve_static(&b, &cfg, plan.slots, reqs).unwrap();
+        let (plan, cont) = continuous(&b, &cfg, reqs.clone()).unwrap();
+        let seq = sequential(&b, &cfg, reqs.clone()).unwrap();
+        let stat = static_batch(&b, &cfg, plan.slots, reqs).unwrap();
         assert!(
             cont.tokens_per_s() >= 1.3 * seq.tokens_per_s(),
             "continuous {} vs sequential {}",
@@ -1593,7 +1736,7 @@ mod tests {
         let (b, reqs) = traffic(8);
         let mut events: Vec<TokenEvent> = Vec::new();
         let (_, out) =
-            serve_continuous_with(&b, &ServeConfig::default(), reqs, &mut |e| events.push(e))
+            continuous_with(&b, &ServeConfig::default(), reqs, &mut |e| events.push(e))
                 .unwrap();
         assert_eq!(events.len() as u64, out.generated_tokens);
         let mut t = 0;
@@ -1624,7 +1767,7 @@ mod tests {
             .with_arrival_us(1_000)
             .with_deadline_us(500);
         let late = Request::new(4, vec![1, 2], 4).with_arrival_us(5_000_000);
-        let (_, out) = serve_continuous(
+        let (_, out) = continuous(
             &b,
             &ServeConfig::default(),
             vec![ok, empty, too_long, expired, late],
@@ -1662,7 +1805,7 @@ mod tests {
             kv_mode: KvMode::Slab,
             ..ServeConfig::default()
         };
-        let (_, out) = serve_continuous(&b, &cfg, vec![lo, hi]).unwrap();
+        let (_, out) = continuous(&b, &cfg, vec![lo, hi]).unwrap();
         let finish = |id: u64| {
             out.responses
                 .iter()
@@ -1684,7 +1827,7 @@ mod tests {
         let cancelled = Request::new(0, vec![1, 2, 3], 32).with_cancel(token);
         let survivor = Request::new(1, vec![4, 5], 8);
         let (_, out) =
-            serve_continuous(&b, &ServeConfig::default(), vec![cancelled, survivor]).unwrap();
+            continuous(&b, &ServeConfig::default(), vec![cancelled, survivor]).unwrap();
         assert_eq!(out.terminal_count(), 2);
         assert_eq!(out.cancellations.len(), 1);
         let c = &out.cancellations[0];
@@ -1705,7 +1848,7 @@ mod tests {
             fault: FaultInjector::new(FaultConfig::storm(9, StormProfile::Disconnects)),
             ..ServeConfig::default()
         };
-        let (_, out) = serve_continuous(&b, &cfg, reqs).unwrap();
+        let (_, out) = continuous(&b, &cfg, reqs).unwrap();
         assert_eq!(out.terminal_count(), n);
         assert!(
             !out.cancellations.is_empty(),
@@ -1722,7 +1865,7 @@ mod tests {
     fn crash_survivors_resume_with_identical_token_streams() {
         use lm_fault::{FaultConfig, FaultInjector, StormProfile};
         let (b, reqs) = traffic(16);
-        let calm = serve_continuous(&b, &ServeConfig::default(), reqs.clone())
+        let calm = continuous(&b, &ServeConfig::default(), reqs.clone())
             .unwrap()
             .1;
         let cfg = ServeConfig {
@@ -1731,7 +1874,7 @@ mod tests {
         };
         let mut events: Vec<TokenEvent> = Vec::new();
         let (_, stormy) =
-            serve_continuous_with(&b, &cfg, reqs, &mut |e| events.push(e)).unwrap();
+            continuous_with(&b, &cfg, reqs, &mut |e| events.push(e)).unwrap();
         assert!(stormy.stats.slot_crashes > 0, "30% crash rate must fire");
         assert_eq!(stormy.kv_leaked_bytes, 0);
         assert!(stormy.stats.admissions_balanced(), "{:?}", stormy.stats);
@@ -1783,7 +1926,7 @@ mod tests {
             shed: false, // isolate the preemption actuator
             ..SloPolicy::enforcing(tight_slo(&b, &cfg, 1.05))
         });
-        let (_, out) = serve_continuous(&b, &cfg, reqs).unwrap();
+        let (_, out) = continuous(&b, &cfg, reqs).unwrap();
         assert!(out.stats.preemptions > 0, "{:?}", out.stats);
         assert_eq!(out.terminal_count(), 4);
         assert_eq!(out.kv_leaked_bytes, 0);
@@ -1811,7 +1954,7 @@ mod tests {
             ..SloPolicy::enforcing(tight_slo(&b, &cfg, 1.5))
         });
         let n = reqs.len();
-        let (_, out) = serve_continuous(&b, &cfg, reqs).unwrap();
+        let (_, out) = continuous(&b, &cfg, reqs).unwrap();
         assert_eq!(out.terminal_count(), n);
         assert!(out.stats.shed > 0, "{:?}", out.stats);
         assert!(out
@@ -1839,7 +1982,7 @@ mod tests {
             shed: false,
             ..SloPolicy::enforcing(tight_slo(&b, &cfg, 1.5))
         });
-        let (_, out) = serve_continuous(&b, &cfg, reqs).unwrap();
+        let (_, out) = continuous(&b, &cfg, reqs).unwrap();
         assert!(out.stats.degradations > 0, "{:?}", out.stats);
         assert_eq!(out.stats.preemptions, 0);
         assert!(out.stats.admissions_balanced(), "{:?}", out.stats);
@@ -1853,7 +1996,7 @@ mod tests {
         let doomed = Request::new(0, vec![1, 2], 4).with_deadline_us(10);
         let hog = Request::new(1, vec![1; 64], 40);
         let late = Request::new(2, vec![3], 4).with_arrival_us(50_000_000);
-        let seq = serve_sequential(
+        let seq = sequential(
             &b,
             &ServeConfig::default(),
             vec![hog.clone(), doomed.clone().with_arrival_us(1000)],
@@ -1861,7 +2004,7 @@ mod tests {
         .unwrap();
         assert_eq!(seq.deadline_misses, 1, "service starts after the deadline");
         assert_eq!(seq.responses.len(), 2, "reported, not enforced");
-        let stat = serve_static(&b, &ServeConfig::default(), 2, vec![doomed, late]).unwrap();
+        let stat = static_batch(&b, &ServeConfig::default(), 2, vec![doomed, late]).unwrap();
         assert_eq!(stat.deadline_misses, 1, "batch forms after the deadline");
         assert_eq!(stat.responses.len(), 2);
     }
@@ -1882,7 +2025,7 @@ mod tests {
         };
         let reqs = synth_traffic(3, 8.0, 10, b.model());
         let n = reqs.len();
-        let (_, out) = serve_continuous(&b, &cfg, reqs).unwrap();
+        let (_, out) = continuous(&b, &cfg, reqs).unwrap();
         assert_eq!(out.responses.len() + out.rejections.len(), n);
         // With p=0.4 per attempt and 5 attempts, some admission must have
         // needed a retry (probability of zero retries over 10 admissions
@@ -1898,7 +2041,7 @@ mod tests {
     fn lifecycle_record_covers_every_request_and_balances() {
         let (b, reqs) = traffic(16);
         let ids: Vec<u64> = reqs.iter().map(|r| r.id).collect();
-        let (_, out) = serve_continuous(&b, &ServeConfig::default(), reqs).unwrap();
+        let (_, out) = continuous(&b, &ServeConfig::default(), reqs).unwrap();
         let obs = &out.obs;
         // Every request is queued exactly once per (re-)entry and every
         // response has matching Admitted/Done events.
@@ -1937,15 +2080,15 @@ mod tests {
     #[test]
     fn obs_record_is_replay_deterministic() {
         let (b, reqs) = traffic(12);
-        let (_, a) = serve_continuous(&b, &ServeConfig::default(), reqs.clone()).unwrap();
-        let (_, c) = serve_continuous(&b, &ServeConfig::default(), reqs).unwrap();
+        let (_, a) = continuous(&b, &ServeConfig::default(), reqs.clone()).unwrap();
+        let (_, c) = continuous(&b, &ServeConfig::default(), reqs).unwrap();
         assert_eq!(a.obs, c.obs);
     }
 
     #[test]
     fn drift_audit_holds_on_the_analytic_backend_at_default_seed() {
         let (b, reqs) = traffic(32);
-        let (plan, out) = serve_continuous(&b, &ServeConfig::default(), reqs).unwrap();
+        let (plan, out) = continuous(&b, &ServeConfig::default(), reqs).unwrap();
         let report = out.obs.audit(&plan);
         let ttft = report.metric("ttft_mean_s").unwrap();
         assert!(ttft.predicted > 0.0 && ttft.observed > 0.0);
@@ -1976,7 +2119,7 @@ mod tests {
         // Observe-only SLO with a floor-level objective: breaches are
         // observed (and freeze the recorder) without actuators firing.
         cfg.slo = Some(SloPolicy::observe(tight_slo(&b, &cfg, 1.01)));
-        let (_, out) = serve_continuous(&b, &cfg, reqs).unwrap();
+        let (_, out) = continuous(&b, &cfg, reqs).unwrap();
         assert!(out.stats.admitted > 0);
         let dump = flight.dump().expect("queueing past the floor must breach");
         assert!(dump.reason.starts_with("slo_breach"), "{}", dump.reason);
@@ -1993,7 +2136,7 @@ mod tests {
     #[test]
     fn serve_timeline_exports_slot_tracks() {
         let (b, reqs) = traffic(8);
-        let (plan, out) = serve_continuous(&b, &ServeConfig::default(), reqs).unwrap();
+        let (plan, out) = continuous(&b, &ServeConfig::default(), reqs).unwrap();
         let trace = crate::obs::serve_timeline(&plan, &out.obs);
         let v = trace.to_value();
         let events = v["traceEvents"].as_array().unwrap();

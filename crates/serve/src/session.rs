@@ -1,0 +1,592 @@
+//! The unified serve API (DESIGN.md §16): one builder —
+//! [`ServeSession`] — subsumes the four free functions the serving layer
+//! used to export (`serve_sequential`, `serve_static`,
+//! `serve_continuous`, `serve_continuous_with`) behind a single
+//! configuration surface, and adds the real-time front end
+//! ([`ServeSession::run_async`]) over the identical scheduler core.
+//!
+//! The three entry points share one state machine:
+//!
+//! - [`ServeSession::run`] / [`ServeSession::run_streaming`] — the
+//!   virtual-clock paths. Outcomes are a pure function of `(requests,
+//!   backend, config)`, byte-identical to the pre-redesign free
+//!   functions (a golden-file test holds `results/serve.json` to that).
+//! - [`ServeSession::run_async`] — the scheduler runs on its own thread
+//!   behind an `AsyncDriver`: wall time (scaled by
+//!   [`AsyncConfig::time_scale`]) paces the modelled clock, each request
+//!   streams through its own bounded tokio mpsc channel, a dropped
+//!   receiver is a client disconnect, and a channel full past the
+//!   backpressure grace is shed the same way. Token *values* are
+//!   untouched — the `repro async` experiment property-tests streamed
+//!   completions against solo `Engine::run` — only timing and delivery
+//!   move to wall clocks.
+
+use crate::admission::{derive_plan, KvMode, ServeConfig, ServeError, ServePlan};
+use crate::backend::ServeBackend;
+use crate::driver::{Delivery, NullDriver, ServeDriver, VirtualDriver};
+use crate::request::Request;
+use crate::scheduler::{run_continuous, run_sequential, run_static, ServeOutcome, TokenEvent};
+use crate::slo::{DegradeLadder, SloPolicy};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tokio::sync::mpsc;
+use tokio::sync::mpsc::error::TrySendError;
+
+/// Which scheduler a session runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeMode {
+    /// The continuous-batching scheduler (the paper's serving mode):
+    /// admission-planned slots, SLO actuation, paged KV, streaming.
+    #[default]
+    Continuous,
+    /// Baseline 1: one call per request in arrival order.
+    Sequential,
+    /// Baseline 2: naive static batching in fixed groups of `batch`.
+    Static { batch: usize },
+}
+
+/// What [`ServeSession::run`] returns: the admission plan (for the
+/// continuous scheduler; the baselines don't plan) and the outcome.
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// The `LMA25x`-linted admission plan; `None` for the baselines,
+    /// which admit without planning.
+    pub plan: Option<ServePlan>,
+    pub outcome: ServeOutcome,
+}
+
+impl ServeRun {
+    /// Split into `(plan, outcome)`.
+    pub fn into_parts(self) -> (Option<ServePlan>, ServeOutcome) {
+        (self.plan, self.outcome)
+    }
+
+    /// Split a continuous run into its admission plan and outcome.
+    ///
+    /// # Panics
+    ///
+    /// If the run came from a baseline mode ([`ServeMode::Sequential`] /
+    /// [`ServeMode::Static`]), which admit per-request instead of
+    /// deriving a slot plan.
+    pub fn into_continuous(self) -> (ServePlan, ServeOutcome) {
+        match self.plan {
+            Some(plan) => (plan, self.outcome),
+            None => panic!("into_continuous on a baseline run that carries no admission plan"),
+        }
+    }
+}
+
+/// Knobs for the real-time front end, judged by `lm-analyze`'s `LMA30x`
+/// family before the session starts.
+#[derive(Debug, Clone)]
+pub struct AsyncConfig {
+    /// Capacity of each request's bounded token channel (`LMA300`
+    /// rejects 0). Sends past this block the scheduler into the
+    /// backpressure grace, then shed the stream.
+    pub channel_capacity: usize,
+    /// Virtual microseconds per wall microsecond (`LMA302` rejects
+    /// non-finite or ≤ 0). `1.0` is real time; large values compress a
+    /// long modelled run into a short wall run while keeping relative
+    /// timing.
+    pub time_scale: f64,
+    /// Wall-clock grace a full channel gets before the token is declared
+    /// undeliverable and the stream is shed as a disconnect.
+    pub backpressure_grace: Duration,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        AsyncConfig {
+            channel_capacity: 32,
+            time_scale: 1.0,
+            backpressure_grace: Duration::from_millis(50),
+        }
+    }
+}
+
+/// The per-request token streams handed to [`ServeSession::run_async`]'s
+/// client closure: one bounded receiver per submitted request, keyed by
+/// request id. Dropping a receiver (or the whole collection) is how a
+/// client disconnects — the scheduler observes the closed channel and
+/// cancels the stream, reclaiming its KV.
+pub struct TokenStreams {
+    rx: BTreeMap<u64, mpsc::Receiver<TokenEvent>>,
+}
+
+impl TokenStreams {
+    /// Take ownership of one request's stream; `None` if the id is
+    /// unknown or already taken.
+    pub fn take(&mut self, request_id: u64) -> Option<mpsc::Receiver<TokenEvent>> {
+        self.rx.remove(&request_id)
+    }
+
+    /// Request ids whose streams have not been taken yet, ascending.
+    pub fn ids(&self) -> Vec<u64> {
+        self.rx.keys().copied().collect()
+    }
+
+    /// Drain every remaining `(request_id, receiver)` pair, ascending.
+    pub fn drain(&mut self) -> Vec<(u64, mpsc::Receiver<TokenEvent>)> {
+        std::mem::take(&mut self.rx).into_iter().collect()
+    }
+}
+
+/// Builder over a backend + [`ServeConfig`] + [`ServeMode`]: the one
+/// serving entry point. Construction is infallible; feasibility is
+/// judged at `run*` time (`LMA25x`/`LMA26x` on the plan, `LMA30x` on the
+/// async front end), exactly as the free functions did.
+pub struct ServeSession<'b> {
+    backend: &'b dyn ServeBackend,
+    cfg: ServeConfig,
+    mode: ServeMode,
+}
+
+impl<'b> ServeSession<'b> {
+    /// A continuous-batching session with the default [`ServeConfig`].
+    pub fn new(backend: &'b dyn ServeBackend) -> Self {
+        ServeSession {
+            backend,
+            cfg: ServeConfig::default(),
+            mode: ServeMode::Continuous,
+        }
+    }
+
+    /// Select the scheduler ([`ServeMode::Continuous`] is the default).
+    pub fn mode(mut self, mode: ServeMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Replace the whole [`ServeConfig`] (the escape hatch; the focused
+    /// setters below cover the common knobs).
+    pub fn config(mut self, cfg: ServeConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// KV backing for slots (paged is the default).
+    pub fn kv_mode(mut self, kv_mode: KvMode) -> Self {
+        self.cfg.kv_mode = kv_mode;
+        self
+    }
+
+    /// Concurrency ceiling (worst-case-slab budget; see
+    /// [`ServeConfig::max_slots`]).
+    pub fn max_slots(mut self, max_slots: usize) -> Self {
+        self.cfg.max_slots = max_slots;
+        self
+    }
+
+    /// Attach a TTFT objective (`None` by default: no prediction, no
+    /// actuation).
+    pub fn slo(mut self, slo: SloPolicy) -> Self {
+        self.cfg.slo = Some(slo);
+        self
+    }
+
+    /// Attach a degrade ladder for the SLO monitor's fallback actuator.
+    pub fn ladder(mut self, ladder: Arc<dyn DegradeLadder>) -> Self {
+        self.cfg.ladder = Some(ladder);
+        self
+    }
+
+    /// Attach a fault plan (chaos storms, injected disconnects/crashes,
+    /// pool pressure).
+    pub fn fault(mut self, fault: lm_fault::FaultInjector) -> Self {
+        self.cfg.fault = fault;
+        self
+    }
+
+    /// Attach a span/metrics recorder.
+    pub fn tracer(mut self, tracer: lm_trace::Tracer) -> Self {
+        self.cfg.tracer = tracer;
+        self
+    }
+
+    /// Attach a flight recorder (frozen on the first SLO breach).
+    pub fn flight(mut self, flight: lm_trace::FlightRecorder) -> Self {
+        self.cfg.flight = flight;
+        self
+    }
+
+    /// The session's effective configuration (for tests and probes).
+    pub fn effective_config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Run on the virtual clock, discarding the token stream.
+    /// Byte-identical to the pre-redesign `serve_continuous` /
+    /// `serve_sequential` / `serve_static`.
+    pub fn run(&self, requests: Vec<Request>) -> Result<ServeRun, ServeError> {
+        match self.mode {
+            ServeMode::Continuous => {
+                run_continuous(self.backend, &self.cfg, requests, &mut NullDriver).map(
+                    |(plan, outcome)| ServeRun {
+                        plan: Some(plan),
+                        outcome,
+                    },
+                )
+            }
+            ServeMode::Sequential => {
+                run_sequential(self.backend, &self.cfg, requests).map(|outcome| ServeRun {
+                    plan: None,
+                    outcome,
+                })
+            }
+            ServeMode::Static { batch } => {
+                run_static(self.backend, &self.cfg, batch, requests).map(|outcome| ServeRun {
+                    plan: None,
+                    outcome,
+                })
+            }
+        }
+    }
+
+    /// Run on the virtual clock with synchronous per-token delivery
+    /// (byte-identical to the pre-redesign `serve_continuous_with`).
+    /// Only the continuous scheduler streams; the baselines deliver no
+    /// token events (they release whole responses, which is the point of
+    /// the comparison) and behave exactly like [`ServeSession::run`].
+    pub fn run_streaming(
+        &self,
+        requests: Vec<Request>,
+        on_token: &mut dyn FnMut(TokenEvent),
+    ) -> Result<ServeRun, ServeError> {
+        match self.mode {
+            ServeMode::Continuous => run_continuous(
+                self.backend,
+                &self.cfg,
+                requests,
+                &mut VirtualDriver::new(on_token),
+            )
+            .map(|(plan, outcome)| ServeRun {
+                plan: Some(plan),
+                outcome,
+            }),
+            _ => self.run(requests),
+        }
+    }
+
+    /// Run the continuous scheduler in real time: the scheduler paces
+    /// its modelled clock against the wall (scaled by
+    /// [`AsyncConfig::time_scale`]) on a dedicated thread while `client`
+    /// consumes per-request token streams on the calling thread. Returns
+    /// when both sides finish.
+    ///
+    /// Always drives the continuous scheduler regardless of the
+    /// session's [`ServeMode`]: the baselines are virtual-clock
+    /// measurement instruments and have no streaming front end.
+    ///
+    /// Semantics carried over from the virtual path unchanged: token
+    /// values (transparency against solo `Engine::run`), admission
+    /// order, the SLO actuators, and KV reclamation. What wall time
+    /// adds: `pace` may return late (jitter flows into TTFT and the
+    /// deadline machinery), a dropped receiver resolves the stream as a
+    /// [`CancelReason::ClientDisconnect`](crate::CancelReason)
+    /// cancellation at the next boundary, and a channel full past
+    /// [`AsyncConfig::backpressure_grace`] is shed the same way.
+    pub fn run_async<R, F>(
+        &self,
+        requests: Vec<Request>,
+        acfg: &AsyncConfig,
+        client: F,
+    ) -> Result<(ServeRun, R), ServeError>
+    where
+        R: Send,
+        F: FnOnce(TokenStreams) -> R + Send,
+    {
+        // LMA30x pre-flight: reject configurations that cannot work at
+        // runtime before any thread spawns, mirroring the LMA25x plan
+        // gate. The plan floor comes from the same arithmetic LMA260
+        // judges the virtual path by.
+        let (plan, _) = derive_plan(self.backend, &self.cfg);
+        let probe = lm_analyze::AsyncProbe {
+            channel_capacity: acfg.channel_capacity as u64,
+            time_scale: acfg.time_scale,
+            ttft_p99_slo_s: self.cfg.slo.as_ref().map(|s| s.ttft_p99_s),
+            floor_ttft_s: self.backend.prefill_seconds(plan.slot_context, plan.slots)
+                + plan.est_step_seconds,
+        };
+        let report = lm_analyze::lint_async(&probe);
+        if !report.is_clean() {
+            return Err(ServeError::Plan(report));
+        }
+
+        let mut senders = BTreeMap::new();
+        let mut receivers = BTreeMap::new();
+        for r in &requests {
+            let (tx, rx) = mpsc::channel(acfg.channel_capacity);
+            senders.insert(r.id, tx);
+            receivers.insert(r.id, rx);
+        }
+        let streams = TokenStreams { rx: receivers };
+
+        let backend = self.backend;
+        let cfg = &self.cfg;
+        let (sched, client_out) = std::thread::scope(|s| {
+            let sched = s.spawn(move || {
+                let mut driver = AsyncDriver {
+                    senders,
+                    start: Instant::now(),
+                    scale: acfg.time_scale,
+                    backpressure_grace: acfg.backpressure_grace,
+                };
+                run_continuous(backend, cfg, requests, &mut driver)
+            });
+            // The client consumes on the calling thread; when it drops
+            // receivers the scheduler sees closed channels and cancels.
+            let client_out = client(streams);
+            (sched.join(), client_out)
+        });
+        match sched {
+            Ok(Ok((plan, outcome))) => Ok((
+                ServeRun {
+                    plan: Some(plan),
+                    outcome,
+                },
+                client_out,
+            )),
+            Ok(Err(e)) => Err(e),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+/// The wall-clock driver behind [`ServeSession::run_async`] (see
+/// [`crate::driver`] for the contract).
+struct AsyncDriver {
+    senders: BTreeMap<u64, mpsc::Sender<TokenEvent>>,
+    start: Instant,
+    /// Virtual microseconds per wall microsecond.
+    scale: f64,
+    backpressure_grace: Duration,
+}
+
+impl AsyncDriver {
+    fn wall_virtual_us(&self) -> u64 {
+        (self.start.elapsed().as_secs_f64() * self.scale * 1e6) as u64
+    }
+}
+
+impl ServeDriver for AsyncDriver {
+    fn pace(&mut self, clock_us: u64) -> u64 {
+        loop {
+            let now = self.wall_virtual_us();
+            if now >= clock_us {
+                // Wall time overran the model: the run proceeds at the
+                // later clock, so jitter reaches deadlines and TTFT.
+                return now;
+            }
+            let gap = Duration::from_secs_f64((clock_us - now) as f64 / (self.scale * 1e6));
+            if gap > Duration::from_micros(500) {
+                // Undershoot the sleep and re-check: OS sleep overshoot
+                // multiplied by a large time_scale would otherwise leap
+                // the virtual clock far past the boundary.
+                std::thread::sleep(gap.mul_f64(0.5));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn deliver(&mut self, event: TokenEvent) -> Delivery {
+        let Some(tx) = self.senders.get(&event.request_id) else {
+            // Already retired (or never registered): nothing to carry.
+            return Delivery::Delivered;
+        };
+        let mut ev = event;
+        let deadline = Instant::now() + self.backpressure_grace;
+        loop {
+            match tx.try_send(ev) {
+                Ok(()) => return Delivery::Delivered,
+                Err(TrySendError::Closed(_)) => return Delivery::Disconnected,
+                Err(TrySendError::Full(back)) => {
+                    if Instant::now() >= deadline {
+                        return Delivery::Backpressured;
+                    }
+                    ev = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    fn retire(&mut self, request_id: u64) {
+        // Dropping the sender closes the channel once any buffered
+        // tokens drain: the consumer's `recv` returns `None` as
+        // end-of-stream.
+        self.senders.remove(&request_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::AnalyticBackend;
+    use crate::request::synth_traffic;
+    use lm_analyze::LintCode;
+
+    fn traffic(n: usize) -> (AnalyticBackend, Vec<Request>) {
+        let b = AnalyticBackend::opt_30b();
+        let reqs = synth_traffic(7, 4.0, n, b.model());
+        (b, reqs)
+    }
+
+    #[test]
+    fn session_run_matches_the_deprecated_free_functions() {
+        #![allow(deprecated)]
+        let (b, reqs) = traffic(12);
+        let cfg = ServeConfig::default();
+        let session = ServeSession::new(&b).config(cfg.clone());
+        let new = session.run(reqs.clone()).unwrap();
+        let (old_plan, old_out) =
+            crate::scheduler::serve_continuous(&b, &cfg, reqs.clone()).unwrap();
+        assert_eq!(new.plan.as_ref(), Some(&old_plan));
+        assert_eq!(
+            serde_json::to_string(&new.outcome).unwrap(),
+            serde_json::to_string(&old_out).unwrap(),
+            "ServeSession::run must byte-reproduce serve_continuous"
+        );
+
+        let seq_new = ServeSession::new(&b)
+            .mode(ServeMode::Sequential)
+            .run(reqs.clone())
+            .unwrap();
+        assert!(seq_new.plan.is_none(), "baselines do not plan");
+        let seq_old = crate::scheduler::serve_sequential(&b, &cfg, reqs.clone()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&seq_new.outcome).unwrap(),
+            serde_json::to_string(&seq_old).unwrap()
+        );
+
+        let st_new = ServeSession::new(&b)
+            .mode(ServeMode::Static { batch: 4 })
+            .run(reqs.clone())
+            .unwrap();
+        let st_old = crate::scheduler::serve_static(&b, &cfg, 4, reqs).unwrap();
+        assert_eq!(
+            serde_json::to_string(&st_new.outcome).unwrap(),
+            serde_json::to_string(&st_old).unwrap()
+        );
+    }
+
+    #[test]
+    fn streaming_matches_non_streaming_and_orders_tokens() {
+        let (b, reqs) = traffic(10);
+        let session = ServeSession::new(&b);
+        let quiet = session.run(reqs.clone()).unwrap();
+        let mut events: Vec<TokenEvent> = Vec::new();
+        let streamed = session
+            .run_streaming(reqs, &mut |e| events.push(e))
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&quiet.outcome).unwrap(),
+            serde_json::to_string(&streamed.outcome).unwrap(),
+            "the stream is an observer, not a participant"
+        );
+        // Every completed response's tokens appear in the stream, in
+        // order.
+        for r in &streamed.outcome.responses {
+            let got: Vec<u32> = events
+                .iter()
+                .filter(|e| e.request_id == r.id)
+                .map(|e| e.token)
+                .collect();
+            assert_eq!(got, r.tokens, "request {}", r.id);
+        }
+    }
+
+    #[test]
+    fn async_preflight_rejects_zero_capacity_and_bad_scale() {
+        let (b, reqs) = traffic(2);
+        let session = ServeSession::new(&b);
+        let zero = AsyncConfig {
+            channel_capacity: 0,
+            ..AsyncConfig::default()
+        };
+        match session.run_async(reqs.clone(), &zero, |_| ()) {
+            Err(ServeError::Plan(report)) => {
+                assert!(report.has(LintCode::Lma300AsyncZeroChannelCapacity), "{report}")
+            }
+            other => panic!("expected LMA300 rejection, got ok={}", other.is_ok()),
+        }
+        let bad_scale = AsyncConfig {
+            time_scale: 0.0,
+            ..AsyncConfig::default()
+        };
+        match session.run_async(reqs, &bad_scale, |_| ()) {
+            Err(ServeError::Plan(report)) => {
+                assert!(report.has(LintCode::Lma302AsyncBadTimeScale), "{report}")
+            }
+            other => panic!("expected LMA302 rejection, got ok={}", other.is_ok()),
+        }
+    }
+
+    #[test]
+    fn async_run_streams_transparently_and_reclaims_kv() {
+        let (b, reqs) = traffic(6);
+        let session = ServeSession::new(&b);
+        // Compress the modelled run (hundreds of virtual seconds) into
+        // well under a second of wall time.
+        let acfg = AsyncConfig {
+            time_scale: 5e5,
+            ..AsyncConfig::default()
+        };
+        let n = reqs.len();
+        let (run, collected) = session
+            .run_async(reqs, &acfg, |mut streams| {
+                let mut got: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+                for (id, mut rx) in streams.drain() {
+                    let mut tokens = Vec::new();
+                    while let Some(ev) = rx.blocking_recv() {
+                        tokens.push(ev.token);
+                    }
+                    got.insert(id, tokens);
+                }
+                got
+            })
+            .unwrap();
+        assert_eq!(run.outcome.terminal_count(), n, "every request resolves");
+        assert!(run.outcome.stats.admissions_balanced());
+        assert_eq!(run.outcome.kv_leaked_bytes, 0);
+        assert_eq!(run.outcome.kv_pages_leaked, 0);
+        // Transparency: completed responses streamed exactly their
+        // tokens (wall jitter may shed *other* requests via deadlines,
+        // never corrupt a stream).
+        for r in &run.outcome.responses {
+            assert_eq!(collected.get(&r.id), Some(&r.tokens), "request {}", r.id);
+        }
+    }
+
+    #[test]
+    fn async_dropped_receiver_cancels_stream_without_leaks() {
+        let (b, reqs) = traffic(8);
+        let session = ServeSession::new(&b);
+        let acfg = AsyncConfig {
+            time_scale: 5e5,
+            ..AsyncConfig::default()
+        };
+        let n = reqs.len();
+        let victim = reqs[0].id;
+        let (run, _) = session
+            .run_async(reqs, &acfg, |mut streams| {
+                // Never consume the victim: drop its receiver on the
+                // floor immediately (client disconnect), drain the rest.
+                drop(streams.take(victim));
+                for (_, mut rx) in streams.drain() {
+                    while rx.blocking_recv().is_some() {}
+                }
+            })
+            .unwrap();
+        assert_eq!(run.outcome.terminal_count(), n);
+        assert_eq!(run.outcome.kv_leaked_bytes, 0, "disconnect reclaims KV");
+        assert_eq!(run.outcome.kv_pages_leaked, 0);
+        // The victim must not have completed: its channel was closed
+        // from the first delivery.
+        assert!(
+            !run.outcome.responses.iter().any(|r| r.id == victim),
+            "victim stream should resolve as disconnect/rejection, not a response"
+        );
+    }
+}

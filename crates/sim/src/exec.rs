@@ -7,8 +7,8 @@
 //! pipelining (loading layer `j+1`'s weights while layer `j` computes).
 //! The integration tests check the analytic model against this timeline.
 
-use crate::tasks::{CostProvider, TaskKind};
-use crate::timeline::Span;
+use crate::tasks::CostProvider;
+use lm_trace::{Span, TaskKind};
 use lm_fault::FaultInjector;
 use lm_models::Workload;
 use serde::{Deserialize, Serialize};
@@ -397,7 +397,7 @@ mod tests {
 
     #[test]
     fn traced_spans_respect_resource_exclusivity() {
-        use crate::timeline::resource_overlaps;
+        use lm_trace::resource_overlaps;
         let w = Workload::new(16, 4, 8, 3);
         let mut p = Policy::flexgen_default();
         p.attention = AttentionPlacement::Gpu;

@@ -22,15 +22,13 @@ pub mod exec;
 pub mod pipeline;
 pub mod policy;
 pub mod tasks;
-pub mod timeline;
 
 pub use analytic::{BaseCostModel, DISK_BW, TASK_OVERHEAD};
 pub use exec::{
     predicted_task_totals, simulate, simulate_faulted, simulate_traced, SimReport, TaskBreakdown,
 };
-pub use timeline::{render_gantt, resource_overlaps, Span};
 pub use pipeline::{
     host_contention, simulate_pipeline, simulate_pipeline_faulted, PipelineReport,
 };
 pub use policy::{fits, max_gpu_batch, memory_plan, AttentionPlacement, MemoryPlan, Policy};
-pub use tasks::{t_gen, total_latency, CostProvider, DegradedLink, TaskExtras, TaskKind};
+pub use tasks::{t_gen, total_latency, CostProvider, DegradedLink, TaskExtras};

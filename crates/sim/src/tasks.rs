@@ -9,11 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-/// The decode-phase task kinds — the shared vocabulary of the model, the
-/// simulator, the engine and the tracer. The definition lives in
-/// `lm-trace` (so tracing does not depend on the simulator); re-exported
-/// here unchanged for existing callers.
-pub use lm_trace::TaskKind;
+use lm_trace::TaskKind;
 
 /// Additive per-task overheads in seconds — how quantization costs enter
 /// the six-task model (Eq. 4, 6, 7): `load_weight += dequan_wgt`,

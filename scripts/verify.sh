@@ -30,6 +30,8 @@ grep -q '"opt-30b/serve/default-paging"' results/analyze.json \
     || { echo "verify: the LMA28x paging lint row is missing from results/analyze.json" >&2; exit 1; }
 grep -q '"verify/lma29x/quick-sweep"' results/analyze.json \
     || { echo "verify: the LMA29x verification lint row is missing from results/analyze.json" >&2; exit 1; }
+grep -q '"opt-30b/serve/default-async"' results/analyze.json \
+    || { echo "verify: the LMA30x async lint row is missing from results/analyze.json" >&2; exit 1; }
 
 # Exhaustive bounded verification (DESIGN.md §15): planner-space sweep vs
 # executable ground truth, seeded-mutation self-check, preemption-bounded
@@ -130,6 +132,26 @@ else
                 || { echo "verify: $f lacks the $key schema field" >&2; exit 1; }
         done
     done
+fi
+
+# Real-time serving lane (DESIGN.md §16): the gates (transparency, zero
+# leaks, total resolution, an exercised disconnect) are wall-independent;
+# the wall-clock TTFT/throughput in results/async.json and the
+# serve_async rows of BENCH_serve.json are recorded but deliberately NOT
+# byte-compared across runs.
+if [ "${ASYNC:-1}" = "0" ]; then
+    echo "==> async lane skipped (ASYNC=0)"
+else
+    echo "==> repro async --seed 7 (real-time serving gate)"
+    cargo run --release -q -p lm-bench --bin repro -- async --seed 7
+    [ -s results/async.json ] \
+        || { echo "verify: results/async.json missing or empty" >&2; exit 1; }
+    grep -q '"transparency_ok": true' results/async.json \
+        || { echo "verify: the async path is not output-transparent" >&2; exit 1; }
+    grep -q '"zero_leak_ok": true' results/async.json \
+        || { echo "verify: the async path leaked KV on disconnect" >&2; exit 1; }
+    grep -q '"async_ok": true' results/async.json \
+        || { echo "verify: an async serving gate failed" >&2; exit 1; }
 fi
 
 echo "verify: OK"

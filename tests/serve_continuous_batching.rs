@@ -7,8 +7,8 @@
 
 use lm_engine::GenerateRequest;
 use lm_serve::{
-    serve_continuous, serve_sequential, serve_static, synth_traffic, AnalyticBackend,
-    EngineBackend, RejectReason, Request, ServeBackend, ServeConfig,
+    synth_traffic, AnalyticBackend, EngineBackend, RejectReason, Request, ServeBackend,
+    ServeConfig, ServeMode, ServeSession,
 };
 use proptest::prelude::*;
 
@@ -18,9 +18,23 @@ fn continuous_batching_dominates_baselines_on_opt_30b_traffic() {
     let backend = AnalyticBackend::opt_30b();
     let traffic = synth_traffic(7, 4.0, 32, backend.model());
     let cfg = ServeConfig::default();
-    let (plan, cont) = serve_continuous(&backend, &cfg, traffic.clone()).unwrap();
-    let seq = serve_sequential(&backend, &cfg, traffic.clone()).unwrap();
-    let stat = serve_static(&backend, &cfg, plan.slots, traffic).unwrap();
+    let (plan, cont) = ServeSession::new(&backend)
+        .config(cfg.clone())
+        .run(traffic.clone())
+        .unwrap()
+        .into_continuous();
+    let seq = ServeSession::new(&backend)
+        .config(cfg.clone())
+        .mode(ServeMode::Sequential)
+        .run(traffic.clone())
+        .unwrap()
+        .outcome;
+    let stat = ServeSession::new(&backend)
+        .config(cfg)
+        .mode(ServeMode::Static { batch: plan.slots })
+        .run(traffic)
+        .unwrap()
+        .outcome;
 
     assert!(
         cont.tokens_per_s() >= 1.3 * seq.tokens_per_s(),
@@ -42,8 +56,9 @@ fn continuous_batching_dominates_baselines_on_opt_30b_traffic() {
 fn serving_runs_are_bit_identical_across_repetitions() {
     let backend = AnalyticBackend::opt_30b();
     let traffic = synth_traffic(7, 4.0, 32, backend.model());
-    let (plan_a, a) = serve_continuous(&backend, &ServeConfig::default(), traffic.clone()).unwrap();
-    let (plan_b, b) = serve_continuous(&backend, &ServeConfig::default(), traffic).unwrap();
+    let session = ServeSession::new(&backend);
+    let (plan_a, a) = session.run(traffic.clone()).unwrap().into_continuous();
+    let (plan_b, b) = session.run(traffic).unwrap().into_continuous();
     assert_eq!(plan_a, plan_b);
     assert_eq!(a.responses, b.responses);
     assert_eq!(a.rejections, b.rejections);
@@ -63,7 +78,7 @@ fn scheduled_outputs_equal_solo_engine_runs() {
         .enumerate()
         .map(|(i, p)| Request::new(i as u64, p.to_vec(), 3 + i).with_arrival_us(i as u64 * 100))
         .collect();
-    let (_, out) = serve_continuous(&backend, &ServeConfig::default(), requests).unwrap();
+    let out = ServeSession::new(&backend).run(requests).unwrap().outcome;
     assert_eq!(out.responses.len(), 4, "rejections: {:?}", out.rejections);
     for r in &out.responses {
         let prompt = prompts[r.id as usize].to_vec();
@@ -103,7 +118,7 @@ fn shared_prompt_outputs_equal_solo_runs_across_cow_forks() {
     let prompts: Vec<Vec<u32>> = requests.iter().map(|r| r.prompt.clone()).collect();
     let gens: Vec<usize> = requests.iter().map(|r| r.gen_len).collect();
 
-    let (_, out) = serve_continuous(&backend, &ServeConfig::default(), requests).unwrap();
+    let out = ServeSession::new(&backend).run(requests).unwrap().outcome;
     assert_eq!(out.responses.len(), 6, "rejections: {:?}", out.rejections);
     assert!(
         out.shared_prefix_hits > 0,
@@ -140,7 +155,7 @@ fn invalid_requests_surface_typed_rejections_not_panics() {
         Request::new(1, vec![1; max], max),
         Request::new(2, vec![1, 2], 4),
     ];
-    let (_, out) = serve_continuous(&backend, &ServeConfig::default(), requests).unwrap();
+    let out = ServeSession::new(&backend).run(requests).unwrap().outcome;
     assert_eq!(out.responses.len(), 1);
     assert_eq!(out.rejections.len(), 2);
     for rej in &out.rejections {
@@ -179,7 +194,7 @@ proptest! {
             })
             .collect();
         let n = requests.len();
-        let (_, out) = serve_continuous(&backend, &ServeConfig::default(), requests.clone()).unwrap();
+        let out = ServeSession::new(&backend).run(requests.clone()).unwrap().outcome;
         prop_assert_eq!(out.responses.len() + out.rejections.len(), n);
         prop_assert_eq!(out.responses.len(), n, "all requests are valid: {:?}", out.rejections);
         for r in &out.responses {

@@ -6,8 +6,8 @@
 #![allow(clippy::unwrap_used)]
 
 use lm_serve::{
-    serve_continuous, serve_timeline, synth_traffic, EngineBackend, RequestPhase, ServeBackend,
-    ServeConfig,
+    serve_timeline, synth_traffic, EngineBackend, RequestPhase, ServeBackend, ServeConfig,
+    ServeSession,
 };
 use lm_trace::Tracer;
 
@@ -29,7 +29,11 @@ fn engine_backend_drift_audit_holds_at_the_default_seed() {
         tracer: Tracer::new(),
         ..ServeConfig::default()
     };
-    let (plan, out) = serve_continuous(&backend, &cfg, traffic).unwrap();
+    let (plan, out) = ServeSession::new(&backend)
+        .config(cfg)
+        .run(traffic)
+        .unwrap()
+        .into_continuous();
     assert!(!out.responses.is_empty());
     assert!(!out.obs.ttft.is_empty(), "first tokens must be audited");
 
@@ -52,7 +56,7 @@ fn engine_backend_drift_audit_holds_at_the_default_seed() {
 fn engine_backend_lifecycle_balances_and_exports_a_timeline() {
     let backend = EngineBackend::tiny_test(SEED).unwrap();
     let traffic = synth_traffic(SEED, 4.0, 12, backend.model());
-    let (plan, out) = serve_continuous(&backend, &ServeConfig::default(), traffic).unwrap();
+    let (plan, out) = ServeSession::new(&backend).run(traffic).unwrap().into_continuous();
 
     let count = |phase: RequestPhase| {
         out.obs

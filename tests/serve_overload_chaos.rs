@@ -7,8 +7,8 @@
 
 use lm_fault::{FaultConfig, FaultInjector, RetryPolicy, StormProfile};
 use lm_serve::{
-    serve_continuous, serve_continuous_with, synth_traffic, AnalyticBackend, KvMode,
-    RejectReason, Request, ServeBackend, ServeConfig,
+    synth_traffic, AnalyticBackend, KvMode, RejectReason, Request, ServeBackend, ServeConfig,
+    ServeSession,
 };
 use proptest::prelude::*;
 
@@ -33,7 +33,7 @@ proptest! {
             retry: RetryPolicy::fast_test().with_seeded_jitter(seed, 0.5),
             ..ServeConfig::default()
         };
-        let (_, out) = serve_continuous(&backend, &cfg, traffic).unwrap();
+        let out = ServeSession::new(&backend).config(cfg).run(traffic).unwrap().outcome;
         prop_assert_eq!(
             out.kv_leaked_bytes, 0,
             "leaked {} bytes under {} storm seed {}", out.kv_leaked_bytes, profile.name(), seed
@@ -76,10 +76,11 @@ fn queued_deadline_expiry_rejects_without_ever_taking_a_slot() {
         .with_arrival_us(0)
         .with_deadline_us(1_000_000); // 1 virtual second: far before the hog finishes
     let mut events = Vec::new();
-    let (_, out) = serve_continuous_with(&backend, &cfg, vec![hog, doomed], &mut |e| {
-        events.push(e)
-    })
-    .unwrap();
+    let out = ServeSession::new(&backend)
+        .config(cfg)
+        .run_streaming(vec![hog, doomed], &mut |e| events.push(e))
+        .unwrap()
+        .outcome;
 
     assert_eq!(out.responses.len(), 1, "the hog completes");
     assert_eq!(out.responses[0].id, 0);

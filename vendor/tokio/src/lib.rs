@@ -1,0 +1,25 @@
+//! Offline stand-in for the `tokio` crate (see `vendor/README.md` for
+//! the vendoring policy). This is **not** the upstream codebase: it is a
+//! from-scratch implementation of exactly the subset the `lm-serve`
+//! async front end drives, API-compatible so the real crate can be
+//! swapped in when a registry is available:
+//!
+//! - [`runtime::Runtime`] — a multi-threaded work-queue executor with
+//!   `new` / `spawn` / `block_on`;
+//! - [`task::JoinHandle`] — a future resolving to the spawned task's
+//!   output (`Err(JoinError)` if the task panicked);
+//! - [`sync::mpsc`] — the bounded channel (`channel`, `Sender::try_send`
+//!   / `blocking_send` / `is_closed`, `Receiver::recv` (async) /
+//!   `blocking_recv` / `try_recv`), with the same drop semantics the
+//!   serving layer's disconnect handling relies on: dropping the
+//!   `Receiver` makes every subsequent send fail `Closed`, and dropping
+//!   the last `Sender` makes `recv` return `None` once the buffer
+//!   drains.
+//!
+//! Wakers are honoured everywhere (an async `recv` parked on an empty
+//! channel is woken by the `send` that fills it), so futures written
+//! against this stand-in behave identically under the real tokio.
+
+pub mod runtime;
+pub mod sync;
+pub mod task;

@@ -1,0 +1,284 @@
+//! A multi-threaded task executor: fixed worker pool, shared injector
+//! queue, waker-driven rescheduling. `block_on` drives any future on the
+//! calling thread with a condvar parker, so the two halves compose the
+//! way the real tokio's `Runtime::block_on` + `Runtime::spawn` do.
+
+use crate::task::{JoinError, JoinHandle, JoinState};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send>>;
+
+/// Where a task currently is in its run cycle. The `Notified` state
+/// absorbs wake-ups that land mid-poll, so a task is never enqueued
+/// twice and never loses a wake.
+enum Run {
+    Idle,
+    Queued,
+    Running,
+    Notified,
+    Done,
+}
+
+struct TaskState {
+    future: Option<BoxFuture>,
+    run: Run,
+}
+
+struct TaskCell {
+    state: Mutex<TaskState>,
+    shared: std::sync::Weak<Shared>,
+}
+
+impl TaskCell {
+    fn lock(&self) -> std::sync::MutexGuard<'_, TaskState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl Wake for TaskCell {
+    fn wake(self: Arc<Self>) {
+        let Some(shared) = self.shared.upgrade() else {
+            return; // runtime already shut down
+        };
+        let mut st = self.lock();
+        match st.run {
+            Run::Idle => {
+                st.run = Run::Queued;
+                drop(st);
+                shared.enqueue(self);
+            }
+            Run::Running => st.run = Run::Notified,
+            Run::Queued | Run::Notified | Run::Done => {}
+        }
+    }
+}
+
+struct Shared {
+    injector: Mutex<VecDeque<Arc<TaskCell>>>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn enqueue(&self, task: Arc<TaskCell>) {
+        let mut q = match self.injector.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        q.push_back(task);
+        self.work_cv.notify_one();
+    }
+
+    fn next(&self) -> Option<Arc<TaskCell>> {
+        let mut q = match self.injector.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        loop {
+            if let Some(t) = q.pop_front() {
+                return Some(t);
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            q = match self.work_cv.wait(q) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    while let Some(task) = shared.next() {
+        let mut st = task.lock();
+        let Some(mut fut) = st.future.take() else {
+            continue; // completed by a racing poll
+        };
+        st.run = Run::Running;
+        drop(st);
+        let waker = Waker::from(Arc::clone(&task));
+        let mut cx = Context::from_waker(&waker);
+        // A panicking task must not take its worker down with it; the
+        // panic surfaces to the joiner as Err(JoinError) instead (the
+        // spawn wrapper completes the handle before unwinding reaches
+        // here only on the success path).
+        let polled = catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(&mut cx)));
+        let mut st = task.lock();
+        match polled {
+            Ok(Poll::Ready(())) | Err(_) => st.run = Run::Done,
+            Ok(Poll::Pending) => {
+                st.future = Some(fut);
+                if matches!(st.run, Run::Notified) {
+                    st.run = Run::Queued;
+                    drop(st);
+                    shared.enqueue(task);
+                } else {
+                    st.run = Run::Idle;
+                }
+            }
+        }
+    }
+}
+
+/// The executor. Dropping it requests shutdown and joins every worker;
+/// tasks still pending at that point are dropped, never polled again.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// A multi-threaded runtime with a small fixed worker pool.
+    pub fn new() -> std::io::Result<Runtime> {
+        let workers_n = std::thread::available_parallelism()
+            .map(|n| n.get().min(4))
+            .unwrap_or(2);
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let mut workers = Vec::with_capacity(workers_n);
+        for i in 0..workers_n {
+            let sh = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("tokio-worker-{i}"))
+                    .spawn(move || worker_loop(sh))?,
+            );
+        }
+        Ok(Runtime { shared, workers })
+    }
+
+    /// Spawn a future onto the worker pool.
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let state = JoinState::new();
+        let out = Arc::clone(&state);
+        let wrapped: BoxFuture = Box::pin(Completing {
+            fut: Box::pin(fut),
+            out: Some(out),
+        });
+        let task = Arc::new(TaskCell {
+            state: Mutex::new(TaskState {
+                future: Some(wrapped),
+                run: Run::Queued,
+            }),
+            shared: Arc::downgrade(&self.shared),
+        });
+        self.shared.enqueue(task);
+        JoinHandle { state }
+    }
+
+    /// Drive `fut` to completion on the calling thread, parking between
+    /// polls until a waker fires.
+    pub fn block_on<F: Future>(&self, fut: F) -> F::Output {
+        let parker = Arc::new(Parker {
+            woken: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let waker = Waker::from(Arc::clone(&parker));
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = std::pin::pin!(fut);
+        loop {
+            if let Poll::Ready(v) = fut.as_mut().poll(&mut cx) {
+                return v;
+            }
+            parker.park();
+        }
+    }
+
+    /// Park the current thread until `handle`'s task completes and
+    /// return its output — `block_on(handle)` without needing the
+    /// handle to be `'static`-pinned anywhere.
+    pub fn join<T>(&self, handle: JoinHandle<T>) -> Result<T, JoinError> {
+        handle.join_blocking()
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Wrapper future that routes the inner output (or panic) to the
+/// [`JoinState`] exactly once.
+struct Completing<T> {
+    fut: Pin<Box<dyn Future<Output = T> + Send>>,
+    out: Option<Arc<JoinState<T>>>,
+}
+
+impl<T> Future for Completing<T> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        match catch_unwind(AssertUnwindSafe(|| this.fut.as_mut().poll(cx))) {
+            Ok(Poll::Pending) => Poll::Pending,
+            Ok(Poll::Ready(v)) => {
+                if let Some(out) = this.out.take() {
+                    out.complete(Ok(v));
+                }
+                Poll::Ready(())
+            }
+            Err(payload) => {
+                if let Some(out) = this.out.take() {
+                    out.complete(Err(JoinError::panicked()));
+                }
+                // Worker-level catch_unwind keeps the pool alive; the
+                // joiner has already been answered.
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+struct Parker {
+    woken: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Parker {
+    fn park(&self) {
+        let mut woken = match self.woken.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        while !*woken {
+            woken = match self.cv.wait(woken) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        *woken = false;
+    }
+}
+
+impl Wake for Parker {
+    fn wake(self: Arc<Self>) {
+        let mut woken = match self.woken.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        *woken = true;
+        self.cv.notify_one();
+    }
+}

@@ -1,0 +1,276 @@
+//! Synchronization primitives: the bounded multi-producer single-consumer
+//! channel (`tokio::sync::mpsc` subset).
+
+pub mod mpsc {
+    use std::collections::VecDeque;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    /// Channel errors, mirroring `tokio::sync::mpsc::error`.
+    pub mod error {
+        /// The receiver was dropped; the value comes back to the caller.
+        #[derive(Debug, PartialEq, Eq)]
+        pub struct SendError<T>(pub T);
+
+        impl<T> std::fmt::Display for SendError<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "channel closed")
+            }
+        }
+
+        /// `try_send` failure: the buffer is full, or the receiver is
+        /// gone. The value comes back either way.
+        #[derive(Debug, PartialEq, Eq)]
+        pub enum TrySendError<T> {
+            Full(T),
+            Closed(T),
+        }
+
+        impl<T> std::fmt::Display for TrySendError<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                match self {
+                    TrySendError::Full(_) => write!(f, "no available capacity"),
+                    TrySendError::Closed(_) => write!(f, "channel closed"),
+                }
+            }
+        }
+
+        /// `try_recv` failure: nothing buffered, or every sender is gone.
+        #[derive(Debug, PartialEq, Eq)]
+        pub enum TryRecvError {
+            Empty,
+            Disconnected,
+        }
+
+        impl std::fmt::Display for TryRecvError {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                match self {
+                    TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+                    TryRecvError::Disconnected => write!(f, "receiving on a closed channel"),
+                }
+            }
+        }
+    }
+
+    use error::{SendError, TryRecvError, TrySendError};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        rx_alive: bool,
+        /// Single consumer: at most one parked `recv` future.
+        recv_waker: Option<Waker>,
+        /// Parked `send`-side futures/threads waiting on capacity.
+        send_wakers: Vec<Waker>,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        /// Blocking receivers park here.
+        recv_cv: Condvar,
+        /// Blocking senders park here.
+        send_cv: Condvar,
+    }
+
+    impl<T> Chan<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            // A poisoned channel mutex means a peer panicked while
+            // holding it; the state itself is a plain queue, still valid.
+            match self.state.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }
+        }
+
+        fn wake_receiver(&self, st: &mut State<T>) {
+            if let Some(w) = st.recv_waker.take() {
+                w.wake();
+            }
+            self.recv_cv.notify_one();
+        }
+
+        fn wake_senders(&self, st: &mut State<T>) {
+            for w in st.send_wakers.drain(..) {
+                w.wake();
+            }
+            self.send_cv.notify_all();
+        }
+    }
+
+    /// Create a bounded channel. Panics on `buffer == 0`, as upstream
+    /// does (a zero-capacity rendezvous is not an mpsc configuration).
+    pub fn channel<T>(buffer: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(buffer > 0, "mpsc bounded channel requires buffer > 0");
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                cap: buffer,
+                senders: 1,
+                rx_alive: true,
+                recv_waker: None,
+                send_wakers: Vec::new(),
+            }),
+            recv_cv: Condvar::new(),
+            send_cv: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    /// The producing half. Clonable; the channel closes for the receiver
+    /// when the last clone drops.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Non-blocking send: `Full` when the buffer is at capacity,
+        /// `Closed` when the receiver is gone. The value is returned in
+        /// the error either way.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.chan.lock();
+            if !st.rx_alive {
+                return Err(TrySendError::Closed(value));
+            }
+            if st.queue.len() >= st.cap {
+                return Err(TrySendError::Full(value));
+            }
+            st.queue.push_back(value);
+            self.chan.wake_receiver(&mut st);
+            Ok(())
+        }
+
+        /// Send from synchronous code, parking the thread while the
+        /// buffer is full — the backpressure edge `generate_stream`-style
+        /// producers block on.
+        pub fn blocking_send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.lock();
+            loop {
+                if !st.rx_alive {
+                    return Err(SendError(value));
+                }
+                if st.queue.len() < st.cap {
+                    st.queue.push_back(value);
+                    self.chan.wake_receiver(&mut st);
+                    return Ok(());
+                }
+                st = match self.chan.send_cv.wait(st) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+        }
+
+        /// Whether the receiving half has been dropped.
+        pub fn is_closed(&self) -> bool {
+            !self.chan.lock().rx_alive
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.lock().senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.lock();
+            st.senders -= 1;
+            if st.senders == 0 {
+                // End-of-stream: a parked receiver must observe `None`.
+                self.chan.wake_receiver(&mut st);
+            }
+        }
+    }
+
+    /// The consuming half. Dropping it closes the channel: buffered
+    /// values are discarded and every later send fails `Closed` — which
+    /// is exactly how a client disconnect surfaces to the serving layer.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive the next value, `.await`-ably. Resolves to `None`
+        /// once every sender has dropped and the buffer is drained.
+        pub fn recv(&mut self) -> Recv<'_, T> {
+            Recv { rx: self }
+        }
+
+        /// Receive from synchronous code, parking the thread while the
+        /// channel is empty but still open.
+        pub fn blocking_recv(&mut self) -> Option<T> {
+            let mut st = self.chan.lock();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.chan.wake_senders(&mut st);
+                    return Some(v);
+                }
+                if st.senders == 0 {
+                    return None;
+                }
+                st = match self.chan.recv_cv.wait(st) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+            let mut st = self.chan.lock();
+            if let Some(v) = st.queue.pop_front() {
+                self.chan.wake_senders(&mut st);
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.lock();
+            st.rx_alive = false;
+            st.queue.clear();
+            self.chan.wake_senders(&mut st);
+        }
+    }
+
+    /// Future returned by [`Receiver::recv`].
+    pub struct Recv<'a, T> {
+        rx: &'a mut Receiver<T>,
+    }
+
+    impl<T> Future for Recv<'_, T> {
+        type Output = Option<T>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+            let this = self.get_mut();
+            let chan = Arc::clone(&this.rx.chan);
+            let mut st = chan.lock();
+            if let Some(v) = st.queue.pop_front() {
+                chan.wake_senders(&mut st);
+                return Poll::Ready(Some(v));
+            }
+            if st.senders == 0 {
+                return Poll::Ready(None);
+            }
+            st.recv_waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}

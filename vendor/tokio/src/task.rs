@@ -1,0 +1,107 @@
+//! Task handles for futures spawned onto the [`runtime`](crate::runtime).
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// The spawned task panicked before producing its output.
+#[derive(Debug)]
+pub struct JoinError {
+    _priv: (),
+}
+
+impl JoinError {
+    pub(crate) fn panicked() -> Self {
+        JoinError { _priv: () }
+    }
+
+    /// This stand-in only constructs join errors from panics.
+    pub fn is_panic(&self) -> bool {
+        true
+    }
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task panicked")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+pub(crate) struct JoinState<T> {
+    inner: Mutex<(Option<Result<T, JoinError>>, Option<Waker>)>,
+    cv: Condvar,
+}
+
+impl<T> JoinState<T> {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(JoinState {
+            inner: Mutex::new((None, None)),
+            cv: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn complete(&self, result: Result<T, JoinError>) {
+        let mut g = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        g.0 = Some(result);
+        if let Some(w) = g.1.take() {
+            w.wake();
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// An owned permission to join on a spawned task: a future resolving to
+/// the task's output, `Err(JoinError)` if it panicked.
+pub struct JoinHandle<T> {
+    pub(crate) state: Arc<JoinState<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Whether the task has produced its output (or panicked).
+    pub fn is_finished(&self) -> bool {
+        match self.state.inner.lock() {
+            Ok(g) => g.0.is_some(),
+            Err(p) => p.into_inner().0.is_some(),
+        }
+    }
+
+    /// Park the calling thread until the task completes — a convenience
+    /// the real tokio spells `Handle::block_on(handle)`.
+    pub(crate) fn join_blocking(self) -> Result<T, JoinError> {
+        let mut g = match self.state.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        loop {
+            if let Some(r) = g.0.take() {
+                return r;
+            }
+            g = match self.state.cv.wait(g) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut g = match self.state.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        if let Some(r) = g.0.take() {
+            return Poll::Ready(r);
+        }
+        g.1 = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
